@@ -1,0 +1,94 @@
+// Command experiments regenerates the data behind every figure of the
+// paper's evaluation chapters.
+//
+//	experiments -all                 # every figure (slow at full scale)
+//	experiments -group ch3-churn     # figures 3.25–3.28
+//	experiments -fig 5.9             # the group containing figure 5.9
+//	experiments -reps 3 -timescale 0.3 -ratescale 0.5   # quick pass
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"vdm/internal/experiments"
+)
+
+func main() {
+	var (
+		group     = flag.String("group", "", "experiment group to run (see -list)")
+		fig       = flag.String("fig", "", "figure id, e.g. 3.25 — runs its whole group")
+		all       = flag.Bool("all", false, "run every experiment group")
+		list      = flag.Bool("list", false, "list experiment groups and exit")
+		seed      = flag.Int64("seed", 1, "master seed")
+		reps      = flag.Int("reps", 5, "repetitions per matrix cell")
+		timeScale = flag.Float64("timescale", 1, "session duration multiplier (1 = paper)")
+		rateScale = flag.Float64("ratescale", 1, "data rate multiplier (1 = paper)")
+		verbose   = flag.Bool("v", false, "print per-session progress")
+		format    = flag.String("format", "text", "output format: text | json")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, g := range experiments.Groups() {
+			fmt.Println(g)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Seed:      *seed,
+		Reps:      *reps,
+		TimeScale: *timeScale,
+		RateScale: *rateScale,
+	}
+	if *verbose {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var groups []string
+	switch {
+	case *all:
+		groups = experiments.Groups()
+	case *group != "":
+		groups = []string{*group}
+	case *fig != "":
+		g, ok := experiments.GroupFor(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+			os.Exit(1)
+		}
+		groups = []string{g}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var collected []*experiments.Table
+	for _, g := range groups {
+		tables, err := experiments.Run(g, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "group %s: %v\n", g, err)
+			os.Exit(1)
+		}
+		if *format == "json" {
+			collected = append(collected, tables...)
+			continue
+		}
+		for _, t := range tables {
+			fmt.Println(t.Format())
+		}
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

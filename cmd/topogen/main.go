@@ -1,0 +1,72 @@
+// Command topogen generates a transit-stub underlay topology (the GT-ITM
+// substitute behind the chapter-3 simulations) and reports its structure,
+// optionally dumping links or a churn scenario file.
+//
+//	topogen -routers 784
+//	topogen -routers 784 -links            # dump every link
+//	topogen -scenario -nodes 200 -churn 5  # dump a scenario script
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vdm/internal/rng"
+	"vdm/internal/scenario"
+	"vdm/internal/topology"
+)
+
+func main() {
+	var (
+		routers  = flag.Int("routers", 784, "minimum router count")
+		seed     = flag.Int64("seed", 1, "seed")
+		links    = flag.Bool("links", false, "dump every link")
+		scenar   = flag.Bool("scenario", false, "dump a churn scenario instead")
+		nodes    = flag.Int("nodes", 200, "scenario population")
+		churn    = flag.Float64("churn", 5, "scenario churn percent")
+		duration = flag.Float64("duration", 10000, "scenario length (s)")
+	)
+	flag.Parse()
+
+	if *scenar {
+		s := scenario.Churn(scenario.ChurnConfig{
+			Nodes:      *nodes,
+			ChurnPct:   *churn,
+			JoinPhaseS: 2000,
+			IntervalS:  400,
+			SettleS:    100,
+			DurationS:  *duration,
+		}, rng.New(*seed))
+		if err := s.Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := topology.ScaledTransitStub(*routers)
+	ts, err := topology.GenerateTransitStub(cfg, rng.New(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	g := ts.Graph
+	fmt.Printf("transit-stub topology: %d routers, %d links\n", g.NumRouters(), g.NumLinks())
+	fmt.Printf("  transit domains %d x %d routers, %d stubs/transit x %d routers\n",
+		cfg.TransitDomains, cfg.TransitPerDom, cfg.StubsPerTransit, cfg.StubSize)
+	fmt.Printf("  transit routers %d, stub routers %d, connected=%v\n",
+		len(ts.TransitIDs), len(ts.StubIDs), g.Connected())
+
+	var totalDelay float64
+	for _, l := range g.Links() {
+		totalDelay += l.DelayMS
+	}
+	fmt.Printf("  mean link delay %.2f ms\n", totalDelay/float64(g.NumLinks()))
+
+	if *links {
+		for _, l := range g.Links() {
+			fmt.Printf("  link %d: r%d - r%d  %.2f ms\n", l.ID, l.A, l.B, l.DelayMS)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command vdmlab runs one chapter-5-style emulation on the synthetic
+// PlanetLab through the lab front end: node-selection pipeline (figure
+// 5.2), Colorado source, pool sampling, full session, and the paper's
+// PlanetLab metrics — optionally with the sample tree of figures 5.5/5.6.
+//
+//	vdmlab -protocol vdm -nodes 100 -churn 10 -tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vdm/internal/lab"
+	"vdm/internal/sim"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "vdm", "vdm | hmtp | btp | nice | random")
+		nodes    = flag.Int("nodes", 100, "overlay population")
+		churn    = flag.Float64("churn", 10, "churn percent per interval")
+		degree   = flag.Int("degree", 4, "node degree")
+		refine   = flag.Float64("refine", 0, "VDM refinement period (s), 0 = off")
+		foster   = flag.Bool("foster", false, "VDM quick-start (foster join)")
+		duration = flag.Float64("duration", 5000, "session length (s)")
+		joinS    = flag.Float64("join", 2000, "join phase length (s)")
+		rate     = flag.Float64("rate", 10, "stream rate (chunks/s)")
+		seed     = flag.Int64("seed", 1, "seed")
+		usOnly   = flag.Bool("us", true, "restrict to US sites (paper setup)")
+		tree     = flag.Bool("tree", false, "print the final overlay tree")
+		dot      = flag.Bool("dot", false, "print the final tree as Graphviz DOT")
+		mstRatio = flag.Bool("mst", false, "compute tree/MST cost ratio")
+	)
+	flag.Parse()
+
+	res, err := lab.Run(lab.Config{
+		Seed:      *seed,
+		Protocol:  sim.ProtocolKind(*protocol),
+		Nodes:     *nodes,
+		Degree:    *degree,
+		ChurnPct:  *churn,
+		Refine:    *refine,
+		Foster:    *foster,
+		USOnly:    *usOnly,
+		Duration:  *duration,
+		JoinPhase: *joinS,
+		DataRate:  *rate,
+		MST:       *mstRatio,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("node selection: %s\n", res.Selection)
+	fmt.Printf("protocol=%s nodes=%d degree=%d churn=%.1f%%\n", *protocol, *nodes, *degree, *churn)
+	fmt.Printf("  startup     avg %.3fs max %.3fs\n", res.StartupAvg, res.StartupMax)
+	fmt.Printf("  reconnect   avg %.3fs max %.3fs (%d reconnections)\n", res.ReconnAvg, res.ReconnMax, res.ReconnCount)
+	fmt.Printf("  stretch     %.3f (min %.2f leaf %.2f max %.2f)\n", res.Stretch, res.MinStretch, res.LeafStretch, res.MaxStretch)
+	fmt.Printf("  hopcount    %.2f (leaf %.2f max %.0f)\n", res.Hopcount, res.LeafHopcount, res.MaxHopcount)
+	fmt.Printf("  usage       %.1f ms (normalized %.3f)\n", res.UsageMS, res.UsageNorm)
+	fmt.Printf("  loss        %.3f%%\n", res.Loss*100)
+	fmt.Printf("  overhead    %.4f\n", res.Overhead)
+	if *mstRatio {
+		fmt.Printf("  MST ratio   %.3f\n", res.MSTRatio)
+	}
+	fmt.Printf("  final       %d alive, %d reachable\n", res.FinalAlive, res.FinalReachable)
+
+	intra, inter, perRegion := lab.ClusterStats(res.Result)
+	fmt.Printf("  clustering  %d intra-region edges, %d cross-region (%s)\n",
+		intra, inter, strings.Join(lab.Regions(perRegion), " "))
+
+	if *tree {
+		fmt.Println("\nfinal overlay tree (indent = depth):")
+		fmt.Print(lab.RenderTree(res.Result))
+	}
+	if *dot {
+		fmt.Print(lab.DOT(res.Result))
+	}
+}

@@ -1,0 +1,50 @@
+package vdm_test
+
+import (
+	"fmt"
+	"log"
+
+	"vdm"
+)
+
+// ExampleRun builds a small VDM multicast tree under churn and reports the
+// paper's headline metrics.
+func ExampleRun() {
+	res, err := vdm.Run(vdm.Config{
+		Seed:       1,
+		Protocol:   vdm.ProtocolVDM,
+		Nodes:      60,
+		ChurnPct:   5,
+		JoinPhaseS: 600,
+		DurationS:  2000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reachable peers: %d\n", res.Reachable)
+	fmt.Printf("stretch below 4: %v\n", res.Stretch < 4)
+	fmt.Printf("loss below 1%%:   %v\n", res.Loss < 0.01)
+	// Output:
+	// reachable peers: 60
+	// stretch below 4: true
+	// loss below 1%:   true
+}
+
+// ExampleRun_lossAware builds the chapter-4 loss-optimized tree (VDM-L) on
+// a lossy underlay.
+func ExampleRun_lossAware() {
+	res, err := vdm.Run(vdm.Config{
+		Seed:        2,
+		Metric:      vdm.MetricLoss,
+		Nodes:       40,
+		JoinPhaseS:  400,
+		DurationS:   1200,
+		LinkLossMax: 0.02,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tree built over loss distances: %d peers reachable\n", res.Reachable)
+	// Output:
+	// tree built over loss distances: 40 peers reachable
+}

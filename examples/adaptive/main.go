@@ -1,0 +1,60 @@
+// Adaptive: everything the library adds around the core protocol in one
+// deployment-flavored scenario — bandwidth-derived degrees (heterogeneous
+// uplinks, the dissertation's future-work degree estimation), the
+// foster-join quick-start, and periodic refinement — compared against the
+// paper's plain configuration on the same churning audience.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdm"
+)
+
+func run(adaptive bool) *vdm.Result {
+	cfg := vdm.Config{
+		Seed:       5,
+		Protocol:   vdm.ProtocolVDM,
+		Nodes:      120,
+		ChurnPct:   8,
+		JoinPhaseS: 1000,
+		DurationS:  5000,
+		DataRate:   2,
+	}
+	if adaptive {
+		cfg.BandwidthDegrees = true // degree = uplink / stream bitrate
+		cfg.FosterJoin = true       // stream starts after one round trip
+		cfg.RefinePeriodS = 300     // adapt to churn-driven staleness
+	}
+	res, err := vdm.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("Plain VDM (paper setup) vs adaptive deployment profile")
+	fmt.Println("(bandwidth degrees + foster quick-start + 5-min refinement)")
+	plain := run(false)
+	adaptive := run(true)
+
+	fmt.Printf("\n%-18s %12s %12s\n", "", "plain", "adaptive")
+	row := func(name string, a, b float64, format string) {
+		fmt.Printf("%-18s %12s %12s\n", name, fmt.Sprintf(format, a), fmt.Sprintf(format, b))
+	}
+	row("startup (s)", plain.StartupAvg, adaptive.StartupAvg, "%.3f")
+	row("startup max (s)", plain.StartupMax, adaptive.StartupMax, "%.3f")
+	row("stretch", plain.Stretch, adaptive.Stretch, "%.2f")
+	row("hopcount", plain.Hopcount, adaptive.Hopcount, "%.2f")
+	row("loss %", plain.Loss*100, adaptive.Loss*100, "%.3f")
+	row("overhead %", plain.Overhead*100, adaptive.Overhead*100, "%.3f")
+	row("reconnect (s)", plain.ReconnAvg, adaptive.ReconnAvg, "%.3f")
+
+	fmt.Println("\nThe foster join turns startup into one round trip and, together")
+	fmt.Println("with refinement, cuts stream loss — traded against some stretch")
+	fmt.Println("(fostered peers settle for good-enough parents sooner) and the")
+	fmt.Println("refinement's control traffic. Heterogeneous degrees put capacity")
+	fmt.Println("where uplinks actually have it.")
+}

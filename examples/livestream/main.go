@@ -1,0 +1,51 @@
+// Livestream: the paper's motivating workload — a live video stream to a
+// churning audience. Runs VDM and HMTP over identical topologies and
+// scenarios and compares network efficiency and viewer experience, the
+// chapter-3 head-to-head.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdm"
+)
+
+func run(p vdm.Protocol, churn float64) *vdm.Result {
+	res, err := vdm.Run(vdm.Config{
+		Seed:       7,
+		Protocol:   p,
+		Nodes:      150,
+		ChurnPct:   churn,
+		JoinPhaseS: 1000,
+		DurationS:  5000,
+		DataRate:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	const churn = 7 // percent of the audience replaced per 400 s interval
+
+	fmt.Printf("Live stream to 150 churning viewers (%.0f%% churn per interval)\n\n", float64(churn))
+	fmt.Printf("%-22s %10s %10s\n", "", "VDM", "HMTP")
+	v := run(vdm.ProtocolVDM, churn)
+	h := run(vdm.ProtocolHMTP, churn)
+
+	row := func(name string, a, b float64, format string) {
+		fmt.Printf("%-22s %10s %10s\n", name, fmt.Sprintf(format, a), fmt.Sprintf(format, b))
+	}
+	row("stress", v.Stress, h.Stress, "%.2f")
+	row("stretch", v.Stretch, h.Stretch, "%.2f")
+	row("hopcount", v.Hopcount, h.Hopcount, "%.2f")
+	row("loss %", v.Loss*100, h.Loss*100, "%.3f")
+	row("overhead %", v.Overhead*100, h.Overhead*100, "%.3f")
+	row("startup (s)", v.StartupAvg, h.StartupAvg, "%.2f")
+	row("reconnect (s)", v.ReconnAvg, h.ReconnAvg, "%.2f")
+
+	fmt.Println("\nVDM's directional placement keeps the tree shallower (hopcount,")
+	fmt.Println("stretch) without HMTP's refinement messaging (overhead).")
+}

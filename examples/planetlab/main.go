@@ -1,0 +1,66 @@
+// Planetlab: a chapter-5-style session on the synthetic PlanetLab — US
+// sites, jittered RTTs, background loss, a Colorado source — with the
+// refinement component enabled and an MST comparison, printing the
+// geographically clustered sample tree of figures 5.5/5.6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"vdm"
+)
+
+func main() {
+	res, err := vdm.Run(vdm.Config{
+		Seed:          3,
+		Protocol:      vdm.ProtocolVDM,
+		Nodes:         60,
+		ChurnPct:      6,
+		JoinPhaseS:    1200,
+		DurationS:     4000,
+		DataRate:      10,
+		Underlay:      vdm.UnderlayPlanetLab,
+		USOnly:        true,
+		RefinePeriodS: 300, // the paper's 5-minute refinement
+		ComputeMST:    true,
+		DegreeMin:     4,
+		DegreeMax:     4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Synthetic-PlanetLab session — 60 US peers, degree 4, 5-min refinement")
+	fmt.Printf("  startup    avg %.2fs max %.2fs\n", res.StartupAvg, res.StartupMax)
+	fmt.Printf("  reconnect  avg %.2fs over %d parent departures\n", res.ReconnAvg, res.ReconnCount)
+	fmt.Printf("  stretch    %.2f   hopcount %.2f\n", res.Stretch, res.Hopcount)
+	fmt.Printf("  loss       %.2f%%  overhead %.4f\n", res.Loss*100, res.Overhead)
+	fmt.Printf("  tree cost / MST cost = %.2f\n", res.MSTRatio)
+
+	// Count edges that stay inside one region versus cross-region links:
+	// the clustering the paper observes on its sample trees.
+	intra, inter := 0, 0
+	for _, e := range res.Tree {
+		if region(e.ChildLabel) == region(e.ParentLabel) {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	fmt.Printf("\n%d intra-region edges, %d cross-region edges\n", intra, inter)
+	fmt.Println("\nsample tree (indent = depth):")
+	for _, e := range res.Tree {
+		fmt.Printf("  %s%s -> %s  (%.1f ms)\n",
+			strings.Repeat("  ", e.Depth-1), e.ParentLabel, e.ChildLabel, e.RTTms)
+	}
+}
+
+// region strips the per-site suffix from a label like "us-west-07".
+func region(label string) string {
+	if i := strings.LastIndex(label, "-"); i >= 0 {
+		return label[:i]
+	}
+	return label
+}

@@ -1,0 +1,3 @@
+module vdm
+
+go 1.22

@@ -1,0 +1,15 @@
+package core
+
+import "testing"
+
+func BenchmarkClassify(b *testing.B) {
+	triples := [][3]float64{
+		{25, 10, 15}, {6, 10, 4}, {8, 10, 18}, {10, 10, 10}, {40, 25, 16},
+	}
+	var sink Case
+	for i := 0; i < b.N; i++ {
+		t := triples[i%len(triples)]
+		sink = Classify(t[0], t[1], t[2], 0.85)
+	}
+	_ = sink
+}

@@ -1,0 +1,58 @@
+// Package core implements Virtual Direction Multicast (VDM), the paper's
+// contribution: an overlay multicast tree protocol that places peers on
+// virtual one-dimensional directions using only the three pairwise virtual
+// distances of (currently queried node S, one of its children C, newcomer
+// N), and connects peers that lie in the same direction.
+package core
+
+// Case is the outcome of the directionality test for one (S, C, N) triple.
+type Case int
+
+const (
+	// CaseNone: the triple is not collinear enough to define a
+	// direction, or C lies in the opposite direction (S between N and
+	// C) — the dissertation's Case I falls out when no child yields
+	// Case II or Case III.
+	CaseNone Case = iota
+	// CaseII: N lies between S and C — N splices in, becoming a child
+	// of S and the parent of C.
+	CaseII
+	// CaseIII: C lies between S and N — the join descends into C.
+	CaseIII
+)
+
+// DefaultGamma is the default collinearity threshold: a triple counts as
+// directional when its longest distance is at least γ times the sum of the
+// other two (exactly 1.0 on a perfect line, 0.5 at maximal detour).
+const DefaultGamma = 0.85
+
+// Classify runs the virtual-directionality test on a triple. dSN is the
+// distance from the queried node S to the newcomer N, dSC from S to its
+// child C, and dCN from C to N. gamma (0.5–1.0] controls how close to a
+// perfect line the triple must be; pass 0 for DefaultGamma.
+func Classify(dSN, dSC, dCN, gamma float64) Case {
+	if gamma <= 0 {
+		gamma = DefaultGamma
+	}
+	longest := dSN
+	if dSC > longest {
+		longest = dSC
+	}
+	if dCN > longest {
+		longest = dCN
+	}
+	rest := dSN + dSC + dCN - longest
+	if longest < gamma*rest {
+		return CaseNone
+	}
+	switch {
+	case dSN >= dSC && dSN >= dCN:
+		return CaseIII
+	case dSC >= dSN && dSC >= dCN:
+		return CaseII
+	default:
+		// dCN is strictly longest: S sits between N and C, so C points
+		// the wrong way.
+		return CaseNone
+	}
+}

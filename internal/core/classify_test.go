@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyPerfectLine(t *testing.T) {
+	// Hosts on a line at S=0, C=10, N: the three orderings of the
+	// dissertation's figure 3.1.
+	cases := []struct {
+		name          string
+		dSN, dSC, dCN float64
+		want          Case
+	}{
+		// N at 25: S—C—N, C between: descend (Case III).
+		{"C between S and N", 25, 10, 15, CaseIII},
+		// N at 6: S—N—C, N between: splice (Case II).
+		{"N between S and C", 6, 10, 4, CaseII},
+		// N at −8: N—S—C, S between: C is the wrong direction.
+		{"S between N and C", 8, 10, 18, CaseNone},
+	}
+	for _, c := range cases {
+		if got := Classify(c.dSN, c.dSC, c.dCN, 0); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyNonCollinearTriple(t *testing.T) {
+	// Equilateral-ish triangle: no direction at any reasonable γ.
+	if got := Classify(10, 10, 10, 0.85); got != CaseNone {
+		t.Fatalf("equilateral classified as %v", got)
+	}
+}
+
+func TestClassifyGammaControlsStrictness(t *testing.T) {
+	// Longest 16 vs sum-of-others 20: collinearity measure 0.8.
+	dSN, dSC, dCN := 16.0, 10.0, 10.0
+	if got := Classify(dSN, dSC, dCN, 0.75); got != CaseIII {
+		t.Fatalf("γ=0.75 should accept, got %v", got)
+	}
+	if got := Classify(dSN, dSC, dCN, 0.85); got != CaseNone {
+		t.Fatalf("γ=0.85 should reject, got %v", got)
+	}
+}
+
+func TestClassifyZeroGammaUsesDefault(t *testing.T) {
+	// Measure exactly between the default (0.85) and 1.
+	if Classify(18, 10, 10, 0) != CaseIII {
+		t.Fatal("default gamma rejected a 0.9-collinear triple")
+	}
+	if Classify(16, 10, 10, 0) != CaseNone {
+		t.Fatal("default gamma accepted a 0.8-collinear triple")
+	}
+}
+
+func TestClassifyCoLocatedChild(t *testing.T) {
+	// C essentially at N (dCN ≈ 0): descending into C is ideal.
+	if got := Classify(10, 10, 0.001, 0.85); got != CaseIII {
+		t.Fatalf("co-located child classified %v, want CaseIII", got)
+	}
+}
+
+func TestClassifyTieLongest(t *testing.T) {
+	// dSN == dSC, both longest: the CaseIII arm wins (descending is the
+	// protocol's preference anyway).
+	if got := Classify(10, 10, 1, 0.85); got != CaseIII {
+		t.Fatalf("tie classified %v", got)
+	}
+}
+
+// Property: classification is exhaustive and exclusive — exactly one of
+// {CaseII, CaseIII, CaseNone} — and invariant under scaling.
+func TestPropertyClassifyScaleInvariant(t *testing.T) {
+	f := func(a, b, c uint16, g uint8) bool {
+		dSN := float64(a%1000) + 0.1
+		dSC := float64(b%1000) + 0.1
+		dCN := float64(c%1000) + 0.1
+		gamma := 0.5 + float64(g%50)/100 // 0.5..0.99
+		got := Classify(dSN, dSC, dCN, gamma)
+		if got != CaseNone && got != CaseII && got != CaseIII {
+			return false
+		}
+		scaled := Classify(dSN*7, dSC*7, dCN*7, gamma)
+		return got == scaled
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on a metric triple (triangle inequality holds), Case II and
+// Case III are mutually exclusive with the wrong-direction arm — a triple
+// cannot simultaneously place N between S,C and C between S,N.
+func TestPropertyClassifyConsistentWithGeometry(t *testing.T) {
+	f := func(sx, sy, cx, cy, nx, ny int8) bool {
+		s := [2]float64{float64(sx), float64(sy)}
+		cc := [2]float64{float64(cx), float64(cy)}
+		n := [2]float64{float64(nx), float64(ny)}
+		d := func(p, q [2]float64) float64 {
+			return math.Hypot(p[0]-q[0], p[1]-q[1])
+		}
+		dSN, dSC, dCN := d(s, n), d(s, cc), d(cc, n)
+		if dSN == 0 || dSC == 0 || dCN == 0 {
+			return true // degenerate placements are out of scope
+		}
+		got := Classify(dSN, dSC, dCN, 0.95)
+		switch got {
+		case CaseII:
+			// N close to the S–C segment: its detour measure is high.
+			return dSC >= dSN && dSC >= dCN
+		case CaseIII:
+			return dSN >= dSC && dSN >= dCN
+		default:
+			return true
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"vdm/internal/overlay"
+)
+
+// purpose distinguishes why the join state machine is running: the initial
+// join, reconnection after a parent departure, or a refinement shadow
+// join.
+type purpose int
+
+const (
+	purposeJoin purpose = iota
+	purposeReconnect
+	purposeRefine
+)
+
+type stage int
+
+const (
+	stageInfo stage = iota
+	stageProbe
+	stageConn
+)
+
+// joinState is the per-attempt state of the iterative join procedure.
+type joinState struct {
+	purpose  purpose
+	stage    stage
+	token    int
+	target   overlay.NodeID
+	sentAt   float64
+	dTarget  float64
+	children []overlay.ChildInfo
+	dists    overlay.ProbeResult
+	visited  map[overlay.NodeID]bool
+	attempts int
+	adopt    []overlay.NodeID
+	// foster marks the quick-start attachment to the source; on
+	// acceptance the directional search runs as an immediate
+	// refinement.
+	foster bool
+}
+
+// Joining reports whether a join/reconnect/refine procedure is in flight.
+func (n *Node) Joining() bool { return n.join != nil }
+
+func (n *Node) begin(p purpose, target overlay.NodeID) {
+	n.beginWith(p, target, 0)
+}
+
+func (n *Node) beginWith(p purpose, target overlay.NodeID, attempts int) {
+	js := &joinState{
+		purpose:  p,
+		visited:  make(map[overlay.NodeID]bool),
+		dists:    make(overlay.ProbeResult),
+		attempts: attempts,
+	}
+	n.join = js
+	n.sendInfo(js, target)
+}
+
+// sendInfo queries target for its children — one iteration of the
+// dissertation's "Contact(S)".
+func (n *Node) sendInfo(js *joinState, target overlay.NodeID) {
+	js.stage = stageInfo
+	js.target = target
+	js.visited[target] = true
+	js.sentAt = n.Now()
+	n.token++
+	js.token = n.token
+	n.Net().Send(n.ID(), target, overlay.InfoRequest{Token: js.token})
+
+	tok := js.token
+	n.Net().Sim.After(n.InfoTimeoutS, func() {
+		if n.join == js && js.stage == stageInfo && js.token == tok {
+			n.onTargetUnusable(js)
+		}
+	})
+}
+
+// onTargetUnusable handles a dead or disconnected query target: an orphan
+// whose grandparent also departed falls back to the source; everything
+// else restarts.
+func (n *Node) onTargetUnusable(js *joinState) {
+	switch {
+	case js.purpose == purposeRefine:
+		n.join = nil
+		n.fosterRetry()
+	case js.purpose == purposeReconnect && js.target != n.Source():
+		n.sendInfo(js, n.Source())
+	default:
+		n.restart(js)
+	}
+}
+
+func (n *Node) onInfoResponse(from overlay.NodeID, m overlay.InfoResponse) {
+	js := n.join
+	if js == nil || js.stage != stageInfo || js.token != m.Token || js.target != from {
+		return
+	}
+	if !m.Connected && from != n.Source() {
+		n.onTargetUnusable(js)
+		return
+	}
+	js.dTarget = n.Measure(from, (n.Now()-js.sentAt)*1000)
+	js.dists[from] = js.dTarget
+
+	js.children = js.children[:0]
+	var ids []overlay.NodeID
+	for _, ci := range m.Children {
+		if ci.ID == n.ID() {
+			continue
+		}
+		js.children = append(js.children, ci)
+		ids = append(ids, ci.ID)
+	}
+	if len(ids) == 0 {
+		n.decide(js, nil)
+		return
+	}
+	js.stage = stageProbe
+	tok := js.token
+	n.Prober().Launch(ids, n.ProbeTimeoutS, func(res overlay.ProbeResult) {
+		if n.join == js && js.stage == stageProbe && js.token == tok {
+			for id, d := range res {
+				js.dists[id] = d
+			}
+			n.decide(js, res)
+		}
+	})
+}
+
+// decide runs the directionality test over the probed children of the
+// current target and advances the state machine: descend on Case III,
+// splice on Case II, attach on Case I.
+func (n *Node) decide(js *joinState, res overlay.ProbeResult) {
+	var case3, case2 []overlay.NodeID
+	for _, ci := range js.children {
+		d, ok := res[ci.ID]
+		if !ok {
+			continue // child did not answer: treat as departed
+		}
+		switch Classify(js.dTarget, ci.Dist, d, n.cfg.Gamma) {
+		case CaseIII:
+			if !js.visited[ci.ID] {
+				case3 = append(case3, ci.ID)
+			}
+		case CaseII:
+			case2 = append(case2, ci.ID)
+		}
+	}
+
+	if len(case3) > 0 {
+		// "Select closest of CaseIII, continue from closest one."
+		n.sendInfo(js, closestOf(case3, res))
+		return
+	}
+	if len(case2) > 0 && js.purpose != purposeRefine {
+		// "N is between S and D(1..n): connect as long as N allows."
+		adopt := sortByDist(case2, res)
+		if free := n.FreeDegree(); len(adopt) > free {
+			adopt = adopt[:free]
+		}
+		if len(adopt) > 0 {
+			n.connect(js, js.target, overlay.ConnSplice, adopt)
+			return
+		}
+	}
+	// Case I: no directional child — attach to the queried node itself.
+	n.connect(js, js.target, overlay.ConnChild, nil)
+}
+
+// connect issues the connection request, or ends a refinement that found
+// the current parent already optimal.
+func (n *Node) connect(js *joinState, to overlay.NodeID, kind overlay.ConnKind, adopt []overlay.NodeID) {
+	if js.purpose == purposeRefine {
+		if to == n.ParentID() && !n.fostered {
+			n.join = nil
+			return
+		}
+		// A fostered node sends a regular request even to its current
+		// (foster) parent: that is the promotion to a real slot.
+		n.BeginSwitch()
+	}
+	js.stage = stageConn
+	js.target = to
+	js.adopt = adopt
+	js.sentAt = n.Now()
+	n.token++
+	js.token = n.token
+	n.Net().Send(n.ID(), to, overlay.ConnRequest{
+		Token:  js.token,
+		Kind:   kind,
+		Dist:   n.distTo(js, to),
+		Adopt:  adopt,
+		Foster: js.foster && js.purpose == purposeJoin,
+	})
+
+	tok := js.token
+	n.Net().Sim.After(n.ConnTimeoutS, func() {
+		if n.join == js && js.stage == stageConn && js.token == tok {
+			if js.purpose == purposeRefine {
+				n.EndSwitch()
+				n.join = nil
+				n.fosterRetry()
+				return
+			}
+			n.restart(js)
+		}
+	})
+}
+
+func (n *Node) distTo(js *joinState, to overlay.NodeID) float64 {
+	if d, ok := js.dists[to]; ok {
+		return d
+	}
+	return js.dTarget
+}
+
+// connDist is the distance recorded at connection time: the probed value
+// when available, otherwise (foster quick-start) the round-trip of the
+// connection exchange itself.
+func (n *Node) connDist(js *joinState, from overlay.NodeID) float64 {
+	if d, ok := js.dists[from]; ok {
+		return d
+	}
+	if js.foster {
+		return n.Measure(from, (n.Now()-js.sentAt)*1000)
+	}
+	return js.dTarget
+}
+
+func (n *Node) onConnResponse(from overlay.NodeID, m overlay.ConnResponse) {
+	js := n.join
+	if js == nil || js.stage != stageConn || js.token != m.Token || js.target != from {
+		return
+	}
+	if m.Accepted {
+		dist := n.connDist(js, from)
+		if js.purpose == purposeRefine {
+			n.ApplySwitch(from, dist, m.RootPath)
+			n.EndSwitch()
+			n.join = nil
+			n.fostered = false // promoted or moved to a proper slot
+			return
+		}
+		n.ApplyConnect(from, dist, m.RootPath)
+		for _, c := range m.Adopted {
+			d, ok := js.dists[c]
+			if !ok {
+				d = dist
+			}
+			n.AdoptChild(c, d, from, js.token)
+		}
+		n.join = nil
+		if js.foster {
+			// Quick-start done; now find the ideal parent.
+			n.fostered = true
+			n.begin(purposeRefine, n.Source())
+		}
+		n.maybeScheduleRefine()
+		return
+	}
+
+	// Rejected (degree-saturated or loop-risk): fall back to the closest
+	// unvisited child of the rejecting node, descending a level.
+	if js.purpose == purposeRefine {
+		n.EndSwitch()
+		if !n.fostered {
+			n.join = nil
+			return
+		}
+		// A fostered node must leave its beyond-degree slot eventually:
+		// keep searching past the saturated candidate instead of
+		// aborting the refinement.
+	}
+	if js.foster {
+		// The source refused even a foster slot: run the regular
+		// directional join.
+		n.begin(purposeJoin, n.Source())
+		return
+	}
+	var cands []overlay.NodeID
+	for _, ci := range m.Children {
+		if ci.ID != n.ID() && !js.visited[ci.ID] {
+			cands = append(cands, ci.ID)
+		}
+	}
+	if len(cands) == 0 {
+		n.restart(js)
+		return
+	}
+	if allMeasured(cands, js.dists) {
+		n.sendInfo(js, closestOf(cands, js.dists))
+		return
+	}
+	js.stage = stageProbe
+	n.token++
+	js.token = n.token
+	tok := js.token
+	n.Prober().Launch(cands, n.ProbeTimeoutS, func(res overlay.ProbeResult) {
+		if n.join != js || js.stage != stageProbe || js.token != tok {
+			return
+		}
+		for id, d := range res {
+			js.dists[id] = d
+		}
+		best, ok := closestIn(cands, js.dists)
+		if !ok {
+			n.restart(js)
+			return
+		}
+		n.sendInfo(js, best)
+	})
+}
+
+// restart begins the whole join over from the source, backing off after
+// too many consecutive failures (e.g. a churn storm).
+func (n *Node) restart(js *joinState) {
+	attempts := js.attempts + 1
+	n.join = nil
+	if js.purpose == purposeRefine {
+		n.fosterRetry()
+		return
+	}
+	if attempts >= n.cfg.MaxAttempts {
+		n.Net().Sim.After(n.cfg.RetryBackoffS, func() {
+			if n.Alive() && !n.Connected() && n.join == nil {
+				n.beginWith(js.purpose, n.Source(), 0)
+			}
+		})
+		return
+	}
+	n.beginWith(js.purpose, n.Source(), attempts)
+}
+
+func closestOf(ids []overlay.NodeID, dists overlay.ProbeResult) overlay.NodeID {
+	best, _ := closestIn(ids, dists)
+	return best
+}
+
+func closestIn(ids []overlay.NodeID, dists overlay.ProbeResult) (overlay.NodeID, bool) {
+	best := overlay.None
+	bd := 0.0
+	for _, id := range ids {
+		d, ok := dists[id]
+		if !ok {
+			continue
+		}
+		if best == overlay.None || d < bd || (d == bd && id < best) {
+			best, bd = id, d
+		}
+	}
+	return best, best != overlay.None
+}
+
+func allMeasured(ids []overlay.NodeID, dists overlay.ProbeResult) bool {
+	for _, id := range ids {
+		if _, ok := dists[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// sortByDist returns ids ordered by ascending measured distance
+// (insertion sort: the lists are tiny), breaking ties by id.
+func sortByDist(ids []overlay.NodeID, dists overlay.ProbeResult) []overlay.NodeID {
+	out := append([]overlay.NodeID(nil), ids...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			dj, dp := dists[out[j]], dists[out[j-1]]
+			if dj < dp || (dj == dp && out[j] < out[j-1]) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"vdm/internal/overlay"
+	"vdm/internal/rng"
+)
+
+// Config tunes a VDM node.
+type Config struct {
+	// Gamma is the collinearity threshold of the directionality test;
+	// zero selects DefaultGamma.
+	Gamma float64
+	// RefinePeriodS enables the optional periodic refinement (a shadow
+	// join from the source followed by a parent switch if a better
+	// parent emerged); zero disables it, matching the paper's regular
+	// experiments.
+	RefinePeriodS float64
+	// MaxAttempts bounds join restarts before backing off; zero selects
+	// 5.
+	MaxAttempts int
+	// RetryBackoffS is the pause before retrying after MaxAttempts
+	// failed join attempts; zero selects 5 s.
+	RetryBackoffS float64
+	// ReconnectAtSource disables the grandparent-first recovery and
+	// restarts every reconnection at the source — the ablation that
+	// quantifies what the paper's local-repair rule buys.
+	ReconnectAtSource bool
+	// FosterJoin enables the quick-start the dissertation describes for
+	// HMTP ("a node connects root at the beginning to start stream
+	// immediately; then it jumps to ideal parent when it is found"):
+	// the newcomer attaches to the source right away and the regular
+	// directional search runs as an immediate refinement.
+	FosterJoin bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Gamma <= 0 {
+		c.Gamma = DefaultGamma
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.RetryBackoffS <= 0 {
+		c.RetryBackoffS = 5
+	}
+	return c
+}
+
+// Node is one VDM peer: the shared overlay peer base plus VDM's join,
+// reconnection and refinement state machines.
+type Node struct {
+	*overlay.Peer
+	cfg   Config
+	rnd   *rng.Stream
+	join  *joinState
+	token int
+
+	refineArmed bool
+	// fostered marks a quick-start attachment that still occupies a
+	// beyond-degree foster slot; the node keeps searching until it has
+	// promoted itself or moved to a proper parent.
+	fostered bool
+}
+
+// Fostered reports whether the node currently sits in a foster slot.
+func (n *Node) Fostered() bool { return n.fostered }
+
+// fosterRetry re-runs the directional search while the node still holds a
+// foster slot (e.g. every proper candidate was briefly saturated).
+func (n *Node) fosterRetry() {
+	if !n.fostered {
+		return
+	}
+	n.Net().Sim.After(5, func() {
+		if n.Alive() && n.fostered && n.Connected() && n.join == nil {
+			n.begin(purposeRefine, n.Source())
+		}
+	})
+}
+
+var _ overlay.Protocol = (*Node)(nil)
+
+// New builds a VDM node over the given network. rnd jitters refinement
+// timers (it may be nil when refinement is disabled).
+func New(net *overlay.Network, pc overlay.PeerConfig, cfg Config, rnd *rng.Stream) *Node {
+	n := &Node{
+		Peer: overlay.NewPeer(net, pc),
+		cfg:  cfg.withDefaults(),
+		rnd:  rnd,
+	}
+	n.Peer.SetHooks(n)
+	return n
+}
+
+// Base returns the shared peer state.
+func (n *Node) Base() *overlay.Peer { return n.Peer }
+
+// StartJoin begins the join procedure at the source. With FosterJoin the
+// node first attaches directly to the source (or, if the source is full,
+// proceeds normally) so the stream starts flowing while the directional
+// search runs.
+func (n *Node) StartJoin() {
+	if n.IsSource() || !n.Alive() {
+		return
+	}
+	n.MarkJoinStart()
+	if n.cfg.FosterJoin {
+		js := &joinState{
+			purpose: purposeJoin,
+			foster:  true,
+			visited: make(map[overlay.NodeID]bool),
+			dists:   make(overlay.ProbeResult),
+		}
+		n.join = js
+		n.connect(js, n.Source(), overlay.ConnChild, nil)
+		return
+	}
+	n.begin(purposeJoin, n.Source())
+}
+
+// HandleProtocol consumes the join-procedure responses.
+func (n *Node) HandleProtocol(from overlay.NodeID, m overlay.Message) {
+	switch msg := m.(type) {
+	case overlay.InfoResponse:
+		n.onInfoResponse(from, msg)
+	case overlay.ConnResponse:
+		n.onConnResponse(from, msg)
+	}
+}
+
+// OnOrphaned starts reconnection at the grandparent, falling back to the
+// source when the grandparent is unknown (or turns out to have departed
+// too, which the info timeout detects).
+func (n *Node) OnOrphaned(leaver, hint overlay.NodeID) {
+	if n.join != nil && n.join.purpose == purposeRefine {
+		// Abandon the in-flight refinement; reconnection has priority.
+		n.EndSwitch()
+		n.join = nil
+	}
+	start := hint
+	if n.cfg.ReconnectAtSource || start == overlay.None || start == leaver || start == n.ID() {
+		start = n.Source()
+	}
+	n.begin(purposeReconnect, start)
+}
+
+// maybeScheduleRefine arms the periodic refinement timer once, after the
+// first successful connection.
+func (n *Node) maybeScheduleRefine() {
+	if n.cfg.RefinePeriodS <= 0 || n.refineArmed {
+		return
+	}
+	n.refineArmed = true
+	n.scheduleRefine()
+}
+
+func (n *Node) scheduleRefine() {
+	period := n.cfg.RefinePeriodS
+	if n.rnd != nil {
+		period *= n.rnd.Uniform(0.9, 1.1)
+	}
+	n.Net().Sim.After(period, func() {
+		if !n.Alive() {
+			return
+		}
+		if n.Connected() && n.join == nil && !n.Switching() {
+			n.begin(purposeRefine, n.Source())
+		}
+		n.scheduleRefine()
+	})
+}

@@ -1,0 +1,30 @@
+package eventq
+
+import "testing"
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.At(float64(j%97), func() {})
+		}
+		s.Run(100)
+	}
+}
+
+func BenchmarkSelfRescheduling(b *testing.B) {
+	s := New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		s.After(1, tick)
+	}
+	s.At(0, tick)
+	b.ResetTimer()
+	s.Run(float64(b.N))
+	if n < b.N {
+		b.Fatalf("ticked %d < %d", n, b.N)
+	}
+}

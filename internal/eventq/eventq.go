@@ -1,0 +1,119 @@
+// Package eventq implements the discrete-event scheduler that drives every
+// simulation and emulation in this repository.
+//
+// Time is virtual and measured in seconds (float64). Events scheduled for
+// the same instant fire in scheduling order, which — together with seeded
+// random streams — makes every run fully deterministic.
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulator.
+// The zero value is not usable; call New.
+type Sim struct {
+	now       float64
+	seq       uint64
+	events    eventHeap
+	processed uint64
+	stopped   bool
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Sim {
+	return &Sim{}
+}
+
+// Now reports the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Processed reports how many events have fired so far.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute virtual time t.
+// Scheduling in the past panics: that is always a protocol bug.
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Sim) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Stop aborts a Run in progress after the current event returns.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run fires events in timestamp order until the queue is empty or the next
+// event is later than until. The clock is left at the time of the last
+// fired event (or at until if the queue drained earlier than until).
+func (s *Sim) Run(until float64) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		next := s.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = next.at
+		s.processed++
+		next.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Drain runs every remaining event regardless of timestamp.
+func (s *Sim) Drain() {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		next := heap.Pop(&s.events).(*event)
+		s.now = next.at
+		s.processed++
+		next.fn()
+	}
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"vdm/internal/lab"
+	"vdm/internal/sim"
+)
+
+func init() {
+	register("ablation-gamma", []string{"A.1"}, runAblationGamma)
+	register("ablation-refine", []string{"A.2"}, runAblationRefine)
+	register("ablation-reconnect", []string{"A.3"}, runAblationReconnect)
+	register("ablation-baselines", []string{"A.4"}, runAblationBaselines)
+	register("ablation-foster", []string{"A.5"}, runAblationFoster)
+	register("ablation-bwdegree", []string{"A.6"}, runAblationBWDegree)
+	register("ablation-dcmst", []string{"A.7"}, runAblationDCMST)
+	register("ablation-churnmodel", []string{"A.8"}, runAblationChurnModel)
+}
+
+// runAblationChurnModel compares the paper's synchronized interval churn
+// (10% of the population replaced every 400 s) with an exponential-
+// lifetime model of the same per-node turnover rate (mean lifetime
+// 4000 s): burstiness is the variable, not volume.
+func runAblationChurnModel(o Options) ([]*Table, error) {
+	cols := []string{"interval", "lifetime"}
+	tb := &Table{
+		ID: "A.8", Title: "Churn model at equal turnover (1=interval bursts, 2=exponential lifetimes)",
+		XLabel: "model", Columns: []string{"loss%", "reconn_s", "stretch", "overhead%"},
+	}
+	for vi := range cols {
+		c := newCell()
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := ch3Base(o)
+			cfg.Protocol = sim.VDM
+			if vi == 0 {
+				cfg.ChurnPct = 10
+			} else {
+				cfg.MeanLifetimeS = 4000
+			}
+			cfg.Seed = o.repSeed(740, rep)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			o.Progress("ablation-churnmodel %s rep=%d loss=%.3f%%", cols[vi], rep, res.Loss*100)
+			c.add("loss%", res.Loss*100)
+			c.add("reconn_s", res.ReconnAvg)
+			c.add("stretch", res.Stretch)
+			c.add("overhead%", res.Overhead*100)
+		}
+		tb.Points = append(tb.Points, c.point(float64(vi+1)))
+	}
+	return []*Table{tb}, nil
+}
+
+// runAblationDCMST re-reads figure 5.31 against the fairer yardstick: a
+// degree-limited overlay cannot reach the unconstrained MST, so the
+// interesting gap is to the degree-constrained spanning-tree heuristic.
+func runAblationDCMST(o Options) ([]*Table, error) {
+	sizes := []float64{10, 20, 30, 40, 50}
+	tb := &Table{
+		ID: "A.7", Title: "VDM tree cost vs MST and degree-constrained MST (degree 4)",
+		XLabel: "nodes", Columns: []string{"vs-MST", "vs-DCMST"},
+	}
+	for xi, n := range sizes {
+		c := newCell()
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := ch5Base(o)
+			cfg.Protocol = sim.VDM
+			cfg.Nodes = int(n)
+			cfg.ChurnPct = 0
+			cfg.Degree = 4
+			cfg.MST = true
+			cfg.Seed = o.repSeed(720+xi, rep)
+			res, err := lab.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			o.Progress("ablation-dcmst n=%g rep=%d mst=%.2f dcmst=%.2f", n, rep, res.MSTRatio, res.DCMSTRatio)
+			c.add("vs-MST", res.MSTRatio)
+			c.add("vs-DCMST", res.DCMSTRatio)
+		}
+		tb.Points = append(tb.Points, c.point(n))
+	}
+	return []*Table{tb}, nil
+}
+
+// runAblationBWDegree compares the paper's uniform degree draw against the
+// future-work bandwidth-derived degrees: heterogeneous capacities (some
+// degree-1 stragglers, some degree-8 hubs) versus the uniform [2,5] mix.
+func runAblationBWDegree(o Options) ([]*Table, error) {
+	cols := []string{"uniform[2,5]", "bandwidth"}
+	tb := &Table{ID: "A.6", Title: "Degree assignment: uniform vs bandwidth-derived", XLabel: "variant (1=uniform, 2=bandwidth)", Columns: []string{"stretch", "hopcount", "loss%", "maxhop"}}
+	for vi, bw := range []bool{false, true} {
+		c := newCell()
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := ch3Base(o)
+			cfg.Protocol = sim.VDM
+			cfg.ChurnPct = 5
+			cfg.DegreeFromBandwidth = bw
+			cfg.Seed = o.repSeed(700, rep)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			o.Progress("ablation-bwdegree %s rep=%d stretch=%.2f", cols[vi], rep, res.Stretch)
+			c.add("stretch", res.Stretch)
+			c.add("hopcount", res.Hopcount)
+			c.add("loss%", res.Loss*100)
+			c.add("maxhop", res.MaxHopcount)
+		}
+		tb.Points = append(tb.Points, c.point(float64(vi+1)))
+	}
+	return []*Table{tb}, nil
+}
+
+// runAblationFoster measures the foster-join quick-start: startup time
+// should collapse to roughly one round trip while tree quality stays
+// unchanged (the directional search still runs, as a refinement).
+func runAblationFoster(o Options) ([]*Table, error) {
+	cols := []string{"VDM", "VDM-foster"}
+	t1 := &Table{ID: "A.5", Title: "Startup time (s): regular vs foster join", XLabel: "churn (%)", Columns: cols}
+	t2 := &Table{ID: "A.5b", Title: "Stretch: regular vs foster join", XLabel: "churn (%)", Columns: cols}
+	t3 := &Table{ID: "A.5c", Title: "Loss (%): regular vs foster join", XLabel: "churn (%)", Columns: cols}
+	for ci, churn := range []float64{2, 10} {
+		c1, c2, c3 := newCell(), newCell(), newCell()
+		for vi, foster := range []bool{false, true} {
+			name := cols[vi]
+			for rep := 0; rep < o.Reps; rep++ {
+				cfg := ch5Base(o)
+				cfg.Protocol = sim.VDM
+				cfg.ChurnPct = churn
+				cfg.Foster = foster
+				cfg.Seed = o.repSeed(680+ci, rep)
+				res, err := lab.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				o.Progress("ablation-foster churn=%g %s rep=%d startup=%.3fs", churn, name, rep, res.StartupAvg)
+				c1.add(name, res.StartupAvg)
+				c2.add(name, res.Stretch)
+				c3.add(name, res.Loss*100)
+			}
+		}
+		t1.Points = append(t1.Points, c1.point(churn))
+		t2.Points = append(t2.Points, c2.point(churn))
+		t3.Points = append(t3.Points, c3.point(churn))
+	}
+	return []*Table{t1, t2, t3}, nil
+}
+
+// runAblationGamma sweeps the collinearity threshold γ of the
+// directionality test — the one free parameter the dissertation leaves
+// implicit. Small γ declares almost every triple directional (aggressive
+// descent, deeper trees); γ→1 degenerates toward "connect to the source's
+// vicinity".
+func runAblationGamma(o Options) ([]*Table, error) {
+	gammas := []float64{0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.99}
+	cols := []string{"stress", "stretch", "hopcount", "overhead"}
+	tb := &Table{ID: "A.1", Title: "VDM metrics vs. collinearity threshold γ", XLabel: "gamma", Columns: cols}
+	for gi, g := range gammas {
+		c := newCell()
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := ch3Base(o)
+			cfg.Protocol = sim.VDM
+			cfg.ChurnPct = 5
+			cfg.Gamma = g
+			cfg.Seed = o.repSeed(600+gi, rep)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			o.Progress("ablation-gamma g=%g rep=%d stretch=%.2f", g, rep, res.Stretch)
+			c.add("stress", res.Stress)
+			c.add("stretch", res.Stretch)
+			c.add("hopcount", res.Hopcount)
+			c.add("overhead", res.Overhead*100)
+		}
+		tb.Points = append(tb.Points, c.point(g))
+	}
+	return []*Table{tb}, nil
+}
+
+// runAblationRefine sweeps VDM's optional refinement period: the
+// stretch/overhead trade-off behind the paper's "frequency of refinement
+// should be chosen carefully" remark.
+func runAblationRefine(o Options) ([]*Table, error) {
+	periods := []float64{60, 120, 300, 600}
+	cols := []string{"stretch", "hopcount", "overhead"}
+	tb := &Table{ID: "A.2", Title: "VDM-R trade-off vs. refinement period (s)", XLabel: "period (s)", Columns: cols}
+	for pi, per := range periods {
+		c := newCell()
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := ch5Base(o)
+			cfg.Protocol = sim.VDM
+			cfg.Nodes = 50
+			cfg.ChurnPct = 10
+			cfg.Refine = per
+			cfg.Seed = o.repSeed(620+pi, rep)
+			res, err := lab.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			o.Progress("ablation-refine period=%g rep=%d overhead=%.3f", per, rep, res.Overhead)
+			c.add("stretch", res.Stretch)
+			c.add("hopcount", res.Hopcount)
+			c.add("overhead", res.Overhead)
+		}
+		tb.Points = append(tb.Points, c.point(per))
+	}
+	return []*Table{tb}, nil
+}
+
+// runAblationReconnect compares grandparent-first recovery (the paper's
+// rule) against restarting every reconnection at the source.
+func runAblationReconnect(o Options) ([]*Table, error) {
+	churns := []float64{5, 10}
+	cols := []string{"grandparent", "source"}
+	t1 := &Table{ID: "A.3", Title: "Reconnection time (s): grandparent-first vs source-only", XLabel: "churn (%)", Columns: cols}
+	t2 := &Table{ID: "A.3b", Title: "Loss rate (%): grandparent-first vs source-only", XLabel: "churn (%)", Columns: cols}
+	for ci, churn := range churns {
+		c1, c2 := newCell(), newCell()
+		for vi, atSource := range []bool{false, true} {
+			name := cols[vi]
+			for rep := 0; rep < o.Reps; rep++ {
+				cfg := ch5Base(o)
+				cfg.Protocol = sim.VDM
+				cfg.ChurnPct = churn
+				cfg.ReconnSrc = atSource
+				cfg.Seed = o.repSeed(640+ci, rep)
+				res, err := lab.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				o.Progress("ablation-reconnect churn=%g %s rep=%d reconn=%.2fs", churn, name, rep, res.ReconnAvg)
+				c1.add(name, res.ReconnAvg)
+				c2.add(name, res.Loss*100)
+			}
+		}
+		t1.Points = append(t1.Points, c1.point(churn))
+		t2.Points = append(t2.Points, c2.point(churn))
+	}
+	return []*Table{t1, t2}, nil
+}
+
+// runAblationBaselines places VDM on the baseline spectrum: HMTP
+// (closest-child descent), BTP (root attach + sibling switch), and an
+// uninformed random join.
+func runAblationBaselines(o Options) ([]*Table, error) {
+	protos := []sim.ProtocolKind{sim.VDM, sim.HMTP, sim.BTP, sim.NICE, sim.Random}
+	cols := []string{"stress", "stretch", "hopcount", "loss%", "overhead%"}
+	tb := &Table{ID: "A.4", Title: "Protocol spectrum at 5% churn (x = protocol index: 1 VDM, 2 HMTP, 3 BTP, 4 NICE, 5 Random)", XLabel: "protocol", Columns: cols}
+	for pi, proto := range protos {
+		c := newCell()
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := ch3Base(o)
+			cfg.Protocol = proto
+			cfg.ChurnPct = 5
+			cfg.Seed = o.repSeed(660, rep) // identical scenarios across protocols
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			o.Progress("ablation-baselines %s rep=%d stretch=%.2f", protoLabel(proto), rep, res.Stretch)
+			c.add("stress", res.Stress)
+			c.add("stretch", res.Stretch)
+			c.add("hopcount", res.Hopcount)
+			c.add("loss%", res.Loss*100)
+			c.add("overhead%", res.Overhead*100)
+		}
+		tb.Points = append(tb.Points, c.point(float64(pi+1)))
+	}
+	return []*Table{tb}, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"vdm/internal/sim"
+)
+
+func init() {
+	register("ch4-time", []string{"4.6", "4.7", "4.8", "4.9"}, runCh4Time)
+}
+
+// runCh4Time reproduces figures 4.6–4.9: the generalized virtual distance.
+// Every physical link carries a random error rate in [0, 2%]; 50 nodes
+// join per 500-second interval (no churn) and the tree is measured after
+// every batch. VDM-D builds the tree over delay distances, VDM-L over
+// loss distances; VDM-L should win on loss and pay for it in stress and
+// stretch.
+func runCh4Time(o Options) ([]*Table, error) {
+	metricsUnder := []struct {
+		name   string
+		metric string
+	}{
+		{"VDM-D", "delay"},
+		{"VDM-L", "loss"},
+	}
+	batches := 10
+	batchSize := 50
+	intervalS := 500 * o.TimeScale
+
+	tables := []*Table{
+		{ID: "4.6", Title: "Stress vs. Time (VDM-D vs VDM-L)", XLabel: "time (s)", Columns: []string{"VDM-D", "VDM-L"}},
+		{ID: "4.7", Title: "Stretch vs. Time (VDM-D vs VDM-L)", XLabel: "time (s)", Columns: []string{"VDM-D", "VDM-L"}},
+		{ID: "4.8", Title: "Loss rate (%) vs. Time (VDM-D vs VDM-L)", XLabel: "time (s)", Columns: []string{"VDM-D", "VDM-L"}},
+		{ID: "4.9", Title: "Overhead (%) vs. Time (VDM-D vs VDM-L)", XLabel: "time (s)", Columns: []string{"VDM-D", "VDM-L"}},
+	}
+	cells := make([][]*cell, batches) // per sample index, per table
+	for i := range cells {
+		cells[i] = []*cell{newCell(), newCell(), newCell(), newCell()}
+	}
+
+	for mi, mu := range metricsUnder {
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := sim.Config{
+				Protocol:    sim.VDM,
+				Metric:      mu.metric,
+				Nodes:       batches * batchSize,
+				BatchSize:   batchSize,
+				IntervalS:   intervalS,
+				SettleS:     50 * o.TimeScale,
+				SpreadS:     100 * o.TimeScale,
+				DegreeMin:   2,
+				DegreeMax:   5,
+				DataRate:    1 * o.RateScale,
+				Underlay:    sim.Router,
+				RouterMin:   784,
+				LinkLossMax: 0.02,
+				Seed:        o.repSeed(300+mi, rep),
+			}
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			o.Progress("ch4-time metric=%s rep=%d final loss=%.3f", mu.name, rep, res.Loss)
+			for si, sample := range res.Samples {
+				if si >= batches {
+					break
+				}
+				cells[si][0].add(mu.name, sample.Tree.Stress)
+				cells[si][1].add(mu.name, sample.Tree.Stretch)
+				cells[si][2].add(mu.name, sample.Loss*100)
+				cells[si][3].add(mu.name, sample.Overhead*100)
+			}
+		}
+	}
+	for si := 0; si < batches; si++ {
+		x := float64(si+1) * intervalS
+		for ti, tb := range tables {
+			tb.Points = append(tb.Points, cells[si][ti].point(x))
+		}
+	}
+	return tables, nil
+}

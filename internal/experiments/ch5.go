@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"vdm/internal/lab"
+	"vdm/internal/sim"
+)
+
+// ch5Base is the chapter-5 synthetic-PlanetLab setup, run through the lab
+// front end (node-selection pipeline, Colorado source, pool sampling):
+// 100 US nodes, fixed degree 4, 5000-second sessions with a 2000-second
+// join phase and churn during the remaining 3000 seconds, a 10-chunks/s
+// stream, HMTP refinement every 30 seconds.
+func ch5Base(o Options) lab.Config {
+	cfg := lab.Config{
+		Nodes:     100,
+		Degree:    4,
+		USOnly:    true,
+		JoinPhase: 2000 * o.TimeScale,
+		Duration:  5000 * o.TimeScale,
+		DataRate:  10 * o.RateScale,
+	}
+	if cfg.Duration < cfg.JoinPhase+500 {
+		cfg.Duration = cfg.JoinPhase + 500
+	}
+	return cfg
+}
+
+func init() {
+	register("ch5-churn", []string{"5.7", "5.8", "5.9", "5.10", "5.11", "5.12", "5.13"}, runCh5Churn)
+	register("ch5-nodes", []string{"5.14", "5.15", "5.16", "5.17", "5.18", "5.19", "5.20"}, runCh5Nodes)
+	register("ch5-degree", []string{"5.21", "5.22", "5.23", "5.24", "5.25", "5.26", "5.27"}, runCh5Degree)
+	register("ch5-refine", []string{"5.28", "5.29", "5.30"}, runCh5Refine)
+	register("ch5-mst", []string{"5.31"}, runCh5MST)
+}
+
+// runCh5Churn reproduces figures 5.7–5.13: the seven PlanetLab metrics
+// versus churn rate for VDM and HMTP.
+func runCh5Churn(o Options) ([]*Table, error) {
+	churns := []float64{2, 4, 6, 8, 10}
+	protos := []sim.ProtocolKind{sim.VDM, sim.HMTP}
+	cols := []string{"VDM", "HMTP"}
+	tables := []*Table{
+		{ID: "5.7", Title: "Startup Time (s) vs. Churn Rate", XLabel: "churn (%)", Columns: cols},
+		{ID: "5.8", Title: "Reconnection Time (s) vs. Churn Rate", XLabel: "churn (%)", Columns: cols},
+		{ID: "5.9", Title: "Stretch vs. Churn Rate", XLabel: "churn (%)", Columns: cols},
+		{ID: "5.10", Title: "Hopcount vs. Churn Rate", XLabel: "churn (%)", Columns: cols},
+		{ID: "5.11", Title: "Resource usage vs. Churn Rate", XLabel: "churn (%)", Columns: cols},
+		{ID: "5.12", Title: "Loss Rate (%) vs. Churn Rate", XLabel: "churn (%)", Columns: cols},
+		{ID: "5.13", Title: "Overhead vs. Churn Rate", XLabel: "churn (%)", Columns: cols},
+	}
+	for ci, churn := range churns {
+		cells := make([]*cell, len(tables))
+		for i := range cells {
+			cells[i] = newCell()
+		}
+		for pi, proto := range protos {
+			name := protoLabel(proto)
+			for rep := 0; rep < o.Reps; rep++ {
+				cfg := ch5Base(o)
+				cfg.Protocol = proto
+				cfg.ChurnPct = churn
+				cfg.Seed = o.repSeed(400+ci*10+pi, rep)
+				res, err := lab.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				o.Progress("ch5-churn churn=%g proto=%s rep=%d startup=%.2fs", churn, name, rep, res.StartupAvg)
+				cells[0].add(name, res.StartupAvg)
+				cells[1].add(name, res.ReconnAvg)
+				cells[2].add(name, res.Stretch)
+				cells[3].add(name, res.Hopcount)
+				cells[4].add(name, res.UsageNorm)
+				cells[5].add(name, res.Loss*100)
+				cells[6].add(name, res.Overhead)
+			}
+		}
+		for ti, tb := range tables {
+			tb.Points = append(tb.Points, cells[ti].point(churn))
+		}
+	}
+	return tables, nil
+}
+
+// ch5VDMSweep runs the VDM-only chapter-5 sweeps (figures 5.14–5.27):
+// per sweep value it reports avg/max startup and reconnection time,
+// min/avg/leaf/max stretch, avg/leaf/max hopcount, usage, loss, overhead.
+func ch5VDMSweep(o Options, idBase int, figPrefix []string, xlabel string,
+	xs []float64, apply func(cfg *lab.Config, x float64)) ([]*Table, error) {
+
+	tables := []*Table{
+		{ID: figPrefix[0], Title: "Startup Time (s) vs. " + xlabel, XLabel: xlabel, Columns: []string{"avg", "max"}},
+		{ID: figPrefix[1], Title: "Reconnection Time (s) vs. " + xlabel, XLabel: xlabel, Columns: []string{"avg", "max"}},
+		{ID: figPrefix[2], Title: "Stretch vs. " + xlabel, XLabel: xlabel, Columns: []string{"min", "avg", "leaf-avg", "max"}},
+		{ID: figPrefix[3], Title: "Hopcount vs. " + xlabel, XLabel: xlabel, Columns: []string{"avg", "leaf-avg", "max"}},
+		{ID: figPrefix[4], Title: "Resource Usage (total edge RTT, s) vs. " + xlabel, XLabel: xlabel, Columns: []string{"avg"}},
+		{ID: figPrefix[5], Title: "Loss Rate (%) vs. " + xlabel, XLabel: xlabel, Columns: []string{"avg"}},
+		{ID: figPrefix[6], Title: "Overhead vs. " + xlabel, XLabel: xlabel, Columns: []string{"avg"}},
+	}
+	for xi, x := range xs {
+		cells := make([]*cell, len(tables))
+		for i := range cells {
+			cells[i] = newCell()
+		}
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := ch5Base(o)
+			cfg.Protocol = sim.VDM
+			cfg.ChurnPct = 10
+			apply(&cfg, x)
+			cfg.Seed = o.repSeed(idBase+xi, rep)
+			res, err := lab.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			o.Progress("ch5 sweep %s=%g rep=%d stretch=%.2f hop=%.2f", xlabel, x, rep, res.Stretch, res.Hopcount)
+			cells[0].add("avg", res.StartupAvg)
+			cells[0].add("max", res.StartupMax)
+			cells[1].add("avg", res.ReconnAvg)
+			cells[1].add("max", res.ReconnMax)
+			cells[2].add("min", res.MinStretch)
+			cells[2].add("avg", res.Stretch)
+			cells[2].add("leaf-avg", res.LeafStretch)
+			cells[2].add("max", res.MaxStretch)
+			cells[3].add("avg", res.Hopcount)
+			cells[3].add("leaf-avg", res.LeafHopcount)
+			cells[3].add("max", res.MaxHopcount)
+			// The paper plots the (normalized) *total* used-link length,
+			// which grows with N; normalizing by the unicast-star cost
+			// would cancel that growth, so the sweeps report the raw
+			// total in seconds.
+			cells[4].add("avg", res.UsageMS/1000)
+			cells[5].add("avg", res.Loss*100)
+			cells[6].add("avg", res.Overhead)
+		}
+		for ti, tb := range tables {
+			tb.Points = append(tb.Points, cells[ti].point(x))
+		}
+	}
+	return tables, nil
+}
+
+// runCh5Nodes reproduces figures 5.14–5.20 (VDM versus overlay size).
+func runCh5Nodes(o Options) ([]*Table, error) {
+	return ch5VDMSweep(o, 500,
+		[]string{"5.14", "5.15", "5.16", "5.17", "5.18", "5.19", "5.20"},
+		"Number Of Nodes", []float64{20, 40, 60, 80, 100},
+		func(cfg *lab.Config, x float64) { cfg.Nodes = int(x) })
+}
+
+// runCh5Degree reproduces figures 5.21–5.27 (VDM versus node degree).
+func runCh5Degree(o Options) ([]*Table, error) {
+	return ch5VDMSweep(o, 520,
+		[]string{"5.21", "5.22", "5.23", "5.24", "5.25", "5.26", "5.27"},
+		"Node Degree", []float64{2, 3, 4, 5, 6, 7, 8},
+		func(cfg *lab.Config, x float64) { cfg.Degree = int(x) })
+}
+
+// runCh5Refine reproduces figures 5.28–5.30: what the 5-minute refinement
+// component buys (stretch, hopcount) and costs (overhead).
+func runCh5Refine(o Options) ([]*Table, error) {
+	sizes := []float64{10, 20, 30, 40, 50}
+	cols := []string{"VDM", "VDM-R"}
+	tables := []*Table{
+		{ID: "5.28", Title: "Stretch with/without Refinement", XLabel: "nodes", Columns: cols},
+		{ID: "5.29", Title: "Hopcount with/without Refinement", XLabel: "nodes", Columns: cols},
+		{ID: "5.30", Title: "Overhead cost of Refinement", XLabel: "nodes", Columns: cols},
+	}
+	for xi, n := range sizes {
+		cells := []*cell{newCell(), newCell(), newCell()}
+		for vi, refine := range []float64{0, 300} {
+			name := cols[vi]
+			for rep := 0; rep < o.Reps; rep++ {
+				cfg := ch5Base(o)
+				cfg.Protocol = sim.VDM
+				cfg.Nodes = int(n)
+				cfg.ChurnPct = 10
+				cfg.Refine = refine
+				cfg.Seed = o.repSeed(540+xi, rep) // same seeds for both variants
+				res, err := lab.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				o.Progress("ch5-refine n=%g %s rep=%d stretch=%.2f overhead=%.3f", n, name, rep, res.Stretch, res.Overhead)
+				cells[0].add(name, res.Stretch)
+				cells[1].add(name, res.Hopcount)
+				cells[2].add(name, res.Overhead)
+			}
+		}
+		for ti, tb := range tables {
+			tb.Points = append(tb.Points, cells[ti].point(n))
+		}
+	}
+	return tables, nil
+}
+
+// runCh5MST reproduces figure 5.31: how far the VDM tree sits from the
+// minimum spanning tree as the overlay grows (degree limits lifted, as in
+// the paper).
+func runCh5MST(o Options) ([]*Table, error) {
+	sizes := []float64{10, 20, 30, 40, 50}
+	tables := []*Table{
+		{ID: "5.31", Title: "Tree cost / MST cost", XLabel: "nodes", Columns: []string{"VDM"}},
+	}
+	for xi, n := range sizes {
+		c := newCell()
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := ch5Base(o)
+			cfg.Protocol = sim.VDM
+			cfg.Nodes = int(n)
+			cfg.ChurnPct = 0
+			cfg.Degree = 64
+			cfg.MST = true
+			cfg.Seed = o.repSeed(560+xi, rep)
+			res, err := lab.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			o.Progress("ch5-mst n=%g rep=%d ratio=%.2f", n, rep, res.MSTRatio)
+			c.add("VDM", res.MSTRatio)
+		}
+		tables[0].Points = append(tables[0].Points, c.point(n))
+	}
+	return tables, nil
+}

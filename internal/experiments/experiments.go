@@ -1,0 +1,177 @@
+// Package experiments defines one reproducible experiment per figure of
+// the paper's evaluation chapters. Each experiment runs a matrix of
+// sessions (sweep value × protocol × repetition), aggregates repetitions
+// into means with 90% confidence intervals — the paper's reporting style —
+// and renders the series the figure plots.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vdm/internal/stats"
+)
+
+// Options scale an experiment run. The paper's full scale (32 repetitions,
+// 10000-second sessions) takes hours; TimeScale and Reps trade precision
+// for wall-clock without changing the shapes.
+type Options struct {
+	Seed int64
+	// Reps is the repetitions per matrix cell; zero selects 5.
+	Reps int
+	// TimeScale multiplies session durations and join phases
+	// (1 = the paper's timings); zero selects 1.
+	TimeScale float64
+	// RateScale multiplies the data chunk rate; zero selects 1.
+	RateScale float64
+	// Progress, when non-nil, receives one line per finished session.
+	Progress func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Reps <= 0 {
+		o.Reps = 5
+	}
+	if o.TimeScale <= 0 {
+		o.TimeScale = 1
+	}
+	if o.RateScale <= 0 {
+		o.RateScale = 1
+	}
+	if o.Progress == nil {
+		o.Progress = func(string, ...any) {}
+	}
+	return o
+}
+
+// repSeed derives a distinct seed per matrix cell and repetition.
+func (o Options) repSeed(cell, rep int) int64 {
+	return o.Seed + int64(cell)*1_000_003 + int64(rep)*7_919
+}
+
+// Point is one x-value of a figure with one summarized y-value per series.
+type Point struct {
+	X      float64
+	Series map[string]stats.Summary
+}
+
+// Table is the data behind one figure.
+type Table struct {
+	ID      string // figure number, e.g. "3.25"
+	Title   string
+	XLabel  string
+	Columns []string
+	Points  []Point
+}
+
+// Format renders the table as aligned text with mean±CI90 cells.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s — %s\n", t.ID, t.Title)
+	header := []string{t.XLabel}
+	header = append(header, t.Columns...)
+	rows := [][]string{header}
+	for _, p := range t.Points {
+		row := []string{trimFloat(p.X)}
+		for _, c := range t.Columns {
+			s, ok := p.Series[c]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			if s.CI90 > 0 {
+				row = append(row, fmt.Sprintf("%.4g ±%.2g", s.Mean, s.CI90))
+			} else {
+				row = append(row, fmt.Sprintf("%.4g", s.Mean))
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			b.WriteString(strings.Repeat("-", sum(widths)+2*len(widths)))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.4g", x)
+	return s
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Runner executes one experiment group and returns its figures' tables.
+type Runner func(Options) ([]*Table, error)
+
+// registry maps experiment group names to runners; figIndex maps a figure
+// id to its group.
+var (
+	registry = map[string]Runner{}
+	figIndex = map[string]string{}
+	order    []string
+)
+
+func register(group string, figs []string, r Runner) {
+	registry[group] = r
+	order = append(order, group)
+	for _, f := range figs {
+		figIndex[f] = group
+	}
+}
+
+// Groups lists the experiment groups in registration order.
+func Groups() []string { return append([]string(nil), order...) }
+
+// GroupFor resolves a figure id ("5.9") to its experiment group.
+func GroupFor(fig string) (string, bool) {
+	g, ok := figIndex[fig]
+	return g, ok
+}
+
+// Run executes the named experiment group.
+func Run(group string, o Options) ([]*Table, error) {
+	r, ok := registry[group]
+	if !ok {
+		names := Groups()
+		sort.Strings(names)
+		return nil, fmt.Errorf("experiments: unknown group %q (have %s)", group, strings.Join(names, ", "))
+	}
+	return r(o.withDefaults())
+}
+
+// collect turns per-rep observations into a Point series map.
+type cell struct{ acc *stats.Accumulator }
+
+func newCell() *cell { return &cell{acc: stats.NewAccumulator()} }
+
+func (c *cell) add(series string, v float64) { c.acc.Add(series, v) }
+
+func (c *cell) point(x float64) Point {
+	p := Point{X: x, Series: map[string]stats.Summary{}}
+	for _, name := range c.acc.Names() {
+		p.Series[name] = c.acc.Summary(name)
+	}
+	return p
+}

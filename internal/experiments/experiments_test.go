@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vdm/internal/stats"
+)
+
+// tinyOpts shrinks an experiment far enough to run in a unit test.
+func tinyOpts() Options {
+	return Options{Seed: 1, Reps: 1, TimeScale: 0.06, RateScale: 0.3}
+}
+
+func TestRegistryCoversEveryFigure(t *testing.T) {
+	groups := Groups()
+	if len(groups) < 10 {
+		t.Fatalf("only %d experiment groups registered", len(groups))
+	}
+	// Every evaluation figure of the paper resolves to a group.
+	figs := []string{
+		"3.25", "3.26", "3.27", "3.28", "3.29", "3.30", "3.31", "3.32",
+		"3.33", "3.34", "3.35", "3.36",
+		"4.6", "4.7", "4.8", "4.9",
+		"5.7", "5.8", "5.9", "5.10", "5.11", "5.12", "5.13",
+		"5.14", "5.15", "5.16", "5.17", "5.18", "5.19", "5.20",
+		"5.21", "5.22", "5.23", "5.24", "5.25", "5.26", "5.27",
+		"5.28", "5.29", "5.30", "5.31",
+	}
+	for _, f := range figs {
+		if _, ok := GroupFor(f); !ok {
+			t.Errorf("figure %s not covered by any experiment group", f)
+		}
+	}
+}
+
+func TestRunUnknownGroup(t *testing.T) {
+	if _, err := Run("nope", tinyOpts()); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestRunCh3ChurnTiny(t *testing.T) {
+	tables, err := Run("ch3-churn", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("tables = %d, want 4", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Points) != 5 {
+			t.Fatalf("%s: points = %d, want 5 churn values", tb.ID, len(tb.Points))
+		}
+		for _, p := range tb.Points {
+			for _, col := range tb.Columns {
+				s, ok := p.Series[col]
+				if !ok {
+					t.Fatalf("%s: missing series %s at x=%v", tb.ID, col, p.X)
+				}
+				if s.N != 1 {
+					t.Fatalf("%s: %d reps recorded, want 1", tb.ID, s.N)
+				}
+			}
+		}
+	}
+	// Stress (3.25) must be ≥ 1 for both protocols at every point.
+	for _, p := range tables[0].Points {
+		for _, col := range tables[0].Columns {
+			if p.Series[col].Mean < 1 {
+				t.Fatalf("stress %v < 1", p.Series[col].Mean)
+			}
+		}
+	}
+}
+
+func TestRunCh5MSTTiny(t *testing.T) {
+	tables, err := Run("ch5-mst", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "5.31" {
+		t.Fatalf("unexpected tables %v", tables)
+	}
+	for _, p := range tables[0].Points {
+		if r := p.Series["VDM"].Mean; r < 1-1e-9 || r > 5 {
+			t.Fatalf("MST ratio %v implausible", r)
+		}
+	}
+}
+
+func TestRunAblationGammaTiny(t *testing.T) {
+	tables, err := Run("ablation-gamma", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Points) != 7 {
+		t.Fatalf("unexpected gamma table shape: %d tables", len(tables))
+	}
+	for _, p := range tables[0].Points {
+		if p.Series["stress"].Mean < 1 {
+			t.Fatalf("stress %v < 1 at gamma %v", p.Series["stress"].Mean, p.X)
+		}
+		if p.Series["hopcount"].Mean < 1 {
+			t.Fatalf("hopcount %v < 1", p.Series["hopcount"].Mean)
+		}
+	}
+}
+
+func TestRunCh5RefineTiny(t *testing.T) {
+	tables, err := Run("ch5-refine", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d, want 3 (stretch, hopcount, overhead)", len(tables))
+	}
+	// Refinement costs overhead at every size (figure 5.30's message).
+	for _, p := range tables[2].Points {
+		plain := p.Series["VDM"].Mean
+		refined := p.Series["VDM-R"].Mean
+		if refined < plain {
+			t.Fatalf("refinement overhead %v below plain %v at n=%v", refined, plain, p.X)
+		}
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := &Table{
+		ID:      "9.9",
+		Title:   "Demo",
+		XLabel:  "x",
+		Columns: []string{"a", "b"},
+		Points: []Point{
+			{X: 1, Series: map[string]stats.Summary{
+				"a": {Mean: 1.5, CI90: 0.25, N: 5},
+			}},
+		},
+	}
+	out := tb.Format()
+	if !strings.Contains(out, "Figure 9.9") || !strings.Contains(out, "Demo") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.5 ±0.25") {
+		t.Fatalf("mean±CI cell missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-") { // absent series renders as dash
+		t.Fatalf("missing-series dash absent:\n%s", out)
+	}
+}
+
+func TestOptionsRepSeedsDistinct(t *testing.T) {
+	o := Options{Seed: 5}
+	seen := map[int64]bool{}
+	for cell := 0; cell < 20; cell++ {
+		for rep := 0; rep < 8; rep++ {
+			s := o.repSeed(cell, rep)
+			if seen[s] {
+				t.Fatalf("seed collision at cell %d rep %d", cell, rep)
+			}
+			seen[s] = true
+		}
+	}
+}

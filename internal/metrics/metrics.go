@@ -1,0 +1,226 @@
+// Package metrics computes the paper's evaluation metrics from a snapshot
+// of the overlay tree and the underlay beneath it: stress, stretch, hop
+// count, and resource usage come from the tree shape; loss, overhead,
+// startup and reconnection times are assembled by the session runner from
+// peer statistics and network counters.
+package metrics
+
+import (
+	"fmt"
+
+	"vdm/internal/overlay"
+	"vdm/internal/stats"
+	"vdm/internal/underlay"
+)
+
+// TreeSnapshot summarizes the overlay tree at one measurement instant.
+type TreeSnapshot struct {
+	// Stress is the average number of identical copies of a chunk
+	// crossing each used physical link (always 1 for IP multicast).
+	// Zero when the underlay has no router model.
+	Stress    float64
+	MaxStress float64
+
+	// Stretch is the ratio of the overlay source→peer delay to the
+	// direct unicast delay, averaged over reachable peers.
+	Stretch     float64
+	MinStretch  float64
+	MaxStretch  float64
+	LeafStretch float64 // average over leaf peers only
+
+	// Hopcount is the overlay tree depth, averaged over reachable
+	// peers.
+	Hopcount     float64
+	LeafHopcount float64
+	MaxHopcount  float64
+
+	// UsageMS is the summed base RTT of every overlay tree edge (ms) —
+	// the paper's "resource usage". UsageNorm divides by the summed
+	// direct source→peer RTT, i.e. the cost of a unicast star.
+	UsageMS   float64
+	UsageNorm float64
+
+	// Population accounting.
+	Alive     int // peers alive (excluding the source)
+	Reachable int // peers whose tree path reaches the source
+	Orphans   int // alive peers currently without a parent
+}
+
+// Collect computes a TreeSnapshot for the given peers (the source must be
+// among views) over underlay u.
+func Collect(views []overlay.TreeView, source overlay.NodeID, u underlay.Underlay) TreeSnapshot {
+	byID := make(map[overlay.NodeID]overlay.TreeView, len(views))
+	for _, v := range views {
+		byID[v.ID()] = v
+	}
+	var snap TreeSnapshot
+	var stretches, leafStretches, hops, leafHops []float64
+	linkStress := make(map[int]int)
+	directSum := 0.0
+
+	for _, v := range views {
+		if v.IsSource() {
+			continue
+		}
+		snap.Alive++
+		if v.ParentID() == overlay.None {
+			snap.Orphans++
+			continue
+		}
+		// Walk to the source, accumulating overlay path delay and hops.
+		delay, hopN, reached := 0.0, 0, false
+		cur := v
+		for steps := 0; steps <= len(views); steps++ {
+			p := cur.ParentID()
+			if p == overlay.None {
+				break
+			}
+			delay += u.BaseRTT(int(cur.ID()), int(p))
+			hopN++
+			pv, ok := byID[p]
+			if !ok {
+				break
+			}
+			if p == source {
+				reached = true
+				break
+			}
+			cur = pv
+		}
+		if !reached {
+			continue
+		}
+		snap.Reachable++
+
+		// The peer's own edge contributes to stress and usage.
+		pid := v.ParentID()
+		edgeRTT := u.BaseRTT(int(v.ID()), int(pid))
+		snap.UsageMS += edgeRTT
+		for _, l := range u.PathLinks(int(v.ID()), int(pid)) {
+			linkStress[int(l)]++
+		}
+
+		direct := u.BaseRTT(int(source), int(v.ID()))
+		directSum += direct
+		isLeaf := len(v.ChildIDs()) == 0
+		if direct > 0 {
+			s := delay / direct
+			stretches = append(stretches, s)
+			if isLeaf {
+				leafStretches = append(leafStretches, s)
+			}
+		}
+		hops = append(hops, float64(hopN))
+		if isLeaf {
+			leafHops = append(leafHops, float64(hopN))
+		}
+	}
+
+	if len(linkStress) > 0 {
+		sum, maxS := 0, 0
+		for _, c := range linkStress {
+			sum += c
+			if c > maxS {
+				maxS = c
+			}
+		}
+		snap.Stress = float64(sum) / float64(len(linkStress))
+		snap.MaxStress = float64(maxS)
+	}
+	snap.Stretch = stats.Mean(stretches)
+	snap.MinStretch = stats.Min(stretches)
+	snap.MaxStretch = stats.Max(stretches)
+	snap.LeafStretch = stats.Mean(leafStretches)
+	snap.Hopcount = stats.Mean(hops)
+	snap.LeafHopcount = stats.Mean(leafHops)
+	snap.MaxHopcount = stats.Max(hops)
+	if directSum > 0 {
+		snap.UsageNorm = snap.UsageMS / directSum
+	}
+	return snap
+}
+
+// ReachableSet returns the ids of the source plus every peer whose parent
+// chain reaches the source — the vertex set MST comparisons run over.
+func ReachableSet(views []overlay.TreeView, source overlay.NodeID) []overlay.NodeID {
+	byID := make(map[overlay.NodeID]overlay.TreeView, len(views))
+	for _, v := range views {
+		byID[v.ID()] = v
+	}
+	out := []overlay.NodeID{source}
+	for _, v := range views {
+		if v.IsSource() || v.ParentID() == overlay.None {
+			continue
+		}
+		cur, reached := v, false
+		for steps := 0; steps <= len(views); steps++ {
+			p := cur.ParentID()
+			if p == overlay.None {
+				break
+			}
+			if p == source {
+				reached = true
+				break
+			}
+			pv, ok := byID[p]
+			if !ok {
+				break
+			}
+			cur = pv
+		}
+		if reached {
+			out = append(out, v.ID())
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the overlay tree and
+// returns a description of every violation: parent/child symmetry, degree
+// limits, acyclicity, and reachability bookkeeping. Sessions run it at
+// every measurement point in tests.
+func Validate(views []overlay.TreeView, source overlay.NodeID, maxDegree func(overlay.NodeID) int) []string {
+	byID := make(map[overlay.NodeID]overlay.TreeView, len(views))
+	for _, v := range views {
+		byID[v.ID()] = v
+	}
+	var errs []string
+	for _, v := range views {
+		id := v.ID()
+		if md := maxDegree(id); len(v.ChildIDs()) > md {
+			errs = append(errs, fmt.Sprintf("node %d has %d children, degree limit %d", id, len(v.ChildIDs()), md))
+		}
+		for _, c := range v.ChildIDs() {
+			cv, ok := byID[c]
+			if !ok {
+				continue // child departed; the data plane will reap it
+			}
+			if cv.ParentID() != id {
+				errs = append(errs, fmt.Sprintf("child %d of %d has parent %d", c, id, cv.ParentID()))
+			}
+		}
+		if p := v.ParentID(); p != overlay.None {
+			if v.IsSource() {
+				errs = append(errs, fmt.Sprintf("source %d has parent %d", id, p))
+			}
+			if p == id {
+				errs = append(errs, fmt.Sprintf("node %d is its own parent", id))
+			}
+		}
+		// Cycle check: the parent chain must terminate within |views|
+		// steps.
+		cur, steps := v, 0
+		for cur.ParentID() != overlay.None && steps <= len(views) {
+			pv, ok := byID[cur.ParentID()]
+			if !ok {
+				break
+			}
+			cur = pv
+			steps++
+		}
+		if steps > len(views) {
+			errs = append(errs, fmt.Sprintf("cycle through node %d", id))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vdm/internal/overlay"
+	"vdm/internal/topology"
+	"vdm/internal/underlay"
+)
+
+// fakeView is a hand-built TreeView for collector tests.
+type fakeView struct {
+	id       overlay.NodeID
+	parent   overlay.NodeID
+	children []overlay.NodeID
+	source   bool
+}
+
+func (f *fakeView) ID() overlay.NodeID         { return f.id }
+func (f *fakeView) ParentID() overlay.NodeID   { return f.parent }
+func (f *fakeView) ChildIDs() []overlay.NodeID { return f.children }
+func (f *fakeView) Connected() bool            { return f.source || f.parent != overlay.None }
+func (f *fakeView) IsSource() bool             { return f.source }
+
+// chain builds source(0) -> 1 -> 2 with RTTs 10 and 20; direct 0-2 is 25.
+func chainFixture() ([]overlay.TreeView, *underlay.Static) {
+	u := underlay.NewStatic([][]float64{
+		{0, 10, 25},
+		{10, 0, 20},
+		{25, 20, 0},
+	})
+	views := []overlay.TreeView{
+		&fakeView{id: 0, parent: overlay.None, children: []overlay.NodeID{1}, source: true},
+		&fakeView{id: 1, parent: 0, children: []overlay.NodeID{2}},
+		&fakeView{id: 2, parent: 1},
+	}
+	return views, u
+}
+
+func TestCollectChainStretchHopUsage(t *testing.T) {
+	views, u := chainFixture()
+	snap := Collect(views, 0, u)
+	if snap.Alive != 2 || snap.Reachable != 2 || snap.Orphans != 0 {
+		t.Fatalf("population: %+v", snap)
+	}
+	// Node 1: overlay delay 10, direct 10 → stretch 1.
+	// Node 2: overlay delay 30, direct 25 → stretch 1.2.
+	if math.Abs(snap.Stretch-1.1) > 1e-9 {
+		t.Fatalf("stretch = %v, want 1.1", snap.Stretch)
+	}
+	if snap.MinStretch != 1 || math.Abs(snap.MaxStretch-1.2) > 1e-9 {
+		t.Fatalf("min/max stretch %v/%v", snap.MinStretch, snap.MaxStretch)
+	}
+	// Leaf is node 2 only.
+	if math.Abs(snap.LeafStretch-1.2) > 1e-9 {
+		t.Fatalf("leaf stretch %v", snap.LeafStretch)
+	}
+	if snap.Hopcount != 1.5 || snap.MaxHopcount != 2 || snap.LeafHopcount != 2 {
+		t.Fatalf("hopcounts %v/%v/%v", snap.Hopcount, snap.LeafHopcount, snap.MaxHopcount)
+	}
+	if snap.UsageMS != 30 {
+		t.Fatalf("usage = %v, want 30", snap.UsageMS)
+	}
+	if math.Abs(snap.UsageNorm-30.0/35.0) > 1e-9 {
+		t.Fatalf("usage norm = %v", snap.UsageNorm)
+	}
+	// No router model → stress undefined (0).
+	if snap.Stress != 0 {
+		t.Fatalf("stress = %v without router model", snap.Stress)
+	}
+}
+
+func TestCollectCountsOrphansAndUnreachable(t *testing.T) {
+	u := underlay.NewStatic([][]float64{
+		{0, 10, 10, 10},
+		{10, 0, 10, 10},
+		{10, 10, 0, 10},
+		{10, 10, 10, 0},
+	})
+	views := []overlay.TreeView{
+		&fakeView{id: 0, parent: overlay.None, source: true},
+		&fakeView{id: 1, parent: overlay.None}, // orphan
+		&fakeView{id: 2, parent: 3},            // parent departed (not in views)... but 3 is below
+		&fakeView{id: 3, parent: overlay.None}, // orphan: 2 hangs off it, unreachable
+	}
+	snap := Collect(views, 0, u)
+	if snap.Alive != 3 {
+		t.Fatalf("alive = %d", snap.Alive)
+	}
+	if snap.Orphans != 2 {
+		t.Fatalf("orphans = %d", snap.Orphans)
+	}
+	if snap.Reachable != 0 {
+		t.Fatalf("reachable = %d", snap.Reachable)
+	}
+}
+
+// newPathGraph builds the smallest router underlay by hand:
+// r0 - r1 - r2 in a line (5 ms links).
+func newPathGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph(3)
+	if _, err := g.AddLink(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddLink(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestCollectStressCountsSharedLinks checks the stress metric on a router
+// underlay: hosts 0@r0 (source), 1@r2 and 2@r2 — both overlay edges cross
+// both physical links.
+func TestCollectStressCountsSharedLinks(t *testing.T) {
+	g := newPathGraph(t)
+	u := underlay.NewRouter(g, []topology.RouterID{0, 2, 2})
+	views := []overlay.TreeView{
+		&fakeView{id: 0, parent: overlay.None, children: []overlay.NodeID{1, 2}, source: true},
+		&fakeView{id: 1, parent: 0},
+		&fakeView{id: 2, parent: 0},
+	}
+	snap := Collect(views, 0, u)
+	// Both overlay edges 0-1 and 0-2 cross both physical links: stress 2
+	// on each of the two links.
+	if snap.Stress != 2 || snap.MaxStress != 2 {
+		t.Fatalf("stress = %v max %v, want 2/2", snap.Stress, snap.MaxStress)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	deg := func(overlay.NodeID) int { return 2 }
+
+	// Asymmetric parent/child.
+	views := []overlay.TreeView{
+		&fakeView{id: 0, parent: overlay.None, children: []overlay.NodeID{1}, source: true},
+		&fakeView{id: 1, parent: 0, children: []overlay.NodeID{2}},
+		&fakeView{id: 2, parent: 0}, // claims parent 0, but is child of 1
+	}
+	errs := Validate(views, 0, deg)
+	if len(errs) == 0 || !strings.Contains(errs[0], "has parent") {
+		t.Fatalf("asymmetry not caught: %v", errs)
+	}
+
+	// Degree violation.
+	views = []overlay.TreeView{
+		&fakeView{id: 0, parent: overlay.None, children: []overlay.NodeID{1, 2, 3}, source: true},
+		&fakeView{id: 1, parent: 0},
+		&fakeView{id: 2, parent: 0},
+		&fakeView{id: 3, parent: 0},
+	}
+	if errs := Validate(views, 0, deg); len(errs) == 0 {
+		t.Fatal("degree violation not caught")
+	}
+
+	// Cycle.
+	views = []overlay.TreeView{
+		&fakeView{id: 0, parent: overlay.None, source: true},
+		&fakeView{id: 1, parent: 2, children: []overlay.NodeID{2}},
+		&fakeView{id: 2, parent: 1, children: []overlay.NodeID{1}},
+	}
+	found := false
+	for _, e := range Validate(views, 0, deg) {
+		if strings.Contains(e, "cycle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cycle not caught")
+	}
+
+	// Source with a parent.
+	views = []overlay.TreeView{
+		&fakeView{id: 0, parent: 1, source: true},
+		&fakeView{id: 1, parent: overlay.None, children: []overlay.NodeID{0}},
+	}
+	found = false
+	for _, e := range Validate(views, 0, deg) {
+		if strings.Contains(e, "source") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("source parent not caught")
+	}
+}
+
+func TestValidateCleanTree(t *testing.T) {
+	views, _ := chainFixture()
+	if errs := Validate(views, 0, func(overlay.NodeID) int { return 3 }); len(errs) != 0 {
+		t.Fatalf("clean tree flagged: %v", errs)
+	}
+}
+
+func TestReachableSet(t *testing.T) {
+	views := []overlay.TreeView{
+		&fakeView{id: 0, parent: overlay.None, children: []overlay.NodeID{1}, source: true},
+		&fakeView{id: 1, parent: 0, children: []overlay.NodeID{2}},
+		&fakeView{id: 2, parent: 1},
+		&fakeView{id: 3, parent: overlay.None}, // orphan
+	}
+	got := ReachableSet(views, 0)
+	if len(got) != 3 {
+		t.Fatalf("reachable set %v", got)
+	}
+	want := map[overlay.NodeID]bool{0: true, 1: true, 2: true}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("unexpected id %d in reachable set", id)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package mst
+
+import (
+	"testing"
+
+	"vdm/internal/rng"
+)
+
+func benchMatrix(n int) [][]float64 {
+	rnd := rng.New(3)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := rnd.Uniform(1, 100)
+			m[i][j], m[j][i] = c, c
+		}
+	}
+	return m
+}
+
+func BenchmarkPrim200(b *testing.B) {
+	m := benchMatrix(200)
+	cost := func(i, j int) float64 { return m[i][j] }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Prim(200, cost)
+	}
+}

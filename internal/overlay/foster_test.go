@@ -1,0 +1,147 @@
+package overlay
+
+import "testing"
+
+func TestFosterSlotBypassesDegree(t *testing.T) {
+	r := newRig(t, uniformRTT(4, 20))
+	s := r.addPeer(0, 1, true) // degree 1
+	a := r.addPeer(1, 1, false)
+	b := r.addPeer(2, 1, false)
+	_ = a
+	r.net.Send(1, 0, ConnRequest{Token: 1, Kind: ConnChild, Dist: 20})
+	r.sim.Run(1)
+	if s.FreeDegree() != 0 {
+		t.Fatal("precondition: source full")
+	}
+	// A regular request is refused, a foster request is granted.
+	r.net.Send(2, 0, ConnRequest{Token: 2, Kind: ConnChild, Dist: 20})
+	r.sim.Run(2)
+	for _, m := range b.protocolMsgs {
+		if cr, ok := m.(ConnResponse); ok && cr.Token == 2 && cr.Accepted {
+			t.Fatal("regular request accepted beyond degree")
+		}
+	}
+	r.net.Send(2, 0, ConnRequest{Token: 3, Kind: ConnChild, Dist: 20, Foster: true})
+	r.sim.Run(3)
+	ok := false
+	for _, m := range b.protocolMsgs {
+		if cr, okc := m.(ConnResponse); okc && cr.Token == 3 && cr.Accepted {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatal("foster request refused")
+	}
+	if got := s.FosterIDs(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("fosters %v", got)
+	}
+	if len(s.ChildIDs()) != 1 {
+		t.Fatalf("regular children %v changed", s.ChildIDs())
+	}
+}
+
+func TestFosterExcludedFromInfoResponse(t *testing.T) {
+	r := newRig(t, uniformRTT(4, 20))
+	s := r.addPeer(0, 2, true)
+	r.addPeer(1, 2, false)
+	w := r.addPeer(3, 2, false)
+	s.Peer.children[2] = 10
+	s.Peer.fosters[1] = 15
+
+	r.net.Send(3, 0, InfoRequest{Token: 9})
+	r.sim.Run(1)
+	var ir *InfoResponse
+	for _, m := range w.protocolMsgs {
+		if v, ok := m.(InfoResponse); ok {
+			ir = &v
+		}
+	}
+	if ir == nil {
+		t.Fatal("no response")
+	}
+	if len(ir.Children) != 1 || ir.Children[0].ID != 2 {
+		t.Fatalf("children %v should not include fosters", ir.Children)
+	}
+	if ir.Free != 1 {
+		t.Fatalf("free degree %d should ignore fosters", ir.Free)
+	}
+}
+
+func TestFosterReceivesDataAndPathUpdates(t *testing.T) {
+	r := newRig(t, uniformRTT(3, 20))
+	s := r.addPeer(0, 1, true)
+	f := r.addPeer(1, 1, false)
+	s.Peer.fosters[1] = 20
+	f.ApplyConnect(0, 20, []NodeID{})
+
+	s.EmitChunk(0)
+	s.EmitChunk(1)
+	r.sim.Run(1)
+	if f.Stats().Received != 2 {
+		t.Fatalf("foster received %d chunks", f.Stats().Received)
+	}
+	s.setRootPath(nil)
+	r.sim.Run(2)
+	if got := f.RootPath(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("foster root path %v", got)
+	}
+}
+
+func TestFosterPromotionNeedsFreeDegree(t *testing.T) {
+	r := newRig(t, uniformRTT(4, 20))
+	s := r.addPeer(0, 1, true)
+	r.addPeer(1, 1, false)
+	f := r.addPeer(2, 1, false)
+	s.Peer.children[1] = 20
+	s.Peer.fosters[2] = 20
+
+	// Full: promotion refused, foster slot kept.
+	r.net.Send(2, 0, ConnRequest{Token: 5, Kind: ConnChild, Dist: 20})
+	r.sim.Run(1)
+	for _, m := range f.protocolMsgs {
+		if cr, ok := m.(ConnResponse); ok && cr.Token == 5 && cr.Accepted {
+			t.Fatal("promotion accepted while full")
+		}
+	}
+	if len(s.FosterIDs()) != 1 {
+		t.Fatal("foster slot lost on refused promotion")
+	}
+
+	// Slot frees: promotion succeeds and clears the foster entry.
+	delete(s.Peer.children, 1)
+	r.net.Send(2, 0, ConnRequest{Token: 6, Kind: ConnChild, Dist: 25})
+	r.sim.Run(2)
+	ok := false
+	for _, m := range f.protocolMsgs {
+		if cr, okc := m.(ConnResponse); okc && cr.Token == 6 && cr.Accepted {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatal("promotion refused despite capacity")
+	}
+	if len(s.FosterIDs()) != 0 {
+		t.Fatal("foster entry survived promotion")
+	}
+	if d, _ := s.ChildDist(2); d != 25 {
+		t.Fatalf("promoted child distance %v", d)
+	}
+}
+
+func TestFosterLeaveNotified(t *testing.T) {
+	r := newRig(t, uniformRTT(3, 20))
+	p := r.addPeer(1, 1, false)
+	f := r.addPeer(2, 1, false)
+	p.ApplyConnect(0, 20, []NodeID{})
+	p.Peer.fosters[2] = 20
+	f.ApplyConnect(1, 20, []NodeID{0})
+
+	p.Leave()
+	r.sim.Run(1)
+	if f.Connected() {
+		t.Fatal("foster child not orphaned on parent leave")
+	}
+	if len(f.orphanedBy) != 1 {
+		t.Fatal("foster child missed the leave notification")
+	}
+}

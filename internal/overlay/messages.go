@@ -1,0 +1,147 @@
+// Package overlay provides the protocol-neutral machinery every overlay
+// multicast protocol in this repository is built from: node identities,
+// the wire-message vocabulary, the simulated network that delivers
+// messages with underlay delays and counts control-vs-data traffic, the
+// shared peer base (tree state, root-path maintenance, data-plane
+// forwarding and sequence accounting), and a probe manager for RTT /
+// virtual-distance measurements.
+package overlay
+
+// NodeID identifies an overlay node. It doubles as the node's host index
+// in the underlay.
+type NodeID int
+
+// None is the null node id (no parent, no grandparent).
+const None NodeID = -1
+
+// Message is the sealed union of wire messages exchanged between peers.
+type Message interface{ msg() }
+
+// ChildInfo describes one child in an information response: its id and the
+// parent's stored virtual distance to it.
+type ChildInfo struct {
+	ID   NodeID
+	Dist float64
+}
+
+// Ping is an application-level probe; the receiver echoes Pong.
+type Ping struct{ Token int }
+
+// Pong answers a Ping, echoing its token.
+type Pong struct{ Token int }
+
+// InfoRequest asks a node for its children list; the dissertation's
+// "information request". The requester also derives its distance to the
+// responder from the exchange.
+type InfoRequest struct{ Token int }
+
+// InfoResponse answers an InfoRequest with the responder's children and
+// their stored distances, its free degree, and whether it is currently
+// connected to the tree; the dissertation's "information response".
+type InfoResponse struct {
+	Token     int
+	Children  []ChildInfo
+	Free      int
+	Connected bool
+}
+
+// ConnKind distinguishes the two ways a node attaches to a parent.
+type ConnKind int
+
+const (
+	// ConnChild is a plain Case-I/Case-III attachment: the requester
+	// becomes a new child and consumes one degree slot.
+	ConnChild ConnKind = iota
+	// ConnSplice is the Case-II attachment: the requester inserts
+	// itself between the parent and the adopted children, so the
+	// parent's degree use does not grow.
+	ConnSplice
+)
+
+// ConnRequest asks a node to become the requester's parent; the
+// dissertation's "connection request". Dist carries the requester's
+// measured virtual distance to the target, which the target stores as the
+// child distance it will report in future InfoResponses. For ConnSplice,
+// Adopt lists the Case-II children the requester will take over.
+type ConnRequest struct {
+	Token int
+	Kind  ConnKind
+	Dist  float64
+	Adopt []NodeID
+	// Foster requests a temporary quick-start slot that does not count
+	// against the target's degree limit (the foster-child concept the
+	// dissertation describes for HMTP); the requester is expected to
+	// promote itself or move to a proper parent shortly.
+	Foster bool
+}
+
+// ConnResponse answers a ConnRequest; the dissertation's "connection
+// response". On acceptance RootPath is the requester's new root path
+// (source … new parent) and Adopted lists the Case-II children actually
+// transferred. On rejection Children carries the target's children so the
+// requester can fall back to the closest free child.
+type ConnResponse struct {
+	Token    int
+	Accepted bool
+	RootPath []NodeID
+	Adopted  []NodeID
+	Children []ChildInfo
+}
+
+// ParentChange tells a Case-II adoptee to switch its parent to the sender;
+// the dissertation's "parent change" message. Dist is the new parent's
+// measured distance to the adoptee; RootPath the adoptee's new root path.
+type ParentChange struct {
+	Token     int
+	OldParent NodeID
+	Dist      float64
+	RootPath  []NodeID
+}
+
+// ParentChangeAck confirms or refuses a ParentChange; a refusal releases
+// the adopter's child slot.
+type ParentChangeAck struct {
+	Token int
+	OK    bool
+}
+
+// PathUpdate propagates a refreshed root path down the tree whenever a
+// node's ancestry changes; it subsumes the dissertation's "grand parent
+// change" message (the new grandparent is the second-to-last entry).
+type PathUpdate struct {
+	Path []NodeID
+}
+
+// Detach tells a parent that the sender is no longer its child (it left or
+// switched to a better parent during refinement).
+type Detach struct{}
+
+// LeaveNotify tells a child that its parent is leaving; the orphan starts
+// reconnection at its grandparent. GrandparentHint is the leaver's own
+// parent, an up-to-date copy of what the orphan believes from its root
+// path.
+type LeaveNotify struct{ GrandparentHint NodeID }
+
+// Reassign is a directive from a parent to one of its children to move
+// under a different parent — cluster-split bookkeeping in hierarchical
+// protocols (NICE). The child initiates a regular ConnRequest to the new
+// parent, so all safety checks still apply.
+type Reassign struct{ To NodeID }
+
+// DataChunk is one unit of the multicast stream, pushed from parent to
+// children.
+type DataChunk struct{ Seq int64 }
+
+func (Ping) msg()            {}
+func (Pong) msg()            {}
+func (InfoRequest) msg()     {}
+func (InfoResponse) msg()    {}
+func (ConnRequest) msg()     {}
+func (ConnResponse) msg()    {}
+func (ParentChange) msg()    {}
+func (ParentChangeAck) msg() {}
+func (PathUpdate) msg()      {}
+func (Detach) msg()          {}
+func (Reassign) msg()        {}
+func (LeaveNotify) msg()     {}
+func (DataChunk) msg()       {}

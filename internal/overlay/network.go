@@ -1,0 +1,111 @@
+package overlay
+
+import (
+	"vdm/internal/eventq"
+	"vdm/internal/rng"
+	"vdm/internal/underlay"
+)
+
+// Handler receives messages addressed to one node.
+type Handler interface {
+	HandleMessage(from NodeID, m Message)
+}
+
+// Network delivers messages between registered nodes over the underlay:
+// each message arrives one one-way delay after it was sent. Data chunks
+// are subject to the underlay's end-to-end loss; control messages are
+// reliable (they stand for small retransmitted TCP exchanges, as in the
+// PlanetLab implementation). The network also keeps the control/data
+// counters behind the paper's overhead metric.
+type Network struct {
+	Sim *eventq.Sim
+	U   underlay.Underlay
+
+	handlers map[NodeID]Handler
+	rnd      *rng.Stream
+
+	// Counters, exported for the metric collectors.
+	CtrlCount  int64 // control messages sent
+	DataCount  int64 // data chunks sent
+	DataDrops  int64 // data chunks lost to link error
+	Undeliver  int64 // messages to unregistered nodes
+	LossEnable bool  // apply Bernoulli loss to data chunks
+
+	// CtrlLossProb, when positive, drops each control message with this
+	// probability — fault injection for protocol-robustness tests. The
+	// default 0 models control over retransmitting transport (TCP), as
+	// the PlanetLab implementation ran.
+	CtrlLossProb float64
+	CtrlDrops    int64
+
+	// TraceFn, when set, observes every send (including drops) — a
+	// debugging tap, not part of the protocol.
+	TraceFn func(at float64, from, to NodeID, m Message)
+}
+
+// NewNetwork builds a network over u driven by sim; rnd draws chunk-loss
+// outcomes.
+func NewNetwork(sim *eventq.Sim, u underlay.Underlay, rnd *rng.Stream) *Network {
+	return &Network{
+		Sim:        sim,
+		U:          u,
+		handlers:   make(map[NodeID]Handler),
+		rnd:        rnd,
+		LossEnable: true,
+	}
+}
+
+// Register attaches a handler for node id.
+func (n *Network) Register(id NodeID, h Handler) { n.handlers[id] = h }
+
+// Unregister removes node id; in-flight messages to it are dropped at
+// delivery time.
+func (n *Network) Unregister(id NodeID) { delete(n.handlers, id) }
+
+// IsAlive reports whether id currently has a handler.
+func (n *Network) IsAlive(id NodeID) bool {
+	_, ok := n.handlers[id]
+	return ok
+}
+
+// Send schedules delivery of m from→to after the underlay one-way delay.
+// It reports whether the destination was registered at send time (a
+// transport-level failure signal, standing for a TCP reset).
+func (n *Network) Send(from, to NodeID, m Message) bool {
+	if n.TraceFn != nil {
+		n.TraceFn(n.Sim.Now(), from, to, m)
+	}
+	if _, data := m.(DataChunk); data {
+		n.DataCount++
+		if n.LossEnable && n.rnd.Bool(n.U.LossRate(int(from), int(to))) {
+			n.DataDrops++
+			return true
+		}
+	} else {
+		n.CtrlCount++
+		if n.CtrlLossProb > 0 && n.rnd.Bool(n.CtrlLossProb) {
+			n.CtrlDrops++
+			return true
+		}
+	}
+	if !n.IsAlive(to) {
+		n.Undeliver++
+		return false
+	}
+	d := n.U.OneWayDelayMS(int(from), int(to)) / 1000
+	n.Sim.After(d, func() {
+		if h, ok := n.handlers[to]; ok {
+			h.HandleMessage(from, m)
+		}
+	})
+	return true
+}
+
+// Overhead returns the cumulative control-to-data message ratio, the
+// paper's overhead metric. It returns 0 before any data flowed.
+func (n *Network) Overhead() float64 {
+	if n.DataCount == 0 {
+		return 0
+	}
+	return float64(n.CtrlCount) / float64(n.DataCount)
+}

@@ -1,0 +1,591 @@
+package overlay
+
+import (
+	"sort"
+
+	"vdm/internal/vdist"
+)
+
+// TreeView is the read-only view of a node's tree position that metric
+// collectors and tests consume.
+type TreeView interface {
+	ID() NodeID
+	ParentID() NodeID
+	ChildIDs() []NodeID
+	Connected() bool
+	IsSource() bool
+}
+
+// Protocol is what a concrete overlay multicast protocol (VDM, HMTP, BTP,
+// …) exposes to the session runner.
+type Protocol interface {
+	Handler
+	TreeView
+	// Base returns the shared peer state (stats, tree bookkeeping).
+	Base() *Peer
+	// StartJoin begins the join procedure at the session source.
+	StartJoin()
+	// Leave gracefully leaves the session.
+	Leave()
+}
+
+// Hooks are the callbacks a protocol implementation plugs into the shared
+// peer base.
+type Hooks interface {
+	// HandleProtocol receives the messages the base does not consume
+	// (InfoResponse, ConnResponse, and protocol-specific traffic).
+	HandleProtocol(from NodeID, m Message)
+	// OnOrphaned fires when the parent announced its departure. hint is
+	// the departed parent's own parent — the grandparent reconnection
+	// should start at.
+	OnOrphaned(leaver NodeID, hint NodeID)
+}
+
+// PeerConfig configures a peer base.
+type PeerConfig struct {
+	ID        NodeID
+	Source    NodeID
+	MaxDegree int
+	IsSource  bool
+	// Metric computes probe distances; nil means "measured RTT", i.e.
+	// the delay virtual distance of VDM-D.
+	Metric vdist.Metric
+	// Timeouts in seconds; zero selects the defaults.
+	InfoTimeoutS  float64
+	ProbeTimeoutS float64
+	ConnTimeoutS  float64
+}
+
+// Default protocol timeouts (seconds of virtual time). Wide-area RTTs stay
+// well under a second, so two seconds cleanly separates "slow" from
+// "departed".
+const (
+	DefaultInfoTimeoutS  = 2.0
+	DefaultProbeTimeoutS = 2.0
+	DefaultConnTimeoutS  = 2.0
+)
+
+// Stats accumulates the per-peer observations behind the user-facing
+// metrics: startup time, reconnection times, and stream continuity.
+type Stats struct {
+	JoinStartAt float64 // when StartJoin was issued
+	ConnectedAt float64 // when the first connection completed
+	MemberSince float64 // alias of ConnectedAt (membership start)
+	LeftAt      float64 // when the peer left (or session end)
+	Startup     float64 // ConnectedAt − JoinStartAt, −1 until connected
+
+	Reconnects   []float64 // duration of each completed reconnection
+	OrphanCount  int       // times the parent departed
+	orphanedAt   float64   // −1 when not orphaned
+	everJoined   bool
+	everConnect  bool
+	ParentSwitch int // refinement-driven parent changes
+
+	Received  int64 // distinct chunks received
+	Dups      int64 // duplicate chunks suppressed
+	Forwarded int64 // chunk copies sent to children
+}
+
+// Orphaned reports whether the peer is currently waiting to reconnect.
+func (s *Stats) Orphaned() bool { return s.orphanedAt >= 0 }
+
+// Peer is the protocol-neutral node base: identity, degree-constrained
+// tree state, root-path maintenance, the data plane, and the generic
+// halves of the join/leave machinery. Protocol packages embed it.
+type Peer struct {
+	id        NodeID
+	source    NodeID
+	net       *Network
+	maxDegree int
+	isSource  bool
+	metric    vdist.Metric
+
+	parent     NodeID
+	parentDist float64
+	children   map[NodeID]float64
+	// fosters are temporary quick-start children served beyond the
+	// degree limit; they receive data and path updates but are not
+	// advertised in InfoResponses and do not consume degree.
+	fosters   map[NodeID]float64
+	rootPath  []NodeID
+	connected bool
+	switching bool
+	alive     bool
+
+	InfoTimeoutS  float64
+	ProbeTimeoutS float64
+	ConnTimeoutS  float64
+
+	prober *Prober
+	window *seqWindow
+	stats  Stats
+	hooks  Hooks
+
+	// staleFrom counts consecutive chunks received from non-parents,
+	// per sender, for stale-edge pruning.
+	staleFrom map[NodeID]int
+}
+
+// staleChunkThreshold is how many chunks a non-parent must push before
+// the peer prunes the stale relationship; transient reordering around a
+// parent change stays below it.
+const staleChunkThreshold = 3
+
+// NewPeer builds a peer base over net. The caller must Register the
+// enclosing protocol node with the network and set hooks via SetHooks
+// before any message can arrive.
+func NewPeer(net *Network, cfg PeerConfig) *Peer {
+	if cfg.MaxDegree < 1 {
+		cfg.MaxDegree = 1
+	}
+	p := &Peer{
+		id:            cfg.ID,
+		source:        cfg.Source,
+		net:           net,
+		maxDegree:     cfg.MaxDegree,
+		isSource:      cfg.IsSource,
+		metric:        cfg.Metric,
+		parent:        None,
+		children:      make(map[NodeID]float64),
+		fosters:       make(map[NodeID]float64),
+		connected:     cfg.IsSource,
+		alive:         true,
+		InfoTimeoutS:  cfg.InfoTimeoutS,
+		ProbeTimeoutS: cfg.ProbeTimeoutS,
+		ConnTimeoutS:  cfg.ConnTimeoutS,
+		window:        newSeqWindow(),
+		stats:         Stats{Startup: -1, orphanedAt: -1, LeftAt: -1},
+		staleFrom:     make(map[NodeID]int),
+	}
+	if p.InfoTimeoutS <= 0 {
+		p.InfoTimeoutS = DefaultInfoTimeoutS
+	}
+	if p.ProbeTimeoutS <= 0 {
+		p.ProbeTimeoutS = DefaultProbeTimeoutS
+	}
+	if p.ConnTimeoutS <= 0 {
+		p.ConnTimeoutS = DefaultConnTimeoutS
+	}
+	p.prober = newProber(p)
+	return p
+}
+
+// SetHooks installs the protocol callbacks.
+func (p *Peer) SetHooks(h Hooks) { p.hooks = h }
+
+// ID returns the peer's node id.
+func (p *Peer) ID() NodeID { return p.id }
+
+// Source returns the session source id.
+func (p *Peer) Source() NodeID { return p.source }
+
+// IsSource reports whether this peer is the stream source.
+func (p *Peer) IsSource() bool { return p.isSource }
+
+// Alive reports whether the peer is still in the session.
+func (p *Peer) Alive() bool { return p.alive }
+
+// Connected reports whether the peer currently has a path to the source.
+func (p *Peer) Connected() bool { return p.connected }
+
+// Switching reports whether a refinement parent switch is in flight.
+func (p *Peer) Switching() bool { return p.switching }
+
+// ParentID returns the current parent (None for the source and orphans).
+func (p *Peer) ParentID() NodeID { return p.parent }
+
+// ParentDist returns the stored virtual distance to the parent.
+func (p *Peer) ParentDist() float64 { return p.parentDist }
+
+// MaxDegree returns the child capacity.
+func (p *Peer) MaxDegree() int { return p.maxDegree }
+
+// FreeDegree returns the remaining child capacity.
+func (p *Peer) FreeDegree() int { return p.maxDegree - len(p.children) }
+
+// ChildIDs returns the regular children sorted by id (deterministic
+// order). Foster children are excluded: they neither consume degree nor
+// appear in information responses.
+func (p *Peer) ChildIDs() []NodeID {
+	out := make([]NodeID, 0, len(p.children))
+	for c := range p.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FosterIDs returns the current foster children sorted by id.
+func (p *Peer) FosterIDs() []NodeID {
+	out := make([]NodeID, 0, len(p.fosters))
+	for c := range p.fosters {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ChildDist returns the stored distance to child c.
+func (p *Peer) ChildDist(c NodeID) (float64, bool) {
+	d, ok := p.children[c]
+	return d, ok
+}
+
+// RootPath returns the peer's current ancestry, source first, parent last.
+func (p *Peer) RootPath() []NodeID {
+	return append([]NodeID(nil), p.rootPath...)
+}
+
+// Grandparent returns the parent's parent according to the root path, or
+// None when unknown (children of the source have no grandparent).
+func (p *Peer) Grandparent() NodeID {
+	if len(p.rootPath) >= 2 {
+		return p.rootPath[len(p.rootPath)-2]
+	}
+	return None
+}
+
+// Stats returns the peer's accumulated statistics.
+func (p *Peer) Stats() *Stats { return &p.stats }
+
+// Net returns the underlying network.
+func (p *Peer) Net() *Network { return p.net }
+
+// Now returns the current virtual time.
+func (p *Peer) Now() float64 { return p.net.Sim.Now() }
+
+// Prober returns the peer's probe manager.
+func (p *Peer) Prober() *Prober { return p.prober }
+
+// Metric returns the configured virtual-distance metric (nil for delay).
+func (p *Peer) Metric() vdist.Metric { return p.metric }
+
+// Measure converts a measured probe round-trip into a virtual distance:
+// the elapsed time itself for the delay metric, or the configured metric's
+// value otherwise.
+func (p *Peer) Measure(target NodeID, elapsedMS float64) float64 {
+	if p.metric == nil {
+		return elapsedMS
+	}
+	return p.metric.Distance(int(p.id), int(target))
+}
+
+// MarkJoinStart records the instant the runner asked the peer to join.
+func (p *Peer) MarkJoinStart() {
+	if !p.stats.everJoined {
+		p.stats.everJoined = true
+		p.stats.JoinStartAt = p.Now()
+	}
+}
+
+// inRootPath reports whether n is an ancestor according to the root path.
+func (p *Peer) inRootPath(n NodeID) bool {
+	for _, a := range p.rootPath {
+		if a == n {
+			return true
+		}
+	}
+	return false
+}
+
+// HandleMessage dispatches the generic message set and forwards everything
+// else to the protocol hooks.
+func (p *Peer) HandleMessage(from NodeID, m Message) {
+	if !p.alive {
+		return
+	}
+	switch msg := m.(type) {
+	case Ping:
+		p.net.Send(p.id, from, Pong{Token: msg.Token})
+	case Pong:
+		if !p.prober.handlePong(from, msg) {
+			p.hooks.HandleProtocol(from, m)
+		}
+	case InfoRequest:
+		p.net.Send(p.id, from, InfoResponse{
+			Token:     msg.Token,
+			Children:  p.childSnapshot(),
+			Free:      p.FreeDegree(),
+			Connected: p.connected,
+		})
+	case ConnRequest:
+		p.handleConnRequest(from, msg)
+	case ParentChange:
+		p.handleParentChange(from, msg)
+	case ParentChangeAck:
+		if !msg.OK {
+			delete(p.children, from)
+		}
+	case PathUpdate:
+		if from == p.parent {
+			p.setRootPath(msg.Path)
+		}
+	case Detach:
+		delete(p.children, from)
+		delete(p.fosters, from)
+	case LeaveNotify:
+		p.handleLeaveNotify(from, msg)
+	case DataChunk:
+		if from != p.parent && !p.isSource {
+			// Some node still believes we are its child (e.g. an ack
+			// was lost mid-switch). Take the data — the window dedupes
+			// — and prune the stale edge once the pattern repeats
+			// (single occurrences are just in-flight reordering around
+			// a parent change).
+			p.staleFrom[from]++
+			if p.staleFrom[from] >= staleChunkThreshold {
+				delete(p.staleFrom, from)
+				p.net.Send(p.id, from, Detach{})
+			}
+		} else {
+			delete(p.staleFrom, from)
+		}
+		p.handleChunk(msg)
+	default:
+		p.hooks.HandleProtocol(from, m)
+	}
+}
+
+func (p *Peer) childSnapshot() []ChildInfo {
+	ids := p.ChildIDs()
+	out := make([]ChildInfo, len(ids))
+	for i, c := range ids {
+		out[i] = ChildInfo{ID: c, Dist: p.children[c]}
+	}
+	return out
+}
+
+// handleConnRequest implements the acceptor side of both attachment kinds.
+// A request is refused when the node is itself disconnected, mid-switch,
+// or when accepting would create a loop (the requester is an ancestor).
+func (p *Peer) handleConnRequest(from NodeID, m ConnRequest) {
+	reject := func() {
+		p.net.Send(p.id, from, ConnResponse{
+			Token:    m.Token,
+			Accepted: false,
+			Children: p.childSnapshot(),
+		})
+	}
+	if (!p.connected && !p.isSource) || p.switching || p.inRootPath(from) || from == p.id {
+		reject()
+		return
+	}
+	if m.Foster {
+		// Quick-start slot: granted beyond the degree limit; the child
+		// is expected to promote or move shortly.
+		delete(p.children, from)
+		p.fosters[from] = m.Dist
+		p.net.Send(p.id, from, ConnResponse{
+			Token:    m.Token,
+			Accepted: true,
+			RootPath: p.pathForChildren(),
+		})
+		return
+	}
+	if _, already := p.children[from]; already {
+		// Idempotent re-request (e.g. a retry after a lost ack window):
+		// refresh the distance and accept again.
+		p.children[from] = m.Dist
+		p.net.Send(p.id, from, ConnResponse{
+			Token:    m.Token,
+			Accepted: true,
+			RootPath: p.pathForChildren(),
+		})
+		return
+	}
+	if _, fostered := p.fosters[from]; fostered {
+		// Promotion of a foster child to a regular slot.
+		if p.FreeDegree() <= 0 {
+			reject()
+			return
+		}
+		delete(p.fosters, from)
+		p.children[from] = m.Dist
+		p.net.Send(p.id, from, ConnResponse{
+			Token:    m.Token,
+			Accepted: true,
+			RootPath: p.pathForChildren(),
+		})
+		return
+	}
+
+	var adopted []NodeID
+	if m.Kind == ConnSplice {
+		for _, c := range m.Adopt {
+			if _, ok := p.children[c]; ok && c != from {
+				adopted = append(adopted, c)
+			}
+		}
+	}
+	if len(adopted) == 0 && p.FreeDegree() <= 0 {
+		reject()
+		return
+	}
+	for _, c := range adopted {
+		delete(p.children, c)
+	}
+	p.children[from] = m.Dist
+	p.net.Send(p.id, from, ConnResponse{
+		Token:    m.Token,
+		Accepted: true,
+		RootPath: p.pathForChildren(),
+		Adopted:  adopted,
+	})
+}
+
+// pathForChildren is the root path a child of this node should hold.
+func (p *Peer) pathForChildren() []NodeID {
+	return append(append([]NodeID(nil), p.rootPath...), p.id)
+}
+
+func (p *Peer) handleParentChange(from NodeID, m ParentChange) {
+	if m.OldParent != p.parent || p.switching || !p.connected {
+		p.net.Send(p.id, from, ParentChangeAck{Token: m.Token, OK: false})
+		return
+	}
+	p.parent = from
+	p.parentDist = m.Dist
+	p.setRootPath(m.RootPath)
+	p.net.Send(p.id, from, ParentChangeAck{Token: m.Token, OK: true})
+}
+
+func (p *Peer) setRootPath(path []NodeID) {
+	p.rootPath = append(p.rootPath[:0], path...)
+	next := p.pathForChildren()
+	for _, c := range p.ChildIDs() {
+		if !p.net.Send(p.id, c, PathUpdate{Path: next}) {
+			delete(p.children, c)
+		}
+	}
+	for _, c := range p.FosterIDs() {
+		if !p.net.Send(p.id, c, PathUpdate{Path: next}) {
+			delete(p.fosters, c)
+		}
+	}
+}
+
+func (p *Peer) handleLeaveNotify(from NodeID, m LeaveNotify) {
+	if from != p.parent {
+		return
+	}
+	p.parent = None
+	p.parentDist = 0
+	p.connected = false
+	p.stats.OrphanCount++
+	p.stats.orphanedAt = p.Now()
+	p.hooks.OnOrphaned(from, m.GrandparentHint)
+}
+
+func (p *Peer) handleChunk(m DataChunk) {
+	if !p.window.add(m.Seq) {
+		p.stats.Dups++
+		return
+	}
+	p.stats.Received++
+	p.forwardChunk(m)
+}
+
+func (p *Peer) forwardChunk(m DataChunk) {
+	for _, c := range p.ChildIDs() {
+		if p.net.Send(p.id, c, m) {
+			p.stats.Forwarded++
+		} else {
+			// Transport failure: the child silently vanished. Drop it
+			// so the degree slot frees up.
+			delete(p.children, c)
+		}
+	}
+	for _, c := range p.FosterIDs() {
+		if p.net.Send(p.id, c, m) {
+			p.stats.Forwarded++
+		} else {
+			delete(p.fosters, c)
+		}
+	}
+}
+
+// EmitChunk originates chunk seq at the source and pushes it down the
+// tree.
+func (p *Peer) EmitChunk(seq int64) {
+	if !p.isSource {
+		panic("overlay: EmitChunk on non-source peer")
+	}
+	if p.window.add(seq) {
+		p.forwardChunk(DataChunk{Seq: seq})
+	}
+}
+
+// ApplyConnect commits an accepted connection: parent, distance, root
+// path, membership/startup/reconnect accounting, and grandparent updates
+// for any existing children.
+func (p *Peer) ApplyConnect(parent NodeID, dist float64, rootPath []NodeID) {
+	p.parent = parent
+	p.parentDist = dist
+	p.connected = true
+	now := p.Now()
+	if !p.stats.everConnect {
+		p.stats.everConnect = true
+		p.stats.ConnectedAt = now
+		p.stats.MemberSince = now
+		p.stats.Startup = now - p.stats.JoinStartAt
+	}
+	if p.stats.orphanedAt >= 0 {
+		p.stats.Reconnects = append(p.stats.Reconnects, now-p.stats.orphanedAt)
+		p.stats.orphanedAt = -1
+	}
+	p.setRootPath(rootPath)
+}
+
+// ApplySwitch commits a refinement-driven parent change: detach from the
+// old parent, adopt the new state.
+func (p *Peer) ApplySwitch(newParent NodeID, dist float64, rootPath []NodeID) {
+	if p.parent != None && p.parent != newParent {
+		p.net.Send(p.id, p.parent, Detach{})
+	}
+	p.stats.ParentSwitch++
+	p.parent = newParent
+	p.parentDist = dist
+	p.connected = true
+	p.setRootPath(rootPath)
+}
+
+// BeginSwitch marks a parent switch in flight; incoming ConnRequests are
+// refused until EndSwitch to avoid mutual-switch loops.
+func (p *Peer) BeginSwitch() { p.switching = true }
+
+// EndSwitch clears the switch-in-flight mark.
+func (p *Peer) EndSwitch() { p.switching = false }
+
+// AdoptChild records a Case-II adoptee and sends it the parent-change
+// message with its new root path.
+func (p *Peer) AdoptChild(c NodeID, dist float64, oldParent NodeID, token int) {
+	p.children[c] = dist
+	p.net.Send(p.id, c, ParentChange{
+		Token:     token,
+		OldParent: oldParent,
+		Dist:      dist,
+		RootPath:  p.pathForChildren(),
+	})
+}
+
+// Leave gracefully exits the session: detach from the parent, notify every
+// child (carrying the grandparent hint they will reconnect at), and stop
+// receiving traffic.
+func (p *Peer) Leave() {
+	if !p.alive {
+		return
+	}
+	p.stats.LeftAt = p.Now()
+	if p.parent != None {
+		p.net.Send(p.id, p.parent, Detach{})
+	}
+	for _, c := range p.ChildIDs() {
+		p.net.Send(p.id, c, LeaveNotify{GrandparentHint: p.parent})
+	}
+	for _, c := range p.FosterIDs() {
+		p.net.Send(p.id, c, LeaveNotify{GrandparentHint: p.parent})
+	}
+	p.alive = false
+	p.connected = false
+	p.net.Unregister(p.id)
+}

@@ -1,0 +1,89 @@
+package overlay
+
+// ProbeResult maps each responsive probe target to its measured virtual
+// distance. Targets that did not answer before the timeout are absent.
+type ProbeResult map[NodeID]float64
+
+// Prober manages concurrent ping rounds for one peer. Each round pings a
+// set of targets in parallel, converts the measured round-trip into a
+// virtual distance via the peer's metric, and invokes a completion
+// callback once every target answered or the round timed out — the "N
+// pings S and all children of S" step of the join procedure.
+type Prober struct {
+	peer     *Peer
+	next     int
+	sessions map[int]*probeSession
+}
+
+type probeSession struct {
+	pending  map[NodeID]float64 // target -> send time (s)
+	results  ProbeResult
+	done     func(ProbeResult)
+	finished bool
+}
+
+func newProber(p *Peer) *Prober {
+	return &Prober{peer: p, sessions: make(map[int]*probeSession)}
+}
+
+// Launch pings every target in parallel. done fires exactly once — when
+// all targets answered, or when timeoutS elapses — with whatever distances
+// were measured. Launch with no targets completes asynchronously with an
+// empty result to keep caller control flow uniform.
+func (pr *Prober) Launch(targets []NodeID, timeoutS float64, done func(ProbeResult)) {
+	pr.next++
+	token := pr.next
+	sess := &probeSession{
+		pending: make(map[NodeID]float64, len(targets)),
+		results: make(ProbeResult, len(targets)),
+		done:    done,
+	}
+	pr.sessions[token] = sess
+
+	now := pr.peer.net.Sim.Now()
+	for _, t := range targets {
+		if t == pr.peer.id {
+			continue
+		}
+		if _, dup := sess.pending[t]; dup {
+			continue
+		}
+		sess.pending[t] = now
+		pr.peer.net.Send(pr.peer.id, t, Ping{Token: token})
+	}
+	if len(sess.pending) == 0 {
+		pr.finish(token, sess)
+		return
+	}
+	pr.peer.net.Sim.After(timeoutS, func() {
+		if s, ok := pr.sessions[token]; ok && !s.finished {
+			pr.finish(token, s)
+		}
+	})
+}
+
+// handlePong consumes a Pong if it belongs to an active session, returning
+// whether it was consumed.
+func (pr *Prober) handlePong(from NodeID, m Pong) bool {
+	sess, ok := pr.sessions[m.Token]
+	if !ok || sess.finished {
+		return ok
+	}
+	sentAt, waiting := sess.pending[from]
+	if !waiting {
+		return true
+	}
+	delete(sess.pending, from)
+	elapsedMS := (pr.peer.net.Sim.Now() - sentAt) * 1000
+	sess.results[from] = pr.peer.Measure(from, elapsedMS)
+	if len(sess.pending) == 0 {
+		pr.finish(m.Token, sess)
+	}
+	return true
+}
+
+func (pr *Prober) finish(token int, sess *probeSession) {
+	sess.finished = true
+	delete(pr.sessions, token)
+	sess.done(sess.results)
+}

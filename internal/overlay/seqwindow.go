@@ -1,0 +1,76 @@
+package overlay
+
+// seqWindowBits is the number of recent sequence numbers tracked for
+// duplicate suppression. Reordering beyond this window (minutes of stream
+// at the paper's rates) is not observable in a tree overlay.
+const seqWindowBits = 4096
+
+// seqWindow is a sliding bitmap over recent chunk sequence numbers. It
+// answers "is this sequence number new?" so duplicate chunks that arrive
+// during a parent switch are neither double-counted nor re-forwarded.
+type seqWindow struct {
+	base  int64 // lowest tracked seq
+	top   int64 // highest seq marked so far, exclusive
+	bits  []uint64
+	begun bool
+}
+
+func newSeqWindow() *seqWindow {
+	return &seqWindow{bits: make([]uint64, seqWindowBits/64)}
+}
+
+// add marks seq as seen and reports whether it was new. Sequence numbers
+// older than the window are treated as duplicates.
+// backfill is how far below the first-seen sequence number the window
+// still accepts chunks, absorbing reordering around a connect.
+const backfill = 64
+
+func (w *seqWindow) add(seq int64) bool {
+	if !w.begun {
+		w.begun = true
+		w.base = seq - backfill
+		w.top = seq
+	}
+	if seq < w.base {
+		return false
+	}
+	if seq >= w.base+seqWindowBits {
+		// Slide forward so seq is the newest trackable entry.
+		newBase := seq - seqWindowBits + 1
+		for s := w.base; s < newBase; s++ {
+			w.clear(s)
+		}
+		w.base = newBase
+	}
+	if w.get(seq) {
+		return false
+	}
+	w.set(seq)
+	if seq >= w.top {
+		w.top = seq + 1
+	}
+	return true
+}
+
+func (w *seqWindow) idx(seq int64) (int, uint64) {
+	off := seq % seqWindowBits
+	if off < 0 {
+		off += seqWindowBits
+	}
+	return int(off / 64), 1 << uint(off%64)
+}
+
+func (w *seqWindow) get(seq int64) bool {
+	i, m := w.idx(seq)
+	return w.bits[i]&m != 0
+}
+
+func (w *seqWindow) set(seq int64) {
+	i, m := w.idx(seq)
+	w.bits[i] |= m
+}
+
+func (w *seqWindow) clear(seq int64) {
+	i, m := w.idx(seq)
+	w.bits[i] &^= m
+}

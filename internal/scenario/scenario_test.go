@@ -1,0 +1,347 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"vdm/internal/rng"
+)
+
+func churnFixture(seed int64, nodes int, churn float64) *Scenario {
+	return Churn(ChurnConfig{
+		Nodes:      nodes,
+		ChurnPct:   churn,
+		JoinPhaseS: 2000,
+		IntervalS:  400,
+		SettleS:    100,
+		DurationS:  10000,
+	}, rng.New(seed))
+}
+
+// replay walks the events and checks membership consistency: no slot joins
+// while alive, no slot leaves while dead, slot 0 never appears.
+func replay(t *testing.T, s *Scenario) map[int]bool {
+	t.Helper()
+	alive := map[int]bool{}
+	last := math.Inf(-1)
+	for _, e := range s.Events {
+		if e.T < last {
+			t.Fatalf("events out of order: %v after %v", e.T, last)
+		}
+		last = e.T
+		if e.Slot == 0 {
+			t.Fatal("slot 0 (source) appears in events")
+		}
+		if e.Slot < 0 || e.Slot >= s.PoolSize {
+			t.Fatalf("slot %d outside pool %d", e.Slot, s.PoolSize)
+		}
+		if e.Join {
+			if alive[e.Slot] {
+				t.Fatalf("slot %d joins while alive at t=%v", e.Slot, e.T)
+			}
+			alive[e.Slot] = true
+		} else {
+			if !alive[e.Slot] {
+				t.Fatalf("slot %d leaves while dead at t=%v", e.Slot, e.T)
+			}
+			delete(alive, e.Slot)
+		}
+	}
+	return alive
+}
+
+func TestChurnMembershipConsistent(t *testing.T) {
+	s := churnFixture(1, 200, 10)
+	alive := replay(t, s)
+	// Population is restored each interval: final alive ≈ Nodes.
+	if len(alive) != 200 {
+		t.Fatalf("final population %d, want 200", len(alive))
+	}
+}
+
+func TestChurnEventCounts(t *testing.T) {
+	s := churnFixture(2, 100, 10)
+	intervals := 0
+	for ts := 2000.0; ts+400 <= 10000+1e-9; ts += 400 {
+		intervals++
+	}
+	joins, leaves := 0, 0
+	for _, e := range s.Events {
+		if e.Join {
+			joins++
+		} else {
+			leaves++
+		}
+	}
+	wantChurn := 10 * intervals // 10% of 100 per interval
+	if leaves != wantChurn {
+		t.Fatalf("leaves = %d, want %d", leaves, wantChurn)
+	}
+	if joins != 100+wantChurn {
+		t.Fatalf("joins = %d, want %d", joins, 100+wantChurn)
+	}
+}
+
+func TestChurnZeroRate(t *testing.T) {
+	s := churnFixture(3, 50, 0)
+	for _, e := range s.Events {
+		if !e.Join {
+			t.Fatal("leave event with zero churn")
+		}
+	}
+	if len(s.Events) != 50 {
+		t.Fatalf("events = %d", len(s.Events))
+	}
+	// Measurements still scheduled each interval.
+	if len(s.MeasureTimes) < 2 {
+		t.Fatalf("measure times = %d", len(s.MeasureTimes))
+	}
+}
+
+func TestChurnMeasureTimesOrdered(t *testing.T) {
+	s := churnFixture(4, 100, 5)
+	if !sort.Float64sAreSorted(s.MeasureTimes) {
+		t.Fatal("measurement times unsorted")
+	}
+	if s.MeasureTimes[0] != 2000 {
+		t.Fatalf("first measurement at %v, want end of join phase", s.MeasureTimes[0])
+	}
+	for _, mt := range s.MeasureTimes {
+		if mt > s.DurationS {
+			t.Fatalf("measurement %v after session end", mt)
+		}
+	}
+}
+
+func TestChurnInitialJoinsInsideJoinPhase(t *testing.T) {
+	s := churnFixture(5, 150, 5)
+	count := 0
+	for _, e := range s.Events {
+		if e.T < 2000 {
+			if !e.Join {
+				t.Fatal("leave during join phase")
+			}
+			count++
+		}
+	}
+	if count != 150 {
+		t.Fatalf("initial joins = %d", count)
+	}
+}
+
+func TestMaxAliveWithinPool(t *testing.T) {
+	s := churnFixture(6, 120, 20)
+	if peak := s.MaxAlive(); peak >= s.PoolSize {
+		t.Fatalf("peak %d exceeds pool %d", peak, s.PoolSize)
+	}
+}
+
+func TestLifetimeScenarioConsistentAndSteady(t *testing.T) {
+	s := Lifetime(LifetimeConfig{
+		Nodes:         80,
+		MeanLifetimeS: 1500,
+		JoinPhaseS:    1000,
+		IntervalS:     400,
+		SettleS:       100,
+		DurationS:     8000,
+	}, rng.New(12))
+	replay(t, s) // membership consistency (join/leave alternation)
+
+	// Steady-state population stays within a band around the target.
+	alive := 0
+	idx := 0
+	for _, mt := range s.MeasureTimes {
+		for idx < len(s.Events) && s.Events[idx].T <= mt {
+			if s.Events[idx].Join {
+				alive++
+			} else {
+				alive--
+			}
+			idx++
+		}
+		if mt < 1500 {
+			continue // still ramping
+		}
+		if alive < 40 || alive > 140 {
+			t.Fatalf("population %d at t=%v far from target 80", alive, mt)
+		}
+	}
+	if s.MaxAlive() >= s.PoolSize {
+		t.Fatalf("pool %d overflowed (peak %d)", s.PoolSize, s.MaxAlive())
+	}
+}
+
+func TestLifetimeScenarioDeparturesUnsynchronized(t *testing.T) {
+	s := Lifetime(LifetimeConfig{
+		Nodes:         100,
+		MeanLifetimeS: 1000,
+		JoinPhaseS:    500,
+		IntervalS:     400,
+		SettleS:       100,
+		DurationS:     6000,
+	}, rng.New(13))
+	// Interval churn packs all leaves into the first half of the spread
+	// window; exponential lifetimes must not cluster: no 10-second
+	// window after the join phase should hold more than a small
+	// fraction of all departures.
+	leaves := 0
+	bucket := map[int]int{}
+	for _, e := range s.Events {
+		if !e.Join && e.T > 500 {
+			leaves++
+			bucket[int(e.T/10)]++
+		}
+	}
+	if leaves < 100 {
+		t.Fatalf("only %d departures generated", leaves)
+	}
+	for w, c := range bucket {
+		if c > leaves/10 {
+			t.Fatalf("departure burst: %d of %d in window %d", c, leaves, w)
+		}
+	}
+}
+
+func TestLifetimeScenarioCodecRoundTrip(t *testing.T) {
+	s := Lifetime(LifetimeConfig{
+		Nodes: 30, MeanLifetimeS: 800, JoinPhaseS: 300,
+		IntervalS: 200, SettleS: 50, DurationS: 2000,
+	}, rng.New(14))
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(s.Events) {
+		t.Fatal("events lost in round trip")
+	}
+}
+
+func TestBatchScenario(t *testing.T) {
+	s := Batch(BatchConfig{Batches: 10, BatchSize: 50, IntervalS: 500}, rng.New(7))
+	alive := replay(t, s)
+	if len(alive) != 500 {
+		t.Fatalf("final population %d, want 500", len(alive))
+	}
+	if len(s.MeasureTimes) != 10 {
+		t.Fatalf("measurements = %d, want 10", len(s.MeasureTimes))
+	}
+	if s.DurationS != 5000 {
+		t.Fatalf("duration %v", s.DurationS)
+	}
+	// Batch k's joins land inside interval k.
+	for _, e := range s.Events {
+		if !e.Join {
+			t.Fatal("leave in batch scenario")
+		}
+	}
+	// Each measurement precedes the next batch boundary.
+	for k, mt := range s.MeasureTimes {
+		lo, hi := float64(k)*500, float64(k+1)*500
+		if mt <= lo || mt > hi {
+			t.Fatalf("measurement %d at %v outside (%v, %v]", k, mt, lo, hi)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := churnFixture(8, 60, 10)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PoolSize != s.PoolSize || got.DurationS != s.DurationS {
+		t.Fatalf("header mismatch: %d/%v vs %d/%v", got.PoolSize, got.DurationS, s.PoolSize, s.DurationS)
+	}
+	if len(got.Events) != len(s.Events) || len(got.MeasureTimes) != len(s.MeasureTimes) {
+		t.Fatal("event/measure counts differ after round trip")
+	}
+	for i, e := range s.Events {
+		if got.Events[i] != e {
+			t.Fatalf("event %d: %+v vs %+v", i, got.Events[i], e)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("12 explode 4\n")); err == nil {
+		t.Fatal("unknown action accepted")
+	}
+	if _, err := Read(bytes.NewBufferString("pool x\n")); err == nil {
+		t.Fatal("bad pool line accepted")
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	a := churnFixture(9, 80, 10)
+	b := churnFixture(9, 80, 10)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("event counts differ for same seed")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+// Property: membership consistency holds for arbitrary parameters, and
+// the round-trip through the text codec is lossless.
+func TestPropertyChurnConsistentAndCodecLossless(t *testing.T) {
+	f := func(seed int64, n, c uint8) bool {
+		nodes := int(n%100) + 2
+		churn := float64(c % 25)
+		s := Churn(ChurnConfig{
+			Nodes:      nodes,
+			ChurnPct:   churn,
+			JoinPhaseS: 500,
+			IntervalS:  200,
+			SettleS:    50,
+			DurationS:  2100,
+		}, rng.New(seed))
+		alive := map[int]bool{}
+		for _, e := range s.Events {
+			if e.Slot <= 0 || e.Slot >= s.PoolSize {
+				return false
+			}
+			if e.Join {
+				if alive[e.Slot] {
+					return false
+				}
+				alive[e.Slot] = true
+			} else {
+				if !alive[e.Slot] {
+					return false
+				}
+				delete(alive, e.Slot)
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got.Events) != len(s.Events) {
+			return false
+		}
+		for i := range s.Events {
+			if got.Events[i] != s.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+
+	"vdm/internal/rng"
+)
+
+func TestDrawDegreesUniformRange(t *testing.T) {
+	cfg := Config{DegreeMin: 2, DegreeMax: 5}.withDefaults()
+	degs := drawDegrees(cfg, 5000, rng.New(1))
+	seen := map[int]bool{}
+	for _, d := range degs {
+		if d < 2 || d > 5 {
+			t.Fatalf("degree %d outside [2,5]", d)
+		}
+		seen[d] = true
+	}
+	for d := 2; d <= 5; d++ {
+		if !seen[d] {
+			t.Fatalf("degree %d never drawn", d)
+		}
+	}
+}
+
+func TestDrawDegreesFractionalAverage(t *testing.T) {
+	cfg := Config{AvgDegree: 1.25}.withDefaults()
+	degs := drawDegrees(cfg, 20000, rng.New(2))
+	sum := 0
+	for _, d := range degs {
+		if d != 1 && d != 2 {
+			t.Fatalf("degree %d for average 1.25", d)
+		}
+		sum += d
+	}
+	avg := float64(sum) / float64(len(degs))
+	if avg < 1.2 || avg > 1.3 {
+		t.Fatalf("realized average %.3f, want ≈1.25", avg)
+	}
+}
+
+func TestDrawDegreesFromBandwidth(t *testing.T) {
+	cfg := Config{DegreeFromBandwidth: true}.withDefaults()
+	degs := drawDegrees(cfg, 20000, rng.New(3))
+	sum, ones, caps := 0, 0, 0
+	for _, d := range degs {
+		if d < 1 || d > 8 {
+			t.Fatalf("degree %d outside [1,8]", d)
+		}
+		sum += d
+		if d == 1 {
+			ones++
+		}
+		if d == 8 {
+			caps++
+		}
+	}
+	avg := float64(sum) / float64(len(degs))
+	// Median uplink 2000 Kbps / 500 Kbps stream → typical degree ~4.
+	if avg < 2.5 || avg > 5.5 {
+		t.Fatalf("realized average degree %.2f implausible", avg)
+	}
+	// Heterogeneity: the lognormal must produce both thin and thick
+	// uplinks ("each node might have different uplink capacity").
+	if ones == 0 || caps == 0 {
+		t.Fatalf("no heterogeneity: %d ones, %d capped", ones, caps)
+	}
+}
+
+func TestBandwidthDegreeSessionWorks(t *testing.T) {
+	cfg := smokeConfig(VDM)
+	cfg.DegreeFromBandwidth = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InvariantErrors) > 0 {
+		t.Fatalf("invariants: %v", res.InvariantErrors)
+	}
+	if res.FinalReachable < cfg.Nodes-5 {
+		t.Fatalf("reachable %d of %d", res.FinalReachable, cfg.Nodes)
+	}
+}
+
+func TestWithDefaultsFillsEverything(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Protocol != VDM || cfg.Metric != "delay" || cfg.Nodes != 200 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.DegreeMin != 2 || cfg.DegreeMax != 5 {
+		t.Fatalf("degree defaults: %d..%d", cfg.DegreeMin, cfg.DegreeMax)
+	}
+	if cfg.JoinPhaseS != 2000 || cfg.DurationS != 10000 || cfg.IntervalS != 400 {
+		t.Fatalf("timing defaults: %+v", cfg)
+	}
+	if cfg.DataRate != 1 || cfg.Underlay != Router || cfg.RouterMin != 784 {
+		t.Fatalf("workload defaults: %+v", cfg)
+	}
+	if cfg.SpreadS != cfg.SettleS/2 {
+		t.Fatalf("spread default %v", cfg.SpreadS)
+	}
+}

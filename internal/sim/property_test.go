@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyRandomSessionsKeepInvariants fuzzes session parameters —
+// protocol, population, churn, degrees, underlay — and checks that no
+// combination corrupts the tree or the accounting.
+func TestPropertyRandomSessionsKeepInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64, protoSel, nodes, churn, degLo, degSpan, geoSel uint8) bool {
+		protos := []ProtocolKind{VDM, HMTP, BTP, Random}
+		cfg := Config{
+			Seed:       seed,
+			Protocol:   protos[int(protoSel)%len(protos)],
+			Nodes:      int(nodes%40) + 10,
+			ChurnPct:   float64(churn % 20),
+			DegreeMin:  int(degLo%3) + 1,
+			JoinPhaseS: 200,
+			IntervalS:  100,
+			SettleS:    40,
+			DurationS:  600,
+			DataRate:   1,
+			RouterMin:  150,
+			Validate:   true,
+		}
+		cfg.DegreeMax = cfg.DegreeMin + int(degSpan%4)
+		if geoSel%3 == 0 {
+			cfg.Underlay = Geo
+			cfg.GeoUSOnly = true
+			if cfg.Nodes > 40 {
+				cfg.Nodes = 40
+			}
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(res.InvariantErrors) > 0 {
+			t.Logf("seed %d (%s): %v", seed, cfg.Protocol, res.InvariantErrors)
+			return false
+		}
+		if res.Loss < 0 || res.Loss > 1 {
+			return false
+		}
+		if res.Overhead < 0 {
+			return false
+		}
+		// A healthy protocol connects most of the population.
+		return res.FinalReachable >= res.FinalAlive/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

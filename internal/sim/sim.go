@@ -1,0 +1,786 @@
+// Package sim runs complete overlay multicast sessions: it builds an
+// underlay (router-graph or synthetic-PlanetLab), spawns a protocol
+// instance per scripted membership, streams sequence-numbered chunks from
+// the source, replays a churn scenario, and measures the paper's metrics
+// at the scripted instants. Both the NS-2-style chapter-3/4 experiments
+// and the PlanetLab-style chapter-5 emulations are sessions; only the
+// underlay and the reported metric set differ.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vdm/internal/btp"
+	"vdm/internal/core"
+	"vdm/internal/eventq"
+	"vdm/internal/geo"
+	"vdm/internal/hmtp"
+	"vdm/internal/metrics"
+	"vdm/internal/mst"
+	"vdm/internal/nice"
+	"vdm/internal/overlay"
+	"vdm/internal/randjoin"
+	"vdm/internal/rng"
+	"vdm/internal/scenario"
+	"vdm/internal/stats"
+	"vdm/internal/topology"
+	"vdm/internal/underlay"
+	"vdm/internal/vdist"
+)
+
+// ProtocolKind selects the overlay multicast protocol under test.
+type ProtocolKind string
+
+// The implemented protocols.
+const (
+	VDM    ProtocolKind = "vdm"
+	HMTP   ProtocolKind = "hmtp"
+	BTP    ProtocolKind = "btp"
+	NICE   ProtocolKind = "nice"
+	Random ProtocolKind = "random"
+)
+
+// UnderlayKind selects the physical network model.
+type UnderlayKind string
+
+// The implemented underlays.
+const (
+	// Router is the GT-ITM-style transit-stub router graph of the
+	// chapter-3/4 simulations.
+	Router UnderlayKind = "router"
+	// Geo is the synthetic PlanetLab of the chapter-5 emulations.
+	Geo UnderlayKind = "geo"
+)
+
+// Config describes one session.
+type Config struct {
+	Seed     int64
+	Protocol ProtocolKind
+	// Metric selects the virtual distance: "delay" (default), "loss",
+	// or "bandwidth".
+	Metric string
+
+	Nodes int // steady-state population (excluding the source)
+
+	// Degree limits: either a uniform integer range [DegreeMin,
+	// DegreeMax] per node, or — when AvgDegree > 0 — the fractional-
+	// average scheme of the degree sweeps (average 1.25 means 75%
+	// degree-1, 25% degree-2 nodes).
+	DegreeMin, DegreeMax int
+	AvgDegree            float64
+
+	// DegreeFromBandwidth implements the dissertation's future-work
+	// item "a system is required to measure and determine the degree of
+	// each node [which] depends on outgoing bandwidth of nodes": each
+	// node's degree becomes floor(uplink / StreamKbps), clamped to
+	// [1, DegreeCap], with uplinks drawn lognormally.
+	DegreeFromBandwidth bool
+	StreamKbps          float64 // stream bitrate; default 500 (the paper's example)
+	UplinkMeanKbps      float64 // median uplink; default 2000
+	UplinkSigma         float64 // lognormal sigma; default 0.6
+	DegreeCap           int     // default 8
+
+	// Protocol knobs.
+	Gamma             float64 // VDM collinearity threshold (0 = default)
+	VDMRefinePeriodS  float64 // 0 = off (the paper's regular setup)
+	VDMReconnectAtSrc bool    // ablation: reconnect at source, not grandparent
+	VDMFosterJoin     bool    // quick-start: attach to the source immediately
+	HMTPRefinePeriodS float64 // 0 = HMTP default (30 s)
+	BTPSwitchPeriodS  float64
+
+	// Workload.
+	ChurnPct float64 // interval churn percentage (0 = none)
+	// MeanLifetimeS switches to the exponential-lifetime churn model:
+	// Poisson arrivals, exponential memberships with this mean
+	// (ChurnPct is then ignored).
+	MeanLifetimeS float64
+	JoinPhaseS    float64
+	IntervalS     float64
+	SettleS       float64
+	SpreadS       float64
+	DurationS     float64
+	// BatchSize switches to the chapter-4 growth workload: Nodes join
+	// in batches of BatchSize, one per IntervalS, no churn.
+	BatchSize int
+
+	DataRate float64 // chunks per second
+
+	// Underlay.
+	Underlay UnderlayKind
+	// RouterJitterSigma adds lognormal queueing jitter to deliveries and
+	// probe measurements on the router underlay (NS-2 probes see cross-
+	// traffic variation too). Negative disables; zero selects 0.1.
+	RouterJitterSigma float64
+	RouterMin         int         // minimum router count (default 784)
+	LinkLossMax       float64     // chapter-4 per-link error ceiling
+	GeoCfg            *geo.Config // nil = geo.DefaultConfig()
+	GeoUSOnly         bool        // restrict to US sites (chapter 5)
+	// GeoModel and GeoSites, when set together, bypass generation and
+	// site selection: the session runs on the given model with host i
+	// at GeoSites[i] (host 0 = source). The lab front end uses this
+	// after its node-selection pipeline.
+	GeoModel *geo.Model
+	GeoSites []int
+
+	// CtrlLossProb injects control-message loss (fault injection; the
+	// paper's control plane runs over TCP, i.e. 0).
+	CtrlLossProb float64
+
+	// Analysis.
+	ComputeMST bool // compute the tree/MST cost ratio at session end
+	Validate   bool // check tree invariants at every measurement
+	// Trace, when set, observes every message send: virtual time,
+	// endpoints, and the message type name (e.g. "overlay.ConnRequest").
+	Trace func(at float64, from, to int, msgType string)
+
+	// Scenario overrides the generated workload when non-nil.
+	Scenario *scenario.Scenario
+}
+
+func (c Config) withDefaults() Config {
+	if c.Protocol == "" {
+		c.Protocol = VDM
+	}
+	if c.Metric == "" {
+		c.Metric = "delay"
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 200
+	}
+	if c.DegreeMin <= 0 {
+		c.DegreeMin = 2
+	}
+	if c.DegreeMax < c.DegreeMin {
+		c.DegreeMax = 5
+	}
+	if c.JoinPhaseS <= 0 {
+		c.JoinPhaseS = 2000
+	}
+	if c.IntervalS <= 0 {
+		c.IntervalS = 400
+	}
+	if c.SettleS <= 0 {
+		c.SettleS = 100
+	}
+	if c.SpreadS <= 0 {
+		c.SpreadS = c.SettleS / 2
+	}
+	if c.DurationS <= 0 {
+		c.DurationS = 10000
+	}
+	if c.DataRate <= 0 {
+		c.DataRate = 1
+	}
+	if c.Underlay == "" {
+		c.Underlay = Router
+	}
+	if c.RouterMin <= 0 {
+		c.RouterMin = 784
+	}
+	return c
+}
+
+// Sample is the state of the session at one measurement instant.
+type Sample struct {
+	T        float64
+	Tree     metrics.TreeSnapshot
+	Loss     float64 // cumulative average per-peer loss rate so far
+	Overhead float64 // cumulative control/data message ratio
+}
+
+// Result aggregates a finished session. Tree metrics are means over the
+// measurement samples; loss, overhead and the timing metrics are
+// session-cumulative, matching how the paper reports them.
+type Result struct {
+	Config  Config
+	Samples []Sample
+
+	Stress, MaxStress                   float64
+	Stretch, MinStretch, MaxStretch     float64
+	LeafStretch                         float64
+	Hopcount, LeafHopcount, MaxHopcount float64
+	UsageMS, UsageNorm                  float64
+
+	Loss     float64
+	Overhead float64
+
+	StartupAvg, StartupMax float64
+	ReconnAvg, ReconnMax   float64
+	ReconnCount            int
+
+	MSTRatio float64
+	// DCMSTRatio compares against a degree-constrained spanning-tree
+	// heuristic bounded by the session's maximum degree — the fairer
+	// yardstick for a degree-limited overlay (exact DCMST is NP-hard).
+	DCMSTRatio float64
+
+	InvariantErrors []string
+	EventsProcessed uint64
+	FinalAlive      int
+	FinalReachable  int
+	FinalTree       []TreeEdge
+}
+
+// TreeEdge is one overlay edge of the final tree, for inspection and
+// sample-tree rendering (figures 5.5/5.6).
+type TreeEdge struct {
+	Child, Parent int
+	RTTms         float64
+	Depth         int
+	ChildLabel    string
+	ParentLabel   string
+}
+
+// instance is one membership of a host slot.
+type instance struct {
+	slot  int
+	proto overlay.Protocol
+}
+
+type session struct {
+	cfg      Config
+	sim      *eventq.Sim
+	net      *overlay.Network
+	u        underlay.Underlay
+	metric   vdist.Metric
+	degrees  []int
+	insts    map[int]*instance
+	all      []*overlay.Peer // every membership's peer base, in spawn order
+	protoRnd *rng.Stream
+	dataDT   float64
+	samples  []Sample
+	invErrs  []string
+}
+
+// Run executes one session and returns its aggregated result.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	master := rng.New(cfg.Seed)
+
+	scn := cfg.Scenario
+	if scn == nil {
+		if cfg.BatchSize > 0 {
+			batches := (cfg.Nodes + cfg.BatchSize - 1) / cfg.BatchSize
+			scn = scenario.Batch(scenario.BatchConfig{
+				Batches:   batches,
+				BatchSize: cfg.BatchSize,
+				IntervalS: cfg.IntervalS,
+				SettleS:   cfg.SettleS,
+				SpreadS:   cfg.SpreadS,
+			}, rng.Derive(cfg.Seed, "scenario"))
+			cfg.DurationS = scn.DurationS
+		} else if cfg.MeanLifetimeS > 0 {
+			scn = scenario.Lifetime(scenario.LifetimeConfig{
+				Nodes:         cfg.Nodes,
+				MeanLifetimeS: cfg.MeanLifetimeS,
+				JoinPhaseS:    cfg.JoinPhaseS,
+				IntervalS:     cfg.IntervalS,
+				SettleS:       cfg.SettleS,
+				DurationS:     cfg.DurationS,
+			}, rng.Derive(cfg.Seed, "scenario"))
+		} else {
+			scn = scenario.Churn(scenario.ChurnConfig{
+				Nodes:      cfg.Nodes,
+				ChurnPct:   cfg.ChurnPct,
+				JoinPhaseS: cfg.JoinPhaseS,
+				IntervalS:  cfg.IntervalS,
+				SpreadS:    cfg.SpreadS,
+				SettleS:    cfg.SettleS,
+				DurationS:  cfg.DurationS,
+			}, rng.Derive(cfg.Seed, "scenario"))
+		}
+	}
+
+	u, err := buildUnderlay(cfg, scn.PoolSize, master)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &session{
+		cfg:      cfg,
+		sim:      eventq.New(),
+		u:        u,
+		insts:    make(map[int]*instance),
+		protoRnd: rng.Derive(cfg.Seed, "proto"),
+		dataDT:   1 / cfg.DataRate,
+	}
+	s.net = overlay.NewNetwork(s.sim, u, rng.Derive(cfg.Seed, "net"))
+	s.net.CtrlLossProb = cfg.CtrlLossProb
+	if cfg.Trace != nil {
+		trace := cfg.Trace
+		s.net.TraceFn = func(at float64, from, to overlay.NodeID, m overlay.Message) {
+			trace(at, int(from), int(to), fmt.Sprintf("%T", m))
+		}
+	}
+	s.metric = buildMetric(cfg.Metric, u, rng.Derive(cfg.Seed, "estimator"))
+	s.degrees = drawDegrees(cfg, scn.PoolSize, rng.Derive(cfg.Seed, "degrees"))
+
+	// The source is alive for the whole session.
+	s.spawn(0)
+
+	// Data stream.
+	var tick func(seq int64)
+	tick = func(seq int64) {
+		if src, ok := s.insts[0]; ok {
+			src.proto.Base().EmitChunk(seq)
+		}
+		s.sim.After(s.dataDT, func() { tick(seq + 1) })
+	}
+	s.sim.At(0, func() { tick(0) })
+
+	// Scenario playback.
+	for _, e := range scn.Events {
+		ev := e
+		s.sim.At(ev.T, func() {
+			if ev.Join {
+				s.spawn(ev.Slot)
+			} else {
+				s.leave(ev.Slot)
+			}
+		})
+	}
+	for _, mt := range scn.MeasureTimes {
+		t := mt
+		s.sim.At(t, func() { s.measure(t) })
+	}
+
+	s.sim.Run(cfg.DurationS)
+	return s.finish(cfg, scn)
+}
+
+func buildUnderlay(cfg Config, pool int, master *rng.Stream) (underlay.Underlay, error) {
+	switch cfg.Underlay {
+	case Router:
+		ts, err := topology.GenerateTransitStub(
+			topology.ScaledTransitStub(cfg.RouterMin),
+			rng.Derive(cfg.Seed, "topology"),
+		)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.LinkLossMax > 0 {
+			ts.AssignLinkLoss(cfg.LinkLossMax, rng.Derive(cfg.Seed, "linkloss"))
+		}
+		attach := ts.AttachHosts(pool, rng.Derive(cfg.Seed, "attach"))
+		u := underlay.NewRouter(ts.Graph, attach)
+		sigma := cfg.RouterJitterSigma
+		if sigma == 0 {
+			sigma = 0.1
+		}
+		if sigma > 0 {
+			u.WithJitter(rng.Derive(cfg.Seed, "routerjitter"), sigma)
+		}
+		return u, nil
+	case Geo:
+		if cfg.GeoModel != nil && cfg.GeoSites != nil {
+			if len(cfg.GeoSites) < pool {
+				return nil, fmt.Errorf("sim: scenario needs %d host slots, %d sites supplied", pool, len(cfg.GeoSites))
+			}
+			return underlay.NewGeo(cfg.GeoModel, cfg.GeoSites[:pool], rng.Derive(cfg.Seed, "jitter")), nil
+		}
+		gcfg := geo.DefaultConfig()
+		if cfg.GeoCfg != nil {
+			gcfg = *cfg.GeoCfg
+		}
+		model := geo.Generate(gcfg, rng.Derive(cfg.Seed, "geo"))
+		var candidates []int
+		if cfg.GeoUSOnly {
+			candidates = model.USSites()
+		} else {
+			for i := 0; i < model.NumSites(); i++ {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) < pool {
+			return nil, fmt.Errorf("sim: need %d sites, synthetic PlanetLab offers %d (grow geo.Config.SitesPerRegion)", pool, len(candidates))
+		}
+		// The paper's source sits in Colorado: prefer a us-mountain site.
+		srcIdx := 0
+		for i, c := range candidates {
+			if model.Sites[c].Region == "us-mountain" {
+				srcIdx = i
+				break
+			}
+		}
+		candidates[0], candidates[srcIdx] = candidates[srcIdx], candidates[0]
+		pickRnd := rng.Derive(cfg.Seed, "sites")
+		rest := candidates[1:]
+		pickRnd.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		sites := candidates[:pool]
+		return underlay.NewGeo(model, sites, rng.Derive(cfg.Seed, "jitter")), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown underlay %q", cfg.Underlay)
+	}
+}
+
+func buildMetric(name string, u underlay.Underlay, rnd *rng.Stream) vdist.Metric {
+	switch name {
+	case "", "delay":
+		return nil // measured probe RTT
+	case "loss":
+		return vdist.Loss{U: u}
+	case "loss-est":
+		// VDM-L over a third-party statistics service instead of
+		// oracle path loss (the future-work deployment path).
+		return vdist.EstimatedLoss{Svc: vdist.NewLossEstimator(u, rnd)}
+	case "bandwidth":
+		return vdist.Bandwidth{U: u}
+	default:
+		return nil
+	}
+}
+
+func drawDegrees(cfg Config, pool int, rnd *rng.Stream) []int {
+	degrees := make([]int, pool)
+	for i := range degrees {
+		if cfg.DegreeFromBandwidth {
+			stream := cfg.StreamKbps
+			if stream <= 0 {
+				stream = 500
+			}
+			median := cfg.UplinkMeanKbps
+			if median <= 0 {
+				median = 2000
+			}
+			sigma := cfg.UplinkSigma
+			if sigma <= 0 {
+				sigma = 0.6
+			}
+			cap := cfg.DegreeCap
+			if cap <= 0 {
+				cap = 8
+			}
+			uplink := median * rnd.LogNormal(0, sigma)
+			d := int(uplink / stream)
+			if d < 1 {
+				d = 1
+			}
+			if d > cap {
+				d = cap
+			}
+			degrees[i] = d
+			continue
+		}
+		if cfg.AvgDegree > 0 {
+			base := int(math.Floor(cfg.AvgDegree))
+			if base < 1 {
+				base = 1
+			}
+			frac := cfg.AvgDegree - float64(base)
+			degrees[i] = base
+			if rnd.Bool(frac) {
+				degrees[i]++
+			}
+		} else {
+			degrees[i] = rnd.IntBetween(cfg.DegreeMin, cfg.DegreeMax)
+		}
+	}
+	return degrees
+}
+
+func (s *session) spawn(slot int) {
+	if _, alive := s.insts[slot]; alive {
+		return
+	}
+	pc := overlay.PeerConfig{
+		ID:        overlay.NodeID(slot),
+		Source:    0,
+		MaxDegree: s.degrees[slot],
+		IsSource:  slot == 0,
+		Metric:    s.metric,
+	}
+	var p overlay.Protocol
+	switch s.cfg.Protocol {
+	case HMTP:
+		p = hmtp.New(s.net, pc, hmtp.Config{RefinePeriodS: s.cfg.HMTPRefinePeriodS}, s.protoRnd.Derive(fmt.Sprintf("hmtp-%d-%d", slot, len(s.all))))
+	case BTP:
+		p = btp.New(s.net, pc, btp.Config{SwitchPeriodS: s.cfg.BTPSwitchPeriodS}, s.protoRnd.Derive(fmt.Sprintf("btp-%d-%d", slot, len(s.all))))
+	case NICE:
+		// NICE has no per-member degree bound; cluster size (3K−1) is
+		// the capacity notion, applied uniformly.
+		ncfg := nice.Config{}
+		pc.MaxDegree = ncfg.MaxCluster()
+		s.degrees[slot] = pc.MaxDegree
+		p = nice.New(s.net, pc, ncfg, s.protoRnd.Derive(fmt.Sprintf("nice-%d-%d", slot, len(s.all))))
+	case Random:
+		p = randjoin.New(s.net, pc, randjoin.Config{}, s.protoRnd.Derive(fmt.Sprintf("rand-%d-%d", slot, len(s.all))))
+	default:
+		p = core.New(s.net, pc, core.Config{
+			Gamma:             s.cfg.Gamma,
+			RefinePeriodS:     s.cfg.VDMRefinePeriodS,
+			ReconnectAtSource: s.cfg.VDMReconnectAtSrc,
+			FosterJoin:        s.cfg.VDMFosterJoin,
+		}, s.protoRnd.Derive(fmt.Sprintf("vdm-%d-%d", slot, len(s.all))))
+	}
+	s.net.Register(overlay.NodeID(slot), p)
+	s.insts[slot] = &instance{slot: slot, proto: p}
+	s.all = append(s.all, p.Base())
+	if slot != 0 {
+		p.StartJoin()
+	}
+}
+
+func (s *session) leave(slot int) {
+	inst, ok := s.insts[slot]
+	if !ok || slot == 0 {
+		return
+	}
+	inst.proto.Leave()
+	delete(s.insts, slot)
+}
+
+func (s *session) views() []overlay.TreeView {
+	slots := make([]int, 0, len(s.insts))
+	for slot := range s.insts {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	out := make([]overlay.TreeView, 0, len(slots))
+	for _, slot := range slots {
+		out = append(out, s.insts[slot].proto)
+	}
+	return out
+}
+
+func (s *session) measure(t float64) {
+	views := s.views()
+	snap := metrics.Collect(views, 0, s.u)
+	s.samples = append(s.samples, Sample{
+		T:        t,
+		Tree:     snap,
+		Loss:     s.lossSoFar(t),
+		Overhead: s.net.Overhead(),
+	})
+	if s.cfg.Validate {
+		if errs := s.validate(); len(errs) > 0 {
+			// Parent/child symmetry is eventually consistent (a Detach
+			// or ParentChange may be in flight at the snapshot instant),
+			// so only violations that persist a few seconds later are
+			// real.
+			first := make(map[string]bool, len(errs))
+			for _, e := range errs {
+				first[e] = true
+			}
+			s.sim.After(5, func() {
+				for _, e := range s.validate() {
+					if first[e] {
+						s.invErrs = append(s.invErrs, fmt.Sprintf("t=%.0f: %s", t, e))
+					}
+				}
+			})
+		}
+	}
+}
+
+func (s *session) validate() []string {
+	return metrics.Validate(s.views(), 0, func(id overlay.NodeID) int { return s.degrees[int(id)] })
+}
+
+// expectedChunks counts the chunks the source emitted during [a, b).
+func (s *session) expectedChunks(a, b float64) int64 {
+	if b <= a {
+		return 0
+	}
+	kmin := int64(math.Ceil(a / s.dataDT))
+	kmax := int64(math.Ceil(b/s.dataDT)) - 1
+	if kmax < kmin {
+		return 0
+	}
+	return kmax - kmin + 1
+}
+
+// lossSoFar averages, over every membership that ever connected, the
+// fraction of the chunks emitted during its membership that it missed —
+// the paper's loss metric.
+func (s *session) lossSoFar(now float64) float64 {
+	var rates []float64
+	for _, p := range s.all {
+		st := p.Stats()
+		if p.IsSource() || st.Startup < 0 {
+			continue
+		}
+		end := now
+		if st.LeftAt >= 0 {
+			end = st.LeftAt
+		}
+		exp := s.expectedChunks(st.MemberSince, end)
+		if exp <= 0 {
+			continue
+		}
+		recv := st.Received
+		if recv > exp {
+			recv = exp
+		}
+		rates = append(rates, 1-float64(recv)/float64(exp))
+	}
+	return stats.Mean(rates)
+}
+
+func (s *session) finish(cfg Config, scn *scenario.Scenario) (*Result, error) {
+	res := &Result{
+		Config:          cfg,
+		Samples:         s.samples,
+		Loss:            s.lossSoFar(cfg.DurationS),
+		Overhead:        s.net.Overhead(),
+		InvariantErrors: s.invErrs,
+		EventsProcessed: s.sim.Processed(),
+	}
+
+	var stress, maxStress, stretch, minStr, maxStr, leafStr []float64
+	var hop, leafHop, maxHop, usage, usageN []float64
+	for _, sm := range s.samples {
+		if sm.Tree.Reachable == 0 {
+			continue
+		}
+		stress = append(stress, sm.Tree.Stress)
+		maxStress = append(maxStress, sm.Tree.MaxStress)
+		stretch = append(stretch, sm.Tree.Stretch)
+		minStr = append(minStr, sm.Tree.MinStretch)
+		maxStr = append(maxStr, sm.Tree.MaxStretch)
+		leafStr = append(leafStr, sm.Tree.LeafStretch)
+		hop = append(hop, sm.Tree.Hopcount)
+		leafHop = append(leafHop, sm.Tree.LeafHopcount)
+		maxHop = append(maxHop, sm.Tree.MaxHopcount)
+		usage = append(usage, sm.Tree.UsageMS)
+		usageN = append(usageN, sm.Tree.UsageNorm)
+	}
+	res.Stress = stats.Mean(stress)
+	res.MaxStress = stats.Mean(maxStress)
+	res.Stretch = stats.Mean(stretch)
+	res.MinStretch = stats.Mean(minStr)
+	res.MaxStretch = stats.Mean(maxStr)
+	res.LeafStretch = stats.Mean(leafStr)
+	res.Hopcount = stats.Mean(hop)
+	res.LeafHopcount = stats.Mean(leafHop)
+	res.MaxHopcount = stats.Mean(maxHop)
+	res.UsageMS = stats.Mean(usage)
+	res.UsageNorm = stats.Mean(usageN)
+
+	var startups, reconns []float64
+	for _, p := range s.all {
+		st := p.Stats()
+		if p.IsSource() {
+			continue
+		}
+		if st.Startup >= 0 {
+			startups = append(startups, st.Startup)
+		}
+		reconns = append(reconns, st.Reconnects...)
+	}
+	res.StartupAvg = stats.Mean(startups)
+	res.StartupMax = stats.Max(startups)
+	res.ReconnAvg = stats.Mean(reconns)
+	res.ReconnMax = stats.Max(reconns)
+	res.ReconnCount = len(reconns)
+
+	views := s.views()
+	finalSnap := metrics.Collect(views, 0, s.u)
+	res.FinalAlive = finalSnap.Alive
+	res.FinalReachable = finalSnap.Reachable
+	res.FinalTree = s.finalTree(views)
+
+	if cfg.ComputeMST {
+		res.MSTRatio, res.DCMSTRatio = s.mstRatios(views)
+	}
+	return res, nil
+}
+
+// label names a host for tree dumps: the site name on the synthetic
+// PlanetLab, a host@router tag on the router underlay.
+func (s *session) label(id int) string {
+	if g, ok := s.u.(*underlay.GeoUnderlay); ok {
+		return g.Site(id).Name
+	}
+	if r, ok := s.u.(*underlay.RouterUnderlay); ok {
+		return fmt.Sprintf("host%d@r%d", id, r.AttachmentRouter(id))
+	}
+	return fmt.Sprintf("host%d", id)
+}
+
+func (s *session) finalTree(views []overlay.TreeView) []TreeEdge {
+	depth := map[overlay.NodeID]int{0: 0}
+	byID := make(map[overlay.NodeID]overlay.TreeView, len(views))
+	for _, v := range views {
+		byID[v.ID()] = v
+	}
+	var depthOf func(id overlay.NodeID) int
+	depthOf = func(id overlay.NodeID) int {
+		if d, ok := depth[id]; ok {
+			return d
+		}
+		v, ok := byID[id]
+		if !ok || v.ParentID() == overlay.None {
+			depth[id] = -1
+			return -1
+		}
+		depth[id] = len(views) + 1 // cycle guard while recursing
+		pd := depthOf(v.ParentID())
+		if pd < 0 {
+			depth[id] = -1
+		} else {
+			depth[id] = pd + 1
+		}
+		return depth[id]
+	}
+	var edges []TreeEdge
+	for _, v := range views {
+		if v.IsSource() || v.ParentID() == overlay.None {
+			continue
+		}
+		d := depthOf(v.ID())
+		if d < 0 {
+			continue
+		}
+		edges = append(edges, TreeEdge{
+			Child:       int(v.ID()),
+			Parent:      int(v.ParentID()),
+			RTTms:       s.u.BaseRTT(int(v.ID()), int(v.ParentID())),
+			Depth:       d,
+			ChildLabel:  s.label(int(v.ID())),
+			ParentLabel: s.label(int(v.ParentID())),
+		})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Depth != edges[j].Depth {
+			return edges[i].Depth < edges[j].Depth
+		}
+		return edges[i].Child < edges[j].Child
+	})
+	return edges
+}
+
+// mstRatios computes Σ(tree edge RTT) over the MST cost and over the
+// degree-constrained-MST heuristic's cost (bounded by the session's
+// maximum degree), for the source plus every reachable peer.
+func (s *session) mstRatios(views []overlay.TreeView) (mstR, dcmstR float64) {
+	ids := metrics.ReachableSet(views, 0)
+	if len(ids) < 2 {
+		return 0, 0
+	}
+	cost := func(i, j int) float64 { return s.u.BaseRTT(int(ids[i]), int(ids[j])) }
+	_, mstCost := mst.Prim(len(ids), cost)
+
+	maxDeg := 1
+	for _, id := range ids {
+		if d := s.degrees[int(id)]; d > maxDeg {
+			maxDeg = d
+		}
+	}
+	_, dcmstCost := mst.DegreeConstrainedPrim(len(ids), maxDeg, cost)
+
+	byID := make(map[overlay.NodeID]overlay.TreeView, len(views))
+	for _, v := range views {
+		byID[v.ID()] = v
+	}
+	treeCost := 0.0
+	for _, id := range ids {
+		v := byID[id]
+		if v.IsSource() || v.ParentID() == overlay.None {
+			continue
+		}
+		treeCost += s.u.BaseRTT(int(id), int(v.ParentID()))
+	}
+	return mst.Ratio(treeCost, mstCost), mst.Ratio(treeCost, dcmstCost)
+}

@@ -1,0 +1,40 @@
+package topology
+
+import (
+	"testing"
+
+	"vdm/internal/rng"
+)
+
+func BenchmarkGenerateTransitStub784(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateTransitStub(DefaultTransitStub(), rng.New(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShortestPaths784(b *testing.B) {
+	ts, err := GenerateTransitStub(DefaultTransitStub(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Graph.ShortestPaths(RouterID(i % ts.Graph.NumRouters()))
+	}
+}
+
+func BenchmarkPathLinks(b *testing.B) {
+	ts, err := GenerateTransitStub(DefaultTransitStub(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	spt := ts.Graph.ShortestPaths(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spt.PathLinks(RouterID(1 + i%(ts.Graph.NumRouters()-1)))
+	}
+}

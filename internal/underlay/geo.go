@@ -1,0 +1,64 @@
+package underlay
+
+import (
+	"vdm/internal/geo"
+	"vdm/internal/rng"
+	"vdm/internal/topology"
+)
+
+// GeoUnderlay exposes a synthetic-PlanetLab RTT matrix as an Underlay.
+// Hosts map 1:1 onto a chosen subset of sites. RTT measurements and
+// message deliveries carry lognormal jitter; there is no router model,
+// so PathLinks returns nil and the stress metric is unavailable (the
+// chapter-5 experiments use resource usage instead, exactly as the paper
+// does on PlanetLab).
+type GeoUnderlay struct {
+	m     *geo.Model
+	sites []int // host -> site id
+	rnd   *rng.Stream
+}
+
+var _ Underlay = (*GeoUnderlay)(nil)
+
+// NewGeo builds an underlay over the given sites of model m. The stream
+// drives measurement jitter.
+func NewGeo(m *geo.Model, sites []int, rnd *rng.Stream) *GeoUnderlay {
+	return &GeoUnderlay{m: m, sites: sites, rnd: rnd}
+}
+
+// NumHosts reports the number of hosts.
+func (u *GeoUnderlay) NumHosts() int { return len(u.sites) }
+
+// NumLinks reports 0: the geo underlay has no router model.
+func (u *GeoUnderlay) NumLinks() int { return 0 }
+
+// Site returns the site backing host h.
+func (u *GeoUnderlay) Site(h int) geo.Site { return u.m.Sites[u.sites[h]] }
+
+// BaseRTT returns the jitter-free RTT between hosts in ms.
+func (u *GeoUnderlay) BaseRTT(a, b int) float64 {
+	return u.m.BaseRTT(u.sites[a], u.sites[b])
+}
+
+// RTT returns one noisy RTT measurement in ms.
+func (u *GeoUnderlay) RTT(a, b int) float64 {
+	return u.m.SampleRTT(u.sites[a], u.sites[b], u.rnd)
+}
+
+// OneWayDelayMS returns a noisy one-way delivery delay in ms; lazy
+// destination sites add their think time.
+func (u *GeoUnderlay) OneWayDelayMS(a, b int) float64 {
+	d := u.m.SampleRTT(u.sites[a], u.sites[b], u.rnd) / 2
+	if u.m.Sites[u.sites[b]].Lazy {
+		d += u.rnd.Exp(u.m.LazyExtraMS)
+	}
+	return d
+}
+
+// LossRate returns the per-chunk loss probability between hosts.
+func (u *GeoUnderlay) LossRate(a, b int) float64 {
+	return u.m.Loss(u.sites[a], u.sites[b])
+}
+
+// PathLinks returns nil: no router model.
+func (u *GeoUnderlay) PathLinks(a, b int) []topology.LinkID { return nil }

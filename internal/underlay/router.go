@@ -1,0 +1,135 @@
+package underlay
+
+import (
+	"vdm/internal/rng"
+	"vdm/internal/topology"
+)
+
+// hostAccessMS is the one-way delay of a host's access link to its router.
+// Hosts on the same router still measure a small positive RTT.
+const hostAccessMS = 0.5
+
+// RouterUnderlay routes host-to-host traffic over a router graph along
+// shortest-delay paths. Shortest-path trees are computed lazily per
+// attachment router and cached.
+type RouterUnderlay struct {
+	g      *topology.Graph
+	attach []topology.RouterID // host -> router
+	spts   map[topology.RouterID]*topology.SPT
+	// pathLoss caches end-to-end loss per (router,router) pair.
+	pathLoss map[[2]topology.RouterID]float64
+	// Measurement jitter: application-level pings observe queueing and
+	// processing variation on top of propagation delay.
+	jitterRnd   *rng.Stream
+	jitterSigma float64
+}
+
+// WithJitter makes RTT *measurements* (not deliveries or base values)
+// vary lognormally around the propagation RTT, modeling the queueing and
+// cross-traffic variation real probes see.
+func (u *RouterUnderlay) WithJitter(rnd *rng.Stream, sigma float64) *RouterUnderlay {
+	u.jitterRnd = rnd
+	u.jitterSigma = sigma
+	return u
+}
+
+var _ Underlay = (*RouterUnderlay)(nil)
+
+// NewRouter attaches hosts to the given routers of graph g.
+func NewRouter(g *topology.Graph, attach []topology.RouterID) *RouterUnderlay {
+	return &RouterUnderlay{
+		g:        g,
+		attach:   attach,
+		spts:     make(map[topology.RouterID]*topology.SPT),
+		pathLoss: make(map[[2]topology.RouterID]float64),
+	}
+}
+
+// NumHosts reports the number of attached hosts.
+func (u *RouterUnderlay) NumHosts() int { return len(u.attach) }
+
+// NumLinks reports the number of physical links in the router graph.
+func (u *RouterUnderlay) NumLinks() int { return u.g.NumLinks() }
+
+// AttachmentRouter returns the router host h attaches to.
+func (u *RouterUnderlay) AttachmentRouter(h int) topology.RouterID { return u.attach[h] }
+
+func (u *RouterUnderlay) spt(r topology.RouterID) *topology.SPT {
+	if t, ok := u.spts[r]; ok {
+		return t
+	}
+	t := u.g.ShortestPaths(r)
+	u.spts[r] = t
+	return t
+}
+
+// oneWay returns the one-way host-to-host delay in ms.
+func (u *RouterUnderlay) oneWay(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	ra, rb := u.attach[a], u.attach[b]
+	return u.spt(ra).DistMS[rb] + 2*hostAccessMS
+}
+
+// BaseRTT returns the deterministic round-trip time in ms.
+func (u *RouterUnderlay) BaseRTT(a, b int) float64 { return 2 * u.oneWay(a, b) }
+
+// RTT returns one round-trip-time measurement, with lognormal jitter when
+// configured.
+func (u *RouterUnderlay) RTT(a, b int) float64 {
+	base := u.BaseRTT(a, b)
+	if u.jitterRnd == nil || u.jitterSigma <= 0 {
+		return base
+	}
+	return base * u.jitterRnd.LogNormal(0, u.jitterSigma)
+}
+
+// OneWayDelayMS returns the message delivery delay in ms, with queueing
+// jitter when configured (this is what makes probe measurements noisy:
+// probes time actual message exchanges).
+func (u *RouterUnderlay) OneWayDelayMS(a, b int) float64 {
+	d := u.oneWay(a, b)
+	if u.jitterRnd == nil || u.jitterSigma <= 0 {
+		return d
+	}
+	return d * u.jitterRnd.LogNormal(0, u.jitterSigma)
+}
+
+// LossRate returns the end-to-end loss probability along the routed path:
+// 1 − Π(1 − loss(link)).
+func (u *RouterUnderlay) LossRate(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	ra, rb := u.attach[a], u.attach[b]
+	if ra == rb {
+		return 0
+	}
+	key := [2]topology.RouterID{ra, rb}
+	if ra > rb {
+		key = [2]topology.RouterID{rb, ra}
+	}
+	if p, ok := u.pathLoss[key]; ok {
+		return p
+	}
+	survive := 1.0
+	for _, lid := range u.spt(key[0]).PathLinks(key[1]) {
+		survive *= 1 - u.g.Link(lid).LossRate
+	}
+	p := 1 - survive
+	u.pathLoss[key] = p
+	return p
+}
+
+// PathLinks returns the physical links on the routed path between hosts.
+func (u *RouterUnderlay) PathLinks(a, b int) []topology.LinkID {
+	if a == b {
+		return nil
+	}
+	ra, rb := u.attach[a], u.attach[b]
+	if ra == rb {
+		return nil
+	}
+	return u.spt(ra).PathLinks(rb)
+}

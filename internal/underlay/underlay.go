@@ -1,0 +1,41 @@
+// Package underlay abstracts the physical network beneath the overlay.
+//
+// Protocol code and metric collectors only ever see this interface; the
+// two implementations are a router-graph underlay built from a transit-stub
+// topology (chapter 3/4 simulations) and a measured-RTT-matrix underlay
+// built from the synthetic PlanetLab (chapter 5 emulations).
+package underlay
+
+import "vdm/internal/topology"
+
+// Underlay models the network between overlay hosts. Hosts are identified
+// by dense integer ids assigned by the session that built the underlay.
+type Underlay interface {
+	// NumHosts reports how many hosts are attached.
+	NumHosts() int
+
+	// RTT returns one round-trip-time measurement between hosts a and b
+	// in milliseconds. Implementations may add per-call jitter; this is
+	// what an application-level ping observes.
+	RTT(a, b int) float64
+
+	// BaseRTT returns the deterministic jitter-free RTT in milliseconds,
+	// used by metric collectors.
+	BaseRTT(a, b int) float64
+
+	// OneWayDelayMS returns the delivery delay for a single message from
+	// a to b in milliseconds (may include jitter).
+	OneWayDelayMS(a, b int) float64
+
+	// LossRate returns the end-to-end per-packet loss probability a→b.
+	LossRate(a, b int) float64
+
+	// PathLinks returns the physical links on the routed path between a
+	// and b, or nil when the underlay has no router model (the stress
+	// metric is then undefined).
+	PathLinks(a, b int) []topology.LinkID
+
+	// NumLinks reports the number of physical links, 0 without a router
+	// model.
+	NumLinks() int
+}

@@ -1,0 +1,136 @@
+package vdm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFacadeDefaults(t *testing.T) {
+	res, err := Run(Config{
+		Seed:       1,
+		Nodes:      40,
+		JoinPhaseS: 300,
+		DurationS:  900,
+		DataRate:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable < 38 {
+		t.Fatalf("reachable %d of 40", res.Reachable)
+	}
+	if res.Stress < 1 || res.Stretch < 1 || res.Hopcount < 1 {
+		t.Fatalf("implausible metrics: %+v", res)
+	}
+	if len(res.Tree) == 0 {
+		t.Fatal("final tree missing")
+	}
+	samples := res.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, s := range samples {
+		if s.T <= 0 {
+			t.Fatalf("sample time %v", s.T)
+		}
+	}
+}
+
+func TestRunFacadePlanetLab(t *testing.T) {
+	res, err := Run(Config{
+		Seed:       2,
+		Protocol:   ProtocolVDM,
+		Underlay:   UnderlayPlanetLab,
+		USOnly:     true,
+		Nodes:      30,
+		DegreeMin:  4,
+		DegreeMax:  4,
+		ChurnPct:   10,
+		JoinPhaseS: 300,
+		DurationS:  900,
+		DataRate:   2,
+		ComputeMST: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StartupAvg <= 0 {
+		t.Fatal("no startup measurement")
+	}
+	if res.MSTRatio < 1-1e-9 {
+		t.Fatalf("MST ratio %v", res.MSTRatio)
+	}
+	// PlanetLab trees carry site labels.
+	if !strings.Contains(res.Tree[0].ParentLabel, "us-") {
+		t.Fatalf("label %q not a site name", res.Tree[0].ParentLabel)
+	}
+}
+
+func TestRunFacadePlanetLabGrowsPool(t *testing.T) {
+	// Worldwide pool with more nodes than the default site count: the
+	// facade grows the synthetic PlanetLab instead of failing.
+	res, err := Run(Config{
+		Seed:       3,
+		Underlay:   UnderlayPlanetLab,
+		Nodes:      150,
+		JoinPhaseS: 200,
+		DurationS:  400,
+		DataRate:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alive < 140 {
+		t.Fatalf("alive %d of 150", res.Alive)
+	}
+}
+
+func TestExperimentGroupsListed(t *testing.T) {
+	groups := ExperimentGroups()
+	want := []string{"ch3-churn", "ch4-time", "ch5-mst", "ablation-gamma"}
+	have := map[string]bool{}
+	for _, g := range groups {
+		have[g] = true
+	}
+	for _, g := range want {
+		if !have[g] {
+			t.Fatalf("group %s missing from %v", g, groups)
+		}
+	}
+}
+
+func TestRunExperimentGroupTiny(t *testing.T) {
+	figs, err := RunExperimentGroup("ablation-baselines", ExperimentOptions{
+		Seed: 1, Reps: 1, TimeScale: 0.06, RateScale: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 {
+		t.Fatalf("figures = %d", len(figs))
+	}
+	if !strings.Contains(figs[0].Text, "stretch") {
+		t.Fatalf("table text missing columns:\n%s", figs[0].Text)
+	}
+}
+
+func TestRunExperimentGroupUnknown(t *testing.T) {
+	if _, err := RunExperimentGroup("bogus", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestDeterministicFacade(t *testing.T) {
+	cfg := Config{Seed: 9, Nodes: 30, JoinPhaseS: 200, DurationS: 600, DataRate: 1, ChurnPct: 10}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Loss != b.Loss || a.Stretch != b.Stretch || len(a.Tree) != len(b.Tree) {
+		t.Fatal("same seed produced different results")
+	}
+}
