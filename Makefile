@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check test build vet fuzz bench
+
+# check is the pre-merge gate: vet + build + race-enabled tests.
+check:
+	./check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short fuzz pass over the wire codec.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/wire/
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/wire/

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full pre-merge check: vet, build everything, and run the test suite with
+# the race detector (the live runtime and transports must be race-clean).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: OK"

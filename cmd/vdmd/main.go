@@ -1,0 +1,151 @@
+// Command vdmd runs one live VDM peer over UDP: either the session source
+// (rendezvous + stream origin) or a joining member. Peers discover each
+// other through the source's Hello/Welcome directory and then speak the
+// overlay protocol directly, peer to peer.
+//
+// Start a source streaming 2 chunks/s:
+//
+//	vdmd -listen 127.0.0.1:9000 -source -rate 2
+//
+// Join from two more terminals:
+//
+//	vdmd -listen 127.0.0.1:9001 -join 127.0.0.1:9000
+//	vdmd -listen 127.0.0.1:9002 -join 127.0.0.1:9000
+//
+// Ctrl-C leaves the session gracefully (children are pointed at their
+// grandparent before the process exits).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vdm/internal/core"
+	"vdm/internal/live"
+	"vdm/internal/overlay"
+	"vdm/internal/rng"
+	"vdm/internal/transport"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:9000", "UDP address to bind")
+		source  = flag.Bool("source", false, "run as the session source")
+		join    = flag.String("join", "", "source address to join (required unless -source)")
+		degree  = flag.Int("degree", 4, "maximum child count")
+		gamma   = flag.Float64("gamma", 0, "VDM collinearity threshold (0 = default)")
+		foster  = flag.Bool("foster", false, "foster quick-start join")
+		refine  = flag.Float64("refine", 0, "refinement period in seconds (0 = off)")
+		rate    = flag.Float64("rate", 1, "source stream rate (chunks/s)")
+		status  = flag.Duration("status", 5*time.Second, "status print interval (0 = quiet)")
+		seed    = flag.Int64("seed", 1, "refinement-jitter seed")
+		timeout = flag.Duration("timeout", 10*time.Second, "join handshake timeout")
+	)
+	flag.Parse()
+
+	if !*source && *join == "" {
+		fmt.Fprintln(os.Stderr, "vdmd: need -source or -join <addr>")
+		os.Exit(2)
+	}
+
+	tr, err := transport.NewUDP(*listen, transport.UDPConfig{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vdmd:", err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+
+	var id overlay.NodeID
+	if *source {
+		sess := live.NewSourceSession(tr)
+		id = sess.ID()
+		fmt.Printf("vdmd: source %s (node %d)\n", tr.LocalAddr(), id)
+	} else {
+		sess, err := live.JoinSession(tr, *join, *timeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vdmd:", err)
+			os.Exit(1)
+		}
+		id = sess.ID()
+		fmt.Printf("vdmd: joined %s as node %d (listening on %s)\n", *join, id, tr.LocalAddr())
+	}
+
+	cfg := core.Config{
+		Gamma:         *gamma,
+		RefinePeriodS: *refine,
+		FosterJoin:    *foster,
+	}
+	var rnd *rng.Stream
+	if *refine > 0 {
+		rnd = rng.New(*seed)
+	}
+	peer := live.NewPeer(tr, time.Now(), func(bus overlay.Bus) overlay.Protocol {
+		return core.New(bus, overlay.PeerConfig{
+			ID:        id,
+			Source:    0,
+			MaxDegree: *degree,
+			IsSource:  *source,
+		}, cfg, rnd)
+	})
+	if !*source {
+		peer.StartJoin()
+	}
+
+	stop := make(chan struct{})
+	if *source && *rate > 0 {
+		go func() {
+			tick := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+			defer tick.Stop()
+			var seq int64
+			for {
+				select {
+				case <-tick.C:
+					peer.EmitChunk(seq)
+					seq++
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	if *status > 0 {
+		go func() {
+			tick := time.NewTicker(*status)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					printStatus(peer, tr)
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	fmt.Println("vdmd: leaving session")
+	peer.Leave()
+	// Give the Detach/LeaveNotify frames a moment to go out before the
+	// socket closes.
+	time.Sleep(200 * time.Millisecond)
+}
+
+func printStatus(p *live.Peer, tr *transport.UDP) {
+	v := p.View()
+	s := p.Stats()
+	c := tr.Counters().Snapshot()
+	parent := "none"
+	if v.ParentID() != overlay.None {
+		parent = fmt.Sprint(v.ParentID())
+	}
+	fmt.Printf("vdmd: node %d connected=%v parent=%s children=%v recv=%d fwd=%d ctrl=%d data=%d\n",
+		v.ID(), v.Connected(), parent, v.ChildIDs(), s.Received, s.Forwarded, c.Ctrl, c.Data)
+}

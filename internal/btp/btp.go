@@ -78,7 +78,7 @@ type Node struct {
 var _ overlay.Protocol = (*Node)(nil)
 
 // New builds a BTP node.
-func New(net *overlay.Network, pc overlay.PeerConfig, cfg Config, rnd *rng.Stream) *Node {
+func New(net overlay.Bus, pc overlay.PeerConfig, cfg Config, rnd *rng.Stream) *Node {
 	n := &Node{
 		Peer: overlay.NewPeer(net, pc),
 		cfg:  cfg.withDefaults(),
@@ -143,7 +143,7 @@ func (n *Node) sendConn(js *joinState, to overlay.NodeID) {
 	n.Net().Send(n.ID(), to, overlay.ConnRequest{Token: js.token, Kind: overlay.ConnChild, Dist: dist})
 
 	tok := js.token
-	n.Net().Sim.After(n.ConnTimeoutS, func() {
+	n.Net().After(n.ConnTimeoutS, func() {
 		if n.join == js && js.stage == stageConn && js.token == tok {
 			n.restart(js)
 		}
@@ -219,7 +219,7 @@ func (n *Node) restart(js *joinState) {
 	attempts := js.attempts + 1
 	n.join = nil
 	if attempts >= n.cfg.MaxAttempts {
-		n.Net().Sim.After(n.cfg.RetryBackoffS, func() {
+		n.Net().After(n.cfg.RetryBackoffS, func() {
 			if n.Alive() && !n.Connected() && n.join == nil {
 				n.begin(js.reconnect)
 			}
@@ -250,7 +250,7 @@ func (n *Node) scheduleSwitch() {
 	if n.rnd != nil {
 		period *= n.rnd.Uniform(0.9, 1.1)
 	}
-	n.Net().Sim.After(period, func() {
+	n.Net().After(period, func() {
 		if !n.Alive() {
 			return
 		}
@@ -264,7 +264,7 @@ func (n *Node) scheduleSwitch() {
 			n.join = js
 			n.Net().Send(n.ID(), js.target, overlay.InfoRequest{Token: js.token})
 			tok := js.token
-			n.Net().Sim.After(n.InfoTimeoutS, func() {
+			n.Net().After(n.InfoTimeoutS, func() {
 				if n.join == js && js.stage == stageSwitchInfo && js.token == tok {
 					n.join = nil
 				}
@@ -322,7 +322,7 @@ func (n *Node) onSwitchInfo(from overlay.NodeID, m overlay.InfoResponse) {
 		js.token = n.token
 		n.Net().Send(n.ID(), best, overlay.ConnRequest{Token: js.token, Kind: overlay.ConnChild, Dist: bd})
 		tok2 := js.token
-		n.Net().Sim.After(n.ConnTimeoutS, func() {
+		n.Net().After(n.ConnTimeoutS, func() {
 			if n.join == js && js.stage == stageSwitchConn && js.token == tok2 {
 				n.EndSwitch()
 				n.join = nil

@@ -72,7 +72,7 @@ func (n *Node) sendInfo(js *joinState, target overlay.NodeID) {
 	n.Net().Send(n.ID(), target, overlay.InfoRequest{Token: js.token})
 
 	tok := js.token
-	n.Net().Sim.After(n.InfoTimeoutS, func() {
+	n.Net().After(n.InfoTimeoutS, func() {
 		if n.join == js && js.stage == stageInfo && js.token == tok {
 			n.onTargetUnusable(js)
 		}
@@ -198,7 +198,7 @@ func (n *Node) connect(js *joinState, to overlay.NodeID, kind overlay.ConnKind, 
 	})
 
 	tok := js.token
-	n.Net().Sim.After(n.ConnTimeoutS, func() {
+	n.Net().After(n.ConnTimeoutS, func() {
 		if n.join == js && js.stage == stageConn && js.token == tok {
 			if js.purpose == purposeRefine {
 				n.EndSwitch()
@@ -325,7 +325,7 @@ func (n *Node) restart(js *joinState) {
 		return
 	}
 	if attempts >= n.cfg.MaxAttempts {
-		n.Net().Sim.After(n.cfg.RetryBackoffS, func() {
+		n.Net().After(n.cfg.RetryBackoffS, func() {
 			if n.Alive() && !n.Connected() && n.join == nil {
 				n.beginWith(js.purpose, n.Source(), 0)
 			}

@@ -71,7 +71,7 @@ func (n *Node) fosterRetry() {
 	if !n.fostered {
 		return
 	}
-	n.Net().Sim.After(5, func() {
+	n.Net().After(5, func() {
 		if n.Alive() && n.fostered && n.Connected() && n.join == nil {
 			n.begin(purposeRefine, n.Source())
 		}
@@ -82,7 +82,7 @@ var _ overlay.Protocol = (*Node)(nil)
 
 // New builds a VDM node over the given network. rnd jitters refinement
 // timers (it may be nil when refinement is disabled).
-func New(net *overlay.Network, pc overlay.PeerConfig, cfg Config, rnd *rng.Stream) *Node {
+func New(net overlay.Bus, pc overlay.PeerConfig, cfg Config, rnd *rng.Stream) *Node {
 	n := &Node{
 		Peer: overlay.NewPeer(net, pc),
 		cfg:  cfg.withDefaults(),
@@ -159,7 +159,7 @@ func (n *Node) scheduleRefine() {
 	if n.rnd != nil {
 		period *= n.rnd.Uniform(0.9, 1.1)
 	}
-	n.Net().Sim.After(period, func() {
+	n.Net().After(period, func() {
 		if !n.Alive() {
 			return
 		}

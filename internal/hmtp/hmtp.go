@@ -89,7 +89,7 @@ var _ overlay.Protocol = (*Node)(nil)
 
 // New builds an HMTP node. rnd drives refinement timing and root-path
 // sampling.
-func New(net *overlay.Network, pc overlay.PeerConfig, cfg Config, rnd *rng.Stream) *Node {
+func New(net overlay.Bus, pc overlay.PeerConfig, cfg Config, rnd *rng.Stream) *Node {
 	n := &Node{
 		Peer: overlay.NewPeer(net, pc),
 		cfg:  cfg.withDefaults(),
@@ -161,7 +161,7 @@ func (n *Node) sendInfo(js *joinState, target overlay.NodeID) {
 	n.Net().Send(n.ID(), target, overlay.InfoRequest{Token: js.token})
 
 	tok := js.token
-	n.Net().Sim.After(n.InfoTimeoutS, func() {
+	n.Net().After(n.InfoTimeoutS, func() {
 		if n.join == js && js.stage == stageInfo && js.token == tok {
 			n.onTargetUnusable(js)
 		}
@@ -263,7 +263,7 @@ func (n *Node) connect(js *joinState, to overlay.NodeID) {
 	})
 
 	tok := js.token
-	n.Net().Sim.After(n.ConnTimeoutS, func() {
+	n.Net().After(n.ConnTimeoutS, func() {
 		if n.join == js && js.stage == stageConn && js.token == tok {
 			if js.purpose == purposeRefine {
 				n.EndSwitch()
@@ -348,7 +348,7 @@ func (n *Node) restart(js *joinState) {
 		return
 	}
 	if attempts >= n.cfg.MaxAttempts {
-		n.Net().Sim.After(n.cfg.RetryBackoffS, func() {
+		n.Net().After(n.cfg.RetryBackoffS, func() {
 			if n.Alive() && !n.Connected() && n.join == nil {
 				n.beginWith(js.purpose, n.Source(), 0)
 			}
@@ -373,7 +373,7 @@ func (n *Node) scheduleRefine() {
 	if n.rnd != nil {
 		period *= n.rnd.Uniform(0.9, 1.1)
 	}
-	n.Net().Sim.After(period, func() {
+	n.Net().After(period, func() {
 		if !n.Alive() {
 			return
 		}

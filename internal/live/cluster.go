@@ -1,0 +1,156 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"vdm/internal/core"
+	"vdm/internal/metrics"
+	"vdm/internal/overlay"
+	"vdm/internal/rng"
+	"vdm/internal/transport"
+	"vdm/internal/underlay"
+)
+
+// ClusterConfig sizes and tunes a loopback cluster.
+type ClusterConfig struct {
+	// N is the total peer count including the source (node 0).
+	N int
+	// MaxDegree bounds every peer's child count; zero selects 4.
+	MaxDegree int
+	// Delay is the loopback one-way latency. Zero selects 200µs — small
+	// enough for fast tests, large enough that probe RTTs dominate
+	// scheduling jitter.
+	Delay time.Duration
+	// Stagger spaces the joiners' StartJoin calls; zero selects 1ms.
+	Stagger time.Duration
+	// Core tunes the VDM protocol on every peer.
+	Core core.Config
+	// Seed drives refinement jitter; zero selects 1.
+	Seed int64
+}
+
+// Cluster boots N VDM peers on one in-memory transport — the live
+// counterpart of a simulator session, used by tests and the lab to
+// exercise the real-clock runtime end to end.
+type Cluster struct {
+	Tr    *transport.Mem
+	Peers []*Peer // indexed by NodeID
+	cfg   ClusterConfig
+}
+
+// NewCluster builds the transport and all peers and starts the joiners
+// (staggered). It returns immediately; use WaitConnected to block until
+// the tree has formed.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.MaxDegree <= 0 {
+		cfg.MaxDegree = 4
+	}
+	if cfg.Delay <= 0 {
+		cfg.Delay = 200 * time.Microsecond
+	}
+	if cfg.Stagger <= 0 {
+		cfg.Stagger = time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	tr := transport.NewMem()
+	tr.Delay = cfg.Delay
+	c := &Cluster{Tr: tr, cfg: cfg}
+	epoch := time.Now()
+	rnd := rng.New(cfg.Seed)
+	for i := 0; i < cfg.N; i++ {
+		id := overlay.NodeID(i)
+		peerRnd := rnd.Derive(fmt.Sprintf("peer-%d", i))
+		p := NewPeer(tr, epoch, func(bus overlay.Bus) overlay.Protocol {
+			return core.New(bus, overlay.PeerConfig{
+				ID:        id,
+				Source:    0,
+				MaxDegree: cfg.MaxDegree,
+				IsSource:  id == 0,
+			}, cfg.Core, peerRnd)
+		})
+		c.Peers = append(c.Peers, p)
+	}
+	for _, p := range c.Peers[1:] {
+		p.StartJoin()
+		time.Sleep(cfg.Stagger)
+	}
+	return c
+}
+
+// Source returns the source peer (node 0).
+func (c *Cluster) Source() *Peer { return c.Peers[0] }
+
+// WaitConnected blocks until every peer reports Connected, or the timeout
+// passes, in which case it returns an error naming the stragglers.
+func (c *Cluster) WaitConnected(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var waiting []overlay.NodeID
+		for _, p := range c.Peers {
+			if !p.Connected() {
+				waiting = append(waiting, p.ID())
+			}
+		}
+		if len(waiting) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("live: %d peers not connected after %v: %v", len(waiting), timeout, waiting)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Stream emits n chunks from the source, one per interval, then waits a
+// few delays for the last copies to drain.
+func (c *Cluster) Stream(n int, interval time.Duration) {
+	for seq := 0; seq < n; seq++ {
+		c.Source().EmitChunk(int64(seq))
+		time.Sleep(interval)
+	}
+	time.Sleep(10*c.cfg.Delay + 20*time.Millisecond)
+}
+
+// Views snapshots every peer's tree position.
+func (c *Cluster) Views() []overlay.TreeView {
+	views := make([]overlay.TreeView, 0, len(c.Peers))
+	for _, p := range c.Peers {
+		views = append(views, p.View())
+	}
+	return views
+}
+
+// Snapshot collects the paper's tree metrics over a uniform underlay whose
+// RTT matches the loopback delay (in ms) — depth and degree structure are
+// meaningful; stretch is 1 by construction on a uniform matrix.
+func (c *Cluster) Snapshot() metrics.TreeSnapshot {
+	n := len(c.Peers)
+	rttMS := 2 * float64(c.cfg.Delay) / float64(time.Millisecond)
+	rtt := make([][]float64, n)
+	for i := range rtt {
+		rtt[i] = make([]float64, n)
+		for j := range rtt[i] {
+			if i != j {
+				rtt[i][j] = rttMS
+			}
+		}
+	}
+	return metrics.Collect(c.Views(), 0, underlay.NewStatic(rtt))
+}
+
+// Validate runs the structural tree checks (degree bounds, parent/child
+// symmetry, acyclicity) over the current snapshot.
+func (c *Cluster) Validate() []string {
+	return metrics.Validate(c.Views(), 0, func(overlay.NodeID) int { return c.cfg.MaxDegree })
+}
+
+// Close stops every peer and the transport.
+func (c *Cluster) Close() {
+	for _, p := range c.Peers {
+		p.Stop()
+	}
+	c.Tr.Close()
+}

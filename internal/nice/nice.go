@@ -92,7 +92,7 @@ var _ overlay.Protocol = (*Node)(nil)
 
 // New builds a NICE node. The peer's MaxDegree should be cfg.MaxCluster()
 // (cluster size is NICE's only capacity notion).
-func New(net *overlay.Network, pc overlay.PeerConfig, cfg Config, rnd *rng.Stream) *Node {
+func New(net overlay.Bus, pc overlay.PeerConfig, cfg Config, rnd *rng.Stream) *Node {
 	n := &Node{Peer: overlay.NewPeer(net, pc), cfg: cfg.withDefaults(), rnd: rnd}
 	n.Peer.SetHooks(n)
 	return n
@@ -137,7 +137,7 @@ func (n *Node) sendInfo(js *joinState, target overlay.NodeID) {
 	js.token = n.token
 	n.Net().Send(n.ID(), target, overlay.InfoRequest{Token: js.token})
 	tok := js.token
-	n.Net().Sim.After(n.InfoTimeoutS, func() {
+	n.Net().After(n.InfoTimeoutS, func() {
 		if n.join == js && js.stage == stageInfo && js.token == tok {
 			n.restart(js)
 		}
@@ -243,7 +243,7 @@ func (n *Node) connect(js *joinState, to overlay.NodeID) {
 	dist := js.dists[to]
 	n.Net().Send(n.ID(), to, overlay.ConnRequest{Token: js.token, Kind: overlay.ConnChild, Dist: dist})
 	tok := js.token
-	n.Net().Sim.After(n.ConnTimeoutS, func() {
+	n.Net().After(n.ConnTimeoutS, func() {
 		if n.join == js && js.stage == stageConn && js.token == tok {
 			n.restart(js)
 		}
@@ -314,7 +314,7 @@ func (n *Node) restart(js *joinState) {
 	attempts := js.attempts + 1
 	n.join = nil
 	if attempts >= n.cfg.MaxAttempts {
-		n.Net().Sim.After(n.cfg.RetryBackoffS, func() {
+		n.Net().After(n.cfg.RetryBackoffS, func() {
 			if n.Alive() && !n.Connected() && n.join == nil {
 				n.begin(0)
 			}
@@ -339,7 +339,7 @@ func (n *Node) scheduleMaintenance() {
 	if n.rnd != nil {
 		period *= n.rnd.Uniform(0.8, 1.2)
 	}
-	n.Net().Sim.After(period, func() {
+	n.Net().After(period, func() {
 		if !n.Alive() {
 			return
 		}
@@ -451,7 +451,7 @@ func (n *Node) onReassign(from overlay.NodeID, m overlay.Reassign) {
 		js.token = n.token
 		n.Net().Send(n.ID(), m.To, overlay.ConnRequest{Token: js.token, Kind: overlay.ConnChild, Dist: d})
 		tok2 := js.token
-		n.Net().Sim.After(n.ConnTimeoutS, func() {
+		n.Net().After(n.ConnTimeoutS, func() {
 			if n.join == js && js.stage == stageConn && js.token == tok2 {
 				n.EndSwitch()
 				n.join = nil

@@ -1,0 +1,30 @@
+package overlay
+
+// Bus is the substrate a Peer runs on: message passing between node ids
+// plus the clock and timers that drive the protocol state machines. Two
+// implementations exist: the discrete-event *Network in this package
+// (virtual time, simulated delays) and the real-clock per-peer bus of
+// internal/live (wall time, real sockets). Protocol code is written once
+// against this interface and runs unchanged in both worlds.
+//
+// Concurrency contract: every Bus callback — message delivery through a
+// Handler and timer callbacks passed to After — fires serialized with
+// respect to the owning peer. The simulator guarantees this globally
+// (single-threaded event loop); the live runtime guarantees it per peer
+// (one mailbox goroutine each). Protocol state therefore needs no locks.
+type Bus interface {
+	// Send transmits m from → to. It reports whether the destination was
+	// known/registered at send time (a transport-level failure signal,
+	// standing for a TCP reset).
+	Send(from, to NodeID, m Message) bool
+	// After schedules fn to run d seconds from now, serialized with the
+	// owning peer's message handling.
+	After(d float64, fn func())
+	// Now returns the bus clock in seconds. Virtual seconds in the
+	// simulator, seconds since session start in the live runtime; only
+	// differences are meaningful to protocol code.
+	Now() float64
+	// Unregister detaches node id from the bus; subsequent sends to it
+	// fail.
+	Unregister(id NodeID)
+}

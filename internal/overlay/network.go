@@ -16,7 +16,8 @@ type Handler interface {
 // are subject to the underlay's end-to-end loss; control messages are
 // reliable (they stand for small retransmitted TCP exchanges, as in the
 // PlanetLab implementation). The network also keeps the control/data
-// counters behind the paper's overhead metric.
+// counters behind the paper's overhead metric, in the Counters struct it
+// shares with the live transports.
 type Network struct {
 	Sim *eventq.Sim
 	U   underlay.Underlay
@@ -24,24 +25,23 @@ type Network struct {
 	handlers map[NodeID]Handler
 	rnd      *rng.Stream
 
-	// Counters, exported for the metric collectors.
-	CtrlCount  int64 // control messages sent
-	DataCount  int64 // data chunks sent
-	DataDrops  int64 // data chunks lost to link error
-	Undeliver  int64 // messages to unregistered nodes
-	LossEnable bool  // apply Bernoulli loss to data chunks
+	ctrs Counters
+
+	// LossEnable applies Bernoulli loss to data chunks.
+	LossEnable bool
 
 	// CtrlLossProb, when positive, drops each control message with this
 	// probability — fault injection for protocol-robustness tests. The
 	// default 0 models control over retransmitting transport (TCP), as
 	// the PlanetLab implementation ran.
 	CtrlLossProb float64
-	CtrlDrops    int64
 
 	// TraceFn, when set, observes every send (including drops) — a
 	// debugging tap, not part of the protocol.
 	TraceFn func(at float64, from, to NodeID, m Message)
 }
+
+var _ Bus = (*Network)(nil)
 
 // NewNetwork builds a network over u driven by sim; rnd draws chunk-loss
 // outcomes.
@@ -68,6 +68,15 @@ func (n *Network) IsAlive(id NodeID) bool {
 	return ok
 }
 
+// Now returns the current virtual time in seconds.
+func (n *Network) Now() float64 { return n.Sim.Now() }
+
+// After schedules fn to run d virtual seconds from now.
+func (n *Network) After(d float64, fn func()) { n.Sim.After(d, fn) }
+
+// Counters returns the network's shared traffic counters.
+func (n *Network) Counters() *Counters { return &n.ctrs }
+
 // Send schedules delivery of m from→to after the underlay one-way delay.
 // It reports whether the destination was registered at send time (a
 // transport-level failure signal, standing for a TCP reset).
@@ -76,20 +85,20 @@ func (n *Network) Send(from, to NodeID, m Message) bool {
 		n.TraceFn(n.Sim.Now(), from, to, m)
 	}
 	if _, data := m.(DataChunk); data {
-		n.DataCount++
+		n.ctrs.Data.Add(1)
 		if n.LossEnable && n.rnd.Bool(n.U.LossRate(int(from), int(to))) {
-			n.DataDrops++
+			n.ctrs.DataDrops.Add(1)
 			return true
 		}
 	} else {
-		n.CtrlCount++
+		n.ctrs.Ctrl.Add(1)
 		if n.CtrlLossProb > 0 && n.rnd.Bool(n.CtrlLossProb) {
-			n.CtrlDrops++
+			n.ctrs.CtrlDrops.Add(1)
 			return true
 		}
 	}
 	if !n.IsAlive(to) {
-		n.Undeliver++
+		n.ctrs.Undeliver.Add(1)
 		return false
 	}
 	d := n.U.OneWayDelayMS(int(from), int(to)) / 1000
@@ -103,9 +112,4 @@ func (n *Network) Send(from, to NodeID, m Message) bool {
 
 // Overhead returns the cumulative control-to-data message ratio, the
 // paper's overhead metric. It returns 0 before any data flowed.
-func (n *Network) Overhead() float64 {
-	if n.DataCount == 0 {
-		return 0
-	}
-	return float64(n.CtrlCount) / float64(n.DataCount)
-}
+func (n *Network) Overhead() float64 { return n.ctrs.Overhead() }

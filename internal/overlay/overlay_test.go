@@ -86,10 +86,10 @@ func TestNetworkDeliveryTimingAndCounters(t *testing.T) {
 	r.sim.Run(1)
 	// b replies Pong automatically; a's prober has no session so it is
 	// forwarded to protocol hooks.
-	if got := r.net.CtrlCount; got != 2 {
+	if got := r.net.Counters().Ctrl.Load(); got != 2 {
 		t.Fatalf("ctrl count = %d, want 2 (ping+pong)", got)
 	}
-	if r.net.DataCount != 0 {
+	if r.net.Counters().Data.Load() != 0 {
 		t.Fatal("data counter moved for control traffic")
 	}
 }
@@ -100,8 +100,8 @@ func TestNetworkDropsToUnregistered(t *testing.T) {
 	if r.net.Send(0, 1, Ping{}) {
 		t.Fatal("send to unregistered node reported success")
 	}
-	if r.net.Undeliver != 1 {
-		t.Fatalf("undeliver = %d", r.net.Undeliver)
+	if r.net.Counters().Undeliver.Load() != 1 {
+		t.Fatalf("undeliver = %d", r.net.Counters().Undeliver.Load())
 	}
 }
 
@@ -130,13 +130,13 @@ func TestNetworkDataLoss(t *testing.T) {
 	if b.Stats().Received != 0 {
 		t.Fatal("chunk survived 100% loss")
 	}
-	if r.net.DataDrops != 1 || r.net.DataCount != 1 {
-		t.Fatalf("drop accounting: drops=%d count=%d", r.net.DataDrops, r.net.DataCount)
+	if r.net.Counters().DataDrops.Load() != 1 || r.net.Counters().Data.Load() != 1 {
+		t.Fatalf("drop accounting: drops=%d count=%d", r.net.Counters().DataDrops.Load(), r.net.Counters().Data.Load())
 	}
 	// Control traffic is never dropped.
 	r.net.Send(0, 1, Ping{Token: 1})
 	r.sim.Run(2)
-	if r.net.CtrlCount < 2 { // ping + pong
+	if r.net.Counters().Ctrl.Load() < 2 { // ping + pong
 		t.Fatal("control message lost")
 	}
 }

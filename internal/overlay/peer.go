@@ -95,7 +95,7 @@ func (s *Stats) Orphaned() bool { return s.orphanedAt >= 0 }
 type Peer struct {
 	id        NodeID
 	source    NodeID
-	net       *Network
+	net       Bus
 	maxDegree int
 	isSource  bool
 	metric    vdist.Metric
@@ -131,10 +131,11 @@ type Peer struct {
 // parent change stays below it.
 const staleChunkThreshold = 3
 
-// NewPeer builds a peer base over net. The caller must Register the
-// enclosing protocol node with the network and set hooks via SetHooks
-// before any message can arrive.
-func NewPeer(net *Network, cfg PeerConfig) *Peer {
+// NewPeer builds a peer base over net — the simulated Network or a live
+// transport bus. The caller must register the enclosing protocol node with
+// the message carrier and set hooks via SetHooks before any message can
+// arrive.
+func NewPeer(net Bus, cfg PeerConfig) *Peer {
 	if cfg.MaxDegree < 1 {
 		cfg.MaxDegree = 1
 	}
@@ -248,11 +249,11 @@ func (p *Peer) Grandparent() NodeID {
 // Stats returns the peer's accumulated statistics.
 func (p *Peer) Stats() *Stats { return &p.stats }
 
-// Net returns the underlying network.
-func (p *Peer) Net() *Network { return p.net }
+// Net returns the bus the peer runs on.
+func (p *Peer) Net() Bus { return p.net }
 
-// Now returns the current virtual time.
-func (p *Peer) Now() float64 { return p.net.Sim.Now() }
+// Now returns the current bus time in seconds.
+func (p *Peer) Now() float64 { return p.net.Now() }
 
 // Prober returns the peer's probe manager.
 func (p *Peer) Prober() *Prober { return p.prober }

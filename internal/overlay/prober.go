@@ -40,7 +40,7 @@ func (pr *Prober) Launch(targets []NodeID, timeoutS float64, done func(ProbeResu
 	}
 	pr.sessions[token] = sess
 
-	now := pr.peer.net.Sim.Now()
+	now := pr.peer.net.Now()
 	for _, t := range targets {
 		if t == pr.peer.id {
 			continue
@@ -55,7 +55,7 @@ func (pr *Prober) Launch(targets []NodeID, timeoutS float64, done func(ProbeResu
 		pr.finish(token, sess)
 		return
 	}
-	pr.peer.net.Sim.After(timeoutS, func() {
+	pr.peer.net.After(timeoutS, func() {
 		if s, ok := pr.sessions[token]; ok && !s.finished {
 			pr.finish(token, s)
 		}
@@ -74,7 +74,7 @@ func (pr *Prober) handlePong(from NodeID, m Pong) bool {
 		return true
 	}
 	delete(sess.pending, from)
-	elapsedMS := (pr.peer.net.Sim.Now() - sentAt) * 1000
+	elapsedMS := (pr.peer.net.Now() - sentAt) * 1000
 	sess.results[from] = pr.peer.Measure(from, elapsedMS)
 	if len(sess.pending) == 0 {
 		pr.finish(m.Token, sess)

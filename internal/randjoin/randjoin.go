@@ -55,7 +55,7 @@ type Node struct {
 var _ overlay.Protocol = (*Node)(nil)
 
 // New builds a random-join node.
-func New(net *overlay.Network, pc overlay.PeerConfig, cfg Config, rnd *rng.Stream) *Node {
+func New(net overlay.Bus, pc overlay.PeerConfig, cfg Config, rnd *rng.Stream) *Node {
 	n := &Node{Peer: overlay.NewPeer(net, pc), cfg: cfg.withDefaults(), rnd: rnd}
 	n.Peer.SetHooks(n)
 	return n
@@ -90,7 +90,7 @@ func (n *Node) sendInfo(js *joinState, target overlay.NodeID) {
 	js.token = n.token
 	n.Net().Send(n.ID(), target, overlay.InfoRequest{Token: js.token})
 	tok := js.token
-	n.Net().Sim.After(n.InfoTimeoutS, func() {
+	n.Net().After(n.InfoTimeoutS, func() {
 		if n.join == js && !js.awaitConn && js.token == tok {
 			n.restart(js)
 		}
@@ -124,7 +124,7 @@ func (n *Node) HandleProtocol(from overlay.NodeID, m overlay.Message) {
 		js.token = n.token
 		n.Net().Send(n.ID(), from, overlay.ConnRequest{Token: js.token, Kind: overlay.ConnChild, Dist: 0})
 		tok := js.token
-		n.Net().Sim.After(n.ConnTimeoutS, func() {
+		n.Net().After(n.ConnTimeoutS, func() {
 			if n.join == js && js.awaitConn && js.token == tok {
 				n.restart(js)
 			}
@@ -150,7 +150,7 @@ func (n *Node) restart(js *joinState) {
 	attempts := js.attempts + 1
 	n.join = nil
 	if attempts >= n.cfg.MaxAttempts {
-		n.Net().Sim.After(n.cfg.RetryBackoffS, func() {
+		n.Net().After(n.cfg.RetryBackoffS, func() {
 			if n.Alive() && !n.Connected() && n.join == nil {
 				n.begin(js.reconnect, 0)
 			}

@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"vdm/internal/overlay"
+)
+
+// Mem is the in-process loopback transport: every peer of a live cluster
+// registers on one Mem, and messages are delivered by a single dispatcher
+// goroutine in exact send order (global FIFO, no loss, no reordering) —
+// the deterministic substrate the fast tests run on. An optional fixed
+// Delay models a uniform one-way latency so probe RTTs are non-degenerate.
+type Mem struct {
+	// Delay is a fixed one-way delivery latency applied to every message
+	// (FIFO order is preserved). Set before first use.
+	Delay time.Duration
+
+	// DropFn, when set, is consulted on every send; returning true drops
+	// the message (counted like a link loss). Fault injection for tests.
+	// Set before first use.
+	DropFn func(from, to overlay.NodeID, m overlay.Message) bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []memItem
+	handlers map[overlay.NodeID]Handler
+	ctrs     overlay.Counters
+	closed   bool
+	done     chan struct{}
+}
+
+type memItem struct {
+	from, to overlay.NodeID
+	m        overlay.Message
+	due      time.Time
+}
+
+var _ Transport = (*Mem)(nil)
+
+// NewMem builds a loopback transport and starts its dispatcher.
+func NewMem() *Mem {
+	t := &Mem{
+		handlers: make(map[overlay.NodeID]Handler),
+		done:     make(chan struct{}),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	go t.dispatch()
+	return t
+}
+
+// Register attaches a handler for local node id.
+func (t *Mem) Register(id overlay.NodeID, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[id] = h
+}
+
+// Unregister detaches node id; queued messages to it are dropped at
+// delivery time.
+func (t *Mem) Unregister(id overlay.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.handlers, id)
+}
+
+// Counters returns the shared traffic counters.
+func (t *Mem) Counters() *overlay.Counters { return &t.ctrs }
+
+// Send enqueues m for FIFO delivery. It mirrors overlay.Network.Send
+// semantics: a dropped message still reports true; only an unknown
+// destination reports false.
+func (t *Mem) Send(from, to overlay.NodeID, m overlay.Message) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	if _, data := m.(overlay.DataChunk); data {
+		t.ctrs.Data.Add(1)
+		if t.DropFn != nil && t.DropFn(from, to, m) {
+			t.ctrs.DataDrops.Add(1)
+			return true
+		}
+	} else {
+		t.ctrs.Ctrl.Add(1)
+		if t.DropFn != nil && t.DropFn(from, to, m) {
+			t.ctrs.CtrlDrops.Add(1)
+			return true
+		}
+	}
+	if _, ok := t.handlers[to]; !ok {
+		t.ctrs.Undeliver.Add(1)
+		return false
+	}
+	t.queue = append(t.queue, memItem{from: from, to: to, m: m, due: time.Now().Add(t.Delay)})
+	t.cond.Signal()
+	return true
+}
+
+// dispatch delivers queued messages in order, waiting out each item's due
+// time. One goroutine, so delivery order is exactly send order.
+func (t *Mem) dispatch() {
+	defer close(t.done)
+	for {
+		t.mu.Lock()
+		for len(t.queue) == 0 && !t.closed {
+			t.cond.Wait()
+		}
+		if t.closed && len(t.queue) == 0 {
+			t.mu.Unlock()
+			return
+		}
+		it := t.queue[0]
+		t.queue = t.queue[1:]
+		t.mu.Unlock()
+
+		if d := time.Until(it.due); d > 0 {
+			time.Sleep(d)
+		}
+
+		t.mu.Lock()
+		h := t.handlers[it.to]
+		t.mu.Unlock()
+		if h != nil {
+			h(it.from, it.m)
+		}
+	}
+}
+
+// Close stops the dispatcher after the queue drains; subsequent sends
+// fail.
+func (t *Mem) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	<-t.done
+	return nil
+}

@@ -1,0 +1,285 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"vdm/internal/overlay"
+	"vdm/internal/wire"
+)
+
+// collector records delivered messages for one registered node.
+type collector struct {
+	mu   sync.Mutex
+	msgs []overlay.Message
+	from []overlay.NodeID
+}
+
+func (c *collector) handler() Handler {
+	return func(from overlay.NodeID, m overlay.Message) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.msgs = append(c.msgs, m)
+		c.from = append(c.from, from)
+	}
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func (c *collector) snapshot() []overlay.Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]overlay.Message(nil), c.msgs...)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestMemDeliversInOrder(t *testing.T) {
+	tr := NewMem()
+	defer tr.Close()
+	var c collector
+	tr.Register(1, c.handler())
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if !tr.Send(0, 1, overlay.DataChunk{Seq: int64(i)}) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return c.count() == n }) {
+		t.Fatalf("delivered %d of %d", c.count(), n)
+	}
+	for i, m := range c.snapshot() {
+		if m.(overlay.DataChunk).Seq != int64(i) {
+			t.Fatalf("out of order at %d: %v", i, m)
+		}
+	}
+	if got := tr.Counters().Data.Load(); got != n {
+		t.Fatalf("data counter = %d, want %d", got, n)
+	}
+}
+
+func TestMemUnknownDestinationAndDrops(t *testing.T) {
+	tr := NewMem()
+	defer tr.Close()
+	var c collector
+	tr.Register(1, c.handler())
+
+	if tr.Send(0, 9, overlay.Ping{Token: 1}) {
+		t.Fatal("send to unknown destination reported success")
+	}
+	if got := tr.Counters().Undeliver.Load(); got != 1 {
+		t.Fatalf("undeliver = %d", got)
+	}
+
+	tr.DropFn = func(from, to overlay.NodeID, m overlay.Message) bool { return true }
+	if !tr.Send(0, 1, overlay.DataChunk{Seq: 1}) {
+		t.Fatal("dropped send should still report true")
+	}
+	if !tr.Send(0, 1, overlay.Ping{Token: 2}) {
+		t.Fatal("dropped ctrl send should still report true")
+	}
+	s := tr.Counters().Snapshot()
+	if s.DataDrops != 1 || s.CtrlDrops != 1 {
+		t.Fatalf("drops = %+v", s)
+	}
+	if c.count() != 0 {
+		t.Fatal("dropped message delivered")
+	}
+}
+
+func newUDPPair(t *testing.T, cfg UDPConfig) (*UDP, *UDP) {
+	t.Helper()
+	a, err := NewUDP("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := NewUDP("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return a, b
+}
+
+func TestUDPBasicDelivery(t *testing.T) {
+	a, b := newUDPPair(t, UDPConfig{})
+	var c collector
+	b.Register(2, c.handler())
+	if err := a.SetRoute(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	if !a.Send(1, 2, overlay.InfoRequest{Token: 7}) {
+		t.Fatal("send failed")
+	}
+	if !a.Send(1, 2, overlay.DataChunk{Seq: 42}) {
+		t.Fatal("data send failed")
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return c.count() == 2 }) {
+		t.Fatalf("delivered %d of 2", c.count())
+	}
+	// b learned a's address from the inbound frames: the reverse path
+	// works without an explicit route.
+	var back collector
+	a.Register(1, back.handler())
+	if !b.Send(2, 1, overlay.Pong{Token: 7}) {
+		t.Fatal("reverse send failed")
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return back.count() == 1 }) {
+		t.Fatal("reverse path did not deliver")
+	}
+}
+
+// TestUDPControlRetry drops the first k transmissions of every control
+// frame and asserts the request still completes within the backoff
+// budget, exactly once (dedupe), while data chunks stay best-effort.
+func TestUDPControlRetry(t *testing.T) {
+	const k = 3
+	cfg := UDPConfig{RetryBase: 10 * time.Millisecond, RetryAttempts: 6}
+	a, b := newUDPPair(t, cfg)
+	var c collector
+	b.Register(2, c.handler())
+	if err := a.SetRoute(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	sends := 0
+	a.SetSendFilter(func(to overlay.NodeID, f wire.Frame, attempt int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if f.Kind != wire.KindMsg {
+			return false
+		}
+		sends++
+		return attempt < k // drop the first k transmissions of each frame
+	})
+
+	start := time.Now()
+	if !a.Send(1, 2, overlay.ConnRequest{Token: 55, Dist: 3.5}) {
+		t.Fatal("send failed")
+	}
+	// Backoff budget for k dropped attempts: 10+20+40 ms ≈ 70 ms; give a
+	// generous ceiling well under the protocol's 2 s conn timeout.
+	if !waitFor(t, time.Second, func() bool { return c.count() == 1 }) {
+		t.Fatalf("control message not delivered after %v and %d sends", time.Since(start), sends)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("delivery took %v, beyond the backoff budget", elapsed)
+	}
+	got := c.snapshot()[0].(overlay.ConnRequest)
+	if got.Token != 55 || got.Dist != 3.5 {
+		t.Fatalf("wrong message: %+v", got)
+	}
+	// No duplicate deliveries even though the frame was retransmitted.
+	time.Sleep(100 * time.Millisecond)
+	if c.count() != 1 {
+		t.Fatalf("message delivered %d times", c.count())
+	}
+	if drops := a.Counters().CtrlDrops.Load(); drops != 0 {
+		t.Fatalf("ctrl drops = %d for a delivered message", drops)
+	}
+}
+
+// TestUDPControlRetryExhaustion loses every transmission and checks the
+// sender gives up after its attempt budget, counting one control drop.
+func TestUDPControlRetryExhaustion(t *testing.T) {
+	cfg := UDPConfig{RetryBase: 5 * time.Millisecond, RetryAttempts: 4}
+	a, b := newUDPPair(t, cfg)
+	var c collector
+	b.Register(2, c.handler())
+	if err := a.SetRoute(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	a.SetSendFilter(func(to overlay.NodeID, f wire.Frame, attempt int) bool {
+		return f.Kind == wire.KindMsg
+	})
+
+	a.Send(1, 2, overlay.Ping{Token: 1})
+	if !waitFor(t, 2*time.Second, func() bool { return a.Counters().CtrlDrops.Load() == 1 }) {
+		t.Fatalf("ctrl drops = %d, want 1", a.Counters().CtrlDrops.Load())
+	}
+	if c.count() != 0 {
+		t.Fatal("fully-lost message was delivered")
+	}
+}
+
+// TestUDPAddressResolution parks a send to an unknown node, resolves it
+// through the ResolveFn hook, and checks the parked message flushes.
+func TestUDPAddressResolution(t *testing.T) {
+	a, b := newUDPPair(t, UDPConfig{})
+	var c collector
+	b.Register(5, c.handler())
+
+	resolved := make(chan overlay.NodeID, 1)
+	a.SetResolveFn(func(id overlay.NodeID) { resolved <- id })
+
+	if !a.Send(1, 5, overlay.InfoRequest{Token: 9}) {
+		t.Fatal("send with resolver should park, not fail")
+	}
+	select {
+	case id := <-resolved:
+		if id != 5 {
+			t.Fatalf("resolver asked for %d", id)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("resolver not invoked")
+	}
+	if err := a.SetRoute(5, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return c.count() == 1 }) {
+		t.Fatal("parked message not flushed after SetRoute")
+	}
+	if got := a.Counters().Ctrl.Load(); got != 1 {
+		t.Fatalf("ctrl counter = %d, want 1 (no double count on flush)", got)
+	}
+}
+
+// TestUDPMalformedDatagram sends garbage at the socket and checks the
+// transport survives and keeps working.
+func TestUDPMalformedDatagram(t *testing.T) {
+	a, b := newUDPPair(t, UDPConfig{})
+	var c collector
+	b.Register(2, c.handler())
+	if err := a.SetRoute(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-crafted garbage straight to b's socket.
+	garbage := [][]byte{
+		{},
+		{0xff, 0xff, 0xff},
+		{wire.Version, 99, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 0},
+		make([]byte, 2000),
+	}
+	conn := a.conn
+	baddr := b.conn.LocalAddr()
+	for _, g := range garbage {
+		conn.WriteTo(g, baddr)
+	}
+	if !a.Send(1, 2, overlay.Ping{Token: 3}) {
+		t.Fatal("send failed")
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return c.count() == 1 }) {
+		t.Fatal("transport stopped working after malformed datagrams")
+	}
+}

@@ -1,0 +1,487 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"vdm/internal/overlay"
+	"vdm/internal/wire"
+)
+
+// UDP transport defaults.
+const (
+	// DefaultRetryBase is the first control-retransmit delay; each retry
+	// doubles it.
+	DefaultRetryBase = 50 * time.Millisecond
+	// DefaultRetryAttempts is the total number of transmissions of one
+	// control message before it is declared lost.
+	DefaultRetryAttempts = 6
+	// dedupeWindow is how many recent control seqs are remembered per
+	// sender to suppress retransmitted duplicates.
+	dedupeWindow = 512
+	// resolveQueueCap bounds messages parked per unresolved destination.
+	resolveQueueCap = 64
+	// resolveInterval rate-limits ResolveFn calls per destination.
+	resolveInterval = 250 * time.Millisecond
+	// resolveTTL is how long a parked message may wait for an address
+	// before it is dropped as undeliverable.
+	resolveTTL = 3 * time.Second
+)
+
+// UDPConfig tunes a UDP transport.
+type UDPConfig struct {
+	// RetryBase is the initial control-retransmit delay (doubles each
+	// attempt); zero selects DefaultRetryBase.
+	RetryBase time.Duration
+	// RetryAttempts is the total transmissions of one control message
+	// before giving up; zero selects DefaultRetryAttempts.
+	RetryAttempts int
+}
+
+func (c UDPConfig) withDefaults() UDPConfig {
+	if c.RetryBase <= 0 {
+		c.RetryBase = DefaultRetryBase
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = DefaultRetryAttempts
+	}
+	return c
+}
+
+// UDP is the real-socket transport. One UDP socket carries any number of
+// local peers; remote peers are reached through a node-id → address route
+// table that fills in three ways: explicitly (SetRoute), implicitly (the
+// source address of every received frame), and on demand through the
+// ResolveFn callback (internal/live answers it with an address query to
+// the session source).
+//
+// Reliability matches what the paper's PlanetLab deployment got from TCP
+// control connections: every control frame carries a transport token
+// (seq) and is retransmitted with exponential backoff until the matching
+// ack arrives or the attempt budget is spent; receivers acknowledge and
+// dedupe by token. Data chunks are sent once, best effort.
+type UDP struct {
+	cfg  UDPConfig
+	conn *net.UDPConn
+
+	mu       sync.Mutex
+	handlers map[overlay.NodeID]Handler
+	routes   map[overlay.NodeID]*net.UDPAddr
+	pending  map[uint32]*inflight
+	parked   map[overlay.NodeID]*parkedQueue
+	recent   map[overlay.NodeID]*dedupe
+	seq      uint32
+	closed   bool
+
+	// Hooks, installed through their setters (the receive loop reads them
+	// concurrently).
+	sessionHandler func(from *net.UDPAddr, f wire.Frame)
+	resolveFn      func(id overlay.NodeID)
+	sendFilter     func(to overlay.NodeID, f wire.Frame, attempt int) bool
+
+	ctrs overlay.Counters
+	wg   sync.WaitGroup
+}
+
+// SetSessionHandler installs the hook that receives non-message frames
+// (Hello, Welcome, AddrQuery, AddrReply) together with the sender's socket
+// address — the join-bootstrap tap for internal/live.
+func (t *UDP) SetSessionHandler(h func(from *net.UDPAddr, f wire.Frame)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sessionHandler = h
+}
+
+// SetResolveFn installs the address resolver: it is called (rate-limited)
+// for destinations with no route while the message waits briefly for
+// SetRoute. Without a resolver, sends to unknown destinations fail
+// immediately.
+func (t *UDP) SetResolveFn(fn func(id overlay.NodeID)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.resolveFn = fn
+}
+
+// SetSendFilter installs the loss-injection filter consulted on every
+// outbound frame (return true to drop); attempt counts transmissions of
+// that frame so far (0 = first try).
+func (t *UDP) SetSendFilter(fn func(to overlay.NodeID, f wire.Frame, attempt int) bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sendFilter = fn
+}
+
+// inflight is one unacknowledged control frame.
+type inflight struct {
+	frame    wire.Frame
+	to       overlay.NodeID
+	attempts int
+	timer    *time.Timer
+}
+
+// parkedQueue holds messages awaiting address resolution for one
+// destination.
+type parkedQueue struct {
+	items       []parkedItem
+	lastResolve time.Time
+}
+
+type parkedItem struct {
+	from overlay.NodeID
+	m    overlay.Message
+	at   time.Time
+}
+
+// dedupe remembers the last dedupeWindow control seqs from one sender.
+type dedupe struct {
+	ring []uint32
+	set  map[uint32]struct{}
+	next int
+}
+
+func newDedupe() *dedupe {
+	return &dedupe{ring: make([]uint32, dedupeWindow), set: make(map[uint32]struct{}, dedupeWindow)}
+}
+
+// seen records seq and reports whether it was already present.
+func (d *dedupe) seen(seq uint32) bool {
+	if _, ok := d.set[seq]; ok {
+		return true
+	}
+	if len(d.set) >= dedupeWindow {
+		delete(d.set, d.ring[d.next])
+	}
+	d.ring[d.next] = seq
+	d.set[seq] = struct{}{}
+	d.next = (d.next + 1) % dedupeWindow
+	return false
+}
+
+var _ Transport = (*UDP)(nil)
+
+// NewUDP opens a UDP socket on listenAddr (e.g. "127.0.0.1:9000" or
+// ":9000") and starts the receive loop.
+func NewUDP(listenAddr string, cfg UDPConfig) (*UDP, error) {
+	laddr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", listenAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", listenAddr, err)
+	}
+	t := &UDP{
+		cfg:      cfg.withDefaults(),
+		conn:     conn,
+		handlers: make(map[overlay.NodeID]Handler),
+		routes:   make(map[overlay.NodeID]*net.UDPAddr),
+		pending:  make(map[uint32]*inflight),
+		parked:   make(map[overlay.NodeID]*parkedQueue),
+		recent:   make(map[overlay.NodeID]*dedupe),
+	}
+	t.wg.Add(1)
+	go t.readLoop()
+	return t, nil
+}
+
+// LocalAddr returns the bound socket address.
+func (t *UDP) LocalAddr() string { return t.conn.LocalAddr().String() }
+
+// Register attaches a handler for local node id.
+func (t *UDP) Register(id overlay.NodeID, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[id] = h
+}
+
+// Unregister detaches local node id.
+func (t *UDP) Unregister(id overlay.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.handlers, id)
+}
+
+// Counters returns the shared traffic counters.
+func (t *UDP) Counters() *overlay.Counters { return &t.ctrs }
+
+// SetRoute maps node id to a transport address and flushes any messages
+// parked for it.
+func (t *UDP) SetRoute(id overlay.NodeID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: route %d → %q: %w", id, addr, err)
+	}
+	t.mu.Lock()
+	t.routes[id] = ua
+	pq := t.parked[id]
+	delete(t.parked, id)
+	t.mu.Unlock()
+	if pq != nil {
+		for _, it := range pq.items {
+			t.deliver(it.from, id, it.m)
+		}
+	}
+	return nil
+}
+
+// Route reports the known address for id, if any.
+func (t *UDP) Route(id overlay.NodeID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ua, ok := t.routes[id]
+	if !ok {
+		return "", false
+	}
+	return ua.String(), true
+}
+
+// learnRoute records the observed sender address for id (cheap NAT-free
+// implicit routing: every frame teaches the receiver where its peer
+// lives). Explicit SetRoute entries are refreshed too — the latest
+// observation wins.
+func (t *UDP) learnRoute(id overlay.NodeID, addr *net.UDPAddr) {
+	if id == overlay.None {
+		return
+	}
+	t.mu.Lock()
+	t.routes[id] = addr
+	pq := t.parked[id]
+	delete(t.parked, id)
+	t.mu.Unlock()
+	if pq != nil {
+		for _, it := range pq.items {
+			t.deliver(it.from, id, it.m)
+		}
+	}
+}
+
+// Send transmits m from → to. Control messages are retried until
+// acknowledged; data chunks go out once. A destination with no route is
+// parked briefly when a resolver is installed, otherwise the send fails.
+func (t *UDP) Send(from, to overlay.NodeID, m overlay.Message) bool {
+	if wire.IsControl(m) {
+		t.ctrs.Ctrl.Add(1)
+	} else {
+		t.ctrs.Data.Add(1)
+	}
+	return t.deliver(from, to, m)
+}
+
+// deliver is the routed, reliability-aware transmit path, shared by Send
+// and the parked-message flush (which must not re-count the message).
+func (t *UDP) deliver(from, to overlay.NodeID, m overlay.Message) bool {
+	ctrl := wire.IsControl(m)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return false
+	}
+	addr, ok := t.routes[to]
+	if !ok {
+		if t.resolveFn == nil {
+			t.ctrs.Undeliver.Add(1)
+			t.mu.Unlock()
+			return false
+		}
+		t.parkLocked(from, to, m)
+		t.mu.Unlock()
+		return true
+	}
+	f := wire.Frame{Kind: wire.KindMsg, From: from, To: to, Msg: m}
+	if !ctrl {
+		t.mu.Unlock()
+		t.write(to, addr, f, 0)
+		return true
+	}
+	t.seq++
+	f.Seq = t.seq
+	inf := &inflight{frame: f, to: to}
+	t.pending[f.Seq] = inf
+	inf.timer = time.AfterFunc(t.cfg.RetryBase, func() { t.retry(f.Seq, addr) })
+	t.mu.Unlock()
+	t.write(to, addr, f, 0)
+	return true
+}
+
+// parkLocked queues m for destination to until a route appears, and pokes
+// the resolver (rate-limited). Caller holds t.mu.
+func (t *UDP) parkLocked(from, to overlay.NodeID, m overlay.Message) {
+	pq := t.parked[to]
+	if pq == nil {
+		pq = &parkedQueue{}
+		t.parked[to] = pq
+	}
+	now := time.Now()
+	// Expire stale entries and enforce the cap.
+	kept := pq.items[:0]
+	for _, it := range pq.items {
+		if now.Sub(it.at) < resolveTTL {
+			kept = append(kept, it)
+		} else {
+			t.ctrs.Undeliver.Add(1)
+		}
+	}
+	pq.items = kept
+	if len(pq.items) >= resolveQueueCap {
+		t.ctrs.Undeliver.Add(1)
+		return
+	}
+	pq.items = append(pq.items, parkedItem{from: from, m: m, at: now})
+	if now.Sub(pq.lastResolve) >= resolveInterval {
+		pq.lastResolve = now
+		go t.resolveFn(to)
+	}
+}
+
+// retry retransmits the pending control frame with doubled backoff, or
+// gives up after the attempt budget and counts a control drop.
+func (t *UDP) retry(seq uint32, addr *net.UDPAddr) {
+	t.mu.Lock()
+	inf, ok := t.pending[seq]
+	if !ok || t.closed {
+		t.mu.Unlock()
+		return
+	}
+	inf.attempts++
+	if inf.attempts >= t.cfg.RetryAttempts {
+		delete(t.pending, seq)
+		t.mu.Unlock()
+		t.ctrs.CtrlDrops.Add(1)
+		return
+	}
+	// Use the latest known route: the peer may have been learned at a new
+	// address since the first transmission.
+	if cur, ok := t.routes[inf.to]; ok {
+		addr = cur
+	}
+	delay := t.cfg.RetryBase << uint(inf.attempts)
+	inf.timer = time.AfterFunc(delay, func() { t.retry(seq, addr) })
+	f := inf.frame
+	attempt := inf.attempts
+	t.mu.Unlock()
+	t.write(inf.to, addr, f, attempt)
+}
+
+// write encodes and transmits one frame, honoring the loss-injection
+// filter.
+func (t *UDP) write(to overlay.NodeID, addr *net.UDPAddr, f wire.Frame, attempt int) {
+	t.mu.Lock()
+	filter := t.sendFilter
+	t.mu.Unlock()
+	if filter != nil && filter(to, f, attempt) {
+		if f.Kind == wire.KindMsg && !wire.IsControl(f.Msg) {
+			t.ctrs.DataDrops.Add(1)
+		}
+		return
+	}
+	b, err := wire.EncodeFrame(f)
+	if err != nil {
+		// Nothing in the overlay vocabulary fails to encode; treat as a
+		// drop rather than crash on a protocol bug.
+		if f.Kind == wire.KindMsg && !wire.IsControl(f.Msg) {
+			t.ctrs.DataDrops.Add(1)
+		} else {
+			t.ctrs.CtrlDrops.Add(1)
+		}
+		return
+	}
+	t.conn.WriteToUDP(b, addr)
+}
+
+// SendFrame transmits a session frame (bootstrap traffic) to an explicit
+// socket address, outside the node-id routing and reliability machinery.
+func (t *UDP) SendFrame(addr *net.UDPAddr, f wire.Frame) error {
+	b, err := wire.EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = t.conn.WriteToUDP(b, addr)
+	return err
+}
+
+// readLoop receives, decodes and dispatches frames until the socket
+// closes. Malformed datagrams are counted and dropped — wire.DecodeFrame
+// guarantees they cannot do anything worse.
+func (t *UDP) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, wire.MaxPayload+1024)
+	for {
+		n, raddr, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		f, _, err := wire.DecodeFrame(buf[:n])
+		if err != nil {
+			t.ctrs.Undeliver.Add(1)
+			continue
+		}
+		switch f.Kind {
+		case wire.KindMsg:
+			t.handleMsg(f, raddr)
+		case wire.KindAck:
+			t.mu.Lock()
+			if inf, ok := t.pending[f.Seq]; ok {
+				inf.timer.Stop()
+				delete(t.pending, f.Seq)
+			}
+			t.mu.Unlock()
+		default:
+			t.mu.Lock()
+			h := t.sessionHandler
+			t.mu.Unlock()
+			if h != nil {
+				h(raddr, f)
+			}
+		}
+	}
+}
+
+// handleMsg acks, dedupes and dispatches one overlay message frame.
+func (t *UDP) handleMsg(f wire.Frame, raddr *net.UDPAddr) {
+	t.learnRoute(f.From, raddr)
+	ctrl := wire.IsControl(f.Msg)
+	if ctrl {
+		// Ack first, even for duplicates: the original ack may be the
+		// thing that got lost.
+		t.SendFrame(raddr, wire.Frame{Kind: wire.KindAck, From: f.To, To: f.From, Seq: f.Seq})
+	}
+	t.mu.Lock()
+	if ctrl {
+		d := t.recent[f.From]
+		if d == nil {
+			d = newDedupe()
+			t.recent[f.From] = d
+		}
+		if d.seen(f.Seq) {
+			t.mu.Unlock()
+			return
+		}
+	}
+	h, ok := t.handlers[f.To]
+	t.mu.Unlock()
+	if !ok {
+		t.ctrs.Undeliver.Add(1)
+		return
+	}
+	h(f.From, f.Msg)
+}
+
+// Close shuts the socket down and cancels every pending retransmission.
+func (t *UDP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for seq, inf := range t.pending {
+		inf.timer.Stop()
+		delete(t.pending, seq)
+	}
+	t.mu.Unlock()
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}

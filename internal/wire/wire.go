@@ -1,0 +1,662 @@
+// Package wire is the binary codec of the live deployment: a versioned,
+// length-prefixed frame format carrying every overlay.Message plus the
+// handful of transport/session frames (acknowledgements and the join
+// bootstrap) that only exist outside the simulator.
+//
+// Layout (all integers big-endian):
+//
+//	frame   := version(1) kind(1) plen(4) from(4) to(4) seq(4) payload(plen)
+//	payload := depends on kind; for KindMsg it is msg
+//	msg     := type(1) fields…
+//
+// Decoding is strict: unknown versions, kinds or message types, truncated
+// frames, oversized lengths and trailing payload bytes are all errors —
+// a malformed datagram can never panic the daemon (FuzzDecodeFrame keeps
+// this honest) and never yields a half-decoded message.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"vdm/internal/overlay"
+)
+
+// Version is the current wire format version, the first byte of every
+// frame.
+const Version = 1
+
+// headerLen is the fixed frame header size.
+const headerLen = 1 + 1 + 4 + 4 + 4 + 4
+
+// Codec limits. Bounds are checked before any allocation, so a hostile
+// length field cannot balloon memory.
+const (
+	// MaxPayload bounds the payload of one frame (fits one UDP datagram).
+	MaxPayload = 60_000
+	// MaxList bounds every encoded slice (children, root paths, adoption
+	// lists, peer directories).
+	MaxList = 4096
+	// MaxString bounds encoded strings (transport addresses).
+	MaxString = 255
+)
+
+// Kind discriminates what a frame carries.
+type Kind uint8
+
+// The frame kinds.
+const (
+	// KindMsg carries one overlay.Message. Control messages (everything
+	// but DataChunk) are acknowledged by seq on unreliable transports.
+	KindMsg Kind = 1
+	// KindAck acknowledges the control frame with the same seq. Empty
+	// payload.
+	KindAck Kind = 2
+	// KindHello is the join bootstrap: a newcomer announces itself to the
+	// session source. Payload: the newcomer's listen address.
+	KindHello Kind = 3
+	// KindWelcome answers a Hello with the assigned node id, the source's
+	// node id and the current peer directory.
+	KindWelcome Kind = 4
+	// KindAddrQuery asks the source for the transport address of a node
+	// id. Payload: the queried id.
+	KindAddrQuery Kind = 5
+	// KindAddrReply answers an AddrQuery; an empty address means unknown.
+	KindAddrReply Kind = 6
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindMsg:
+		return "msg"
+	case KindAck:
+		return "ack"
+	case KindHello:
+		return "hello"
+	case KindWelcome:
+		return "welcome"
+	case KindAddrQuery:
+		return "addrquery"
+	case KindAddrReply:
+		return "addrreply"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// The message type bytes of KindMsg payloads.
+const (
+	typePing            = 1
+	typePong            = 2
+	typeInfoRequest     = 3
+	typeInfoResponse    = 4
+	typeConnRequest     = 5
+	typeConnResponse    = 6
+	typeParentChange    = 7
+	typeParentChangeAck = 8
+	typePathUpdate      = 9
+	typeDetach          = 10
+	typeLeaveNotify     = 11
+	typeReassign        = 12
+	typeDataChunk       = 13
+)
+
+// The codec error classes. Decode errors wrap one of these, so transports
+// can classify failures without string matching.
+var (
+	ErrTruncated   = errors.New("wire: truncated frame")
+	ErrVersion     = errors.New("wire: unsupported version")
+	ErrUnknownKind = errors.New("wire: unknown frame kind")
+	ErrUnknownType = errors.New("wire: unknown message type")
+	ErrTooLarge    = errors.New("wire: length exceeds bound")
+	ErrTrailing    = errors.New("wire: trailing bytes in payload")
+)
+
+// PeerAddr is one entry of the Welcome peer directory.
+type PeerAddr struct {
+	ID   overlay.NodeID
+	Addr string
+}
+
+// Frame is one decoded wire frame. Which fields are meaningful depends on
+// Kind: Msg for KindMsg; Node/Addr/Peers for the bootstrap kinds; Seq for
+// KindMsg (reliable-control token) and KindAck.
+type Frame struct {
+	Kind Kind
+	From overlay.NodeID
+	To   overlay.NodeID
+	Seq  uint32
+
+	Msg   overlay.Message // KindMsg
+	Addr  string          // KindHello (listen addr), KindAddrReply
+	Node  overlay.NodeID  // KindWelcome (assigned id), KindAddrQuery/Reply
+	Src   overlay.NodeID  // KindWelcome (source id)
+	Peers []PeerAddr      // KindWelcome directory
+}
+
+// --- primitive appenders -------------------------------------------------
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+func appendI32(b []byte, v int32) []byte { return appendU32(b, uint32(v)) }
+func appendID(b []byte, id overlay.NodeID) []byte {
+	return appendI32(b, int32(id))
+}
+func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendString(b []byte, s string) ([]byte, error) {
+	if len(s) > MaxString {
+		return nil, fmt.Errorf("%w: string %d > %d", ErrTooLarge, len(s), MaxString)
+	}
+	b = append(b, byte(len(s)))
+	return append(b, s...), nil
+}
+
+func appendIDList(b []byte, ids []overlay.NodeID) ([]byte, error) {
+	if len(ids) > MaxList {
+		return nil, fmt.Errorf("%w: id list %d > %d", ErrTooLarge, len(ids), MaxList)
+	}
+	b = appendU16(b, uint16(len(ids)))
+	for _, id := range ids {
+		b = appendID(b, id)
+	}
+	return b, nil
+}
+
+func appendChildren(b []byte, cs []overlay.ChildInfo) ([]byte, error) {
+	if len(cs) > MaxList {
+		return nil, fmt.Errorf("%w: child list %d > %d", ErrTooLarge, len(cs), MaxList)
+	}
+	b = appendU16(b, uint16(len(cs)))
+	for _, c := range cs {
+		b = appendID(b, c.ID)
+		b = appendF64(b, c.Dist)
+	}
+	return b, nil
+}
+
+// --- primitive readers ---------------------------------------------------
+
+// reader walks a payload slice with bounds checking.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) need(n int) error {
+	if len(r.b)-r.off < n {
+		return fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.off, len(r.b))
+	}
+	return nil
+}
+
+func (r *reader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) i32() (int32, error) {
+	v, err := r.u32()
+	return int32(v), err
+}
+
+func (r *reader) id() (overlay.NodeID, error) {
+	v, err := r.i32()
+	return overlay.NodeID(v), err
+}
+
+func (r *reader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *reader) boolean() (bool, error) {
+	v, err := r.u8()
+	if err != nil {
+		return false, err
+	}
+	if v > 1 {
+		return false, fmt.Errorf("%w: bool byte %d", ErrTruncated, v)
+	}
+	return v == 1, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u8()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *reader) idList() ([]overlay.NodeID, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > MaxList {
+		return nil, fmt.Errorf("%w: id list %d > %d", ErrTooLarge, n, MaxList)
+	}
+	if err := r.need(4 * int(n)); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]overlay.NodeID, n)
+	for i := range out {
+		out[i], _ = r.id()
+	}
+	return out, nil
+}
+
+func (r *reader) children() ([]overlay.ChildInfo, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > MaxList {
+		return nil, fmt.Errorf("%w: child list %d > %d", ErrTooLarge, n, MaxList)
+	}
+	if err := r.need(12 * int(n)); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]overlay.ChildInfo, n)
+	for i := range out {
+		out[i].ID, _ = r.id()
+		out[i].Dist, _ = r.f64()
+	}
+	return out, nil
+}
+
+// --- message codec -------------------------------------------------------
+
+// AppendMessage appends the encoding of m to dst. It errors on message
+// types outside the overlay vocabulary and on slices over the codec
+// bounds.
+func AppendMessage(dst []byte, m overlay.Message) ([]byte, error) {
+	switch v := m.(type) {
+	case overlay.Ping:
+		dst = append(dst, typePing)
+		return appendI32(dst, int32(v.Token)), nil
+	case overlay.Pong:
+		dst = append(dst, typePong)
+		return appendI32(dst, int32(v.Token)), nil
+	case overlay.InfoRequest:
+		dst = append(dst, typeInfoRequest)
+		return appendI32(dst, int32(v.Token)), nil
+	case overlay.InfoResponse:
+		dst = append(dst, typeInfoResponse)
+		dst = appendI32(dst, int32(v.Token))
+		dst, err := appendChildren(dst, v.Children)
+		if err != nil {
+			return nil, err
+		}
+		dst = appendI32(dst, int32(v.Free))
+		return appendBool(dst, v.Connected), nil
+	case overlay.ConnRequest:
+		dst = append(dst, typeConnRequest)
+		dst = appendI32(dst, int32(v.Token))
+		dst = append(dst, byte(v.Kind))
+		dst = appendF64(dst, v.Dist)
+		dst, err := appendIDList(dst, v.Adopt)
+		if err != nil {
+			return nil, err
+		}
+		return appendBool(dst, v.Foster), nil
+	case overlay.ConnResponse:
+		dst = append(dst, typeConnResponse)
+		dst = appendI32(dst, int32(v.Token))
+		dst = appendBool(dst, v.Accepted)
+		dst, err := appendIDList(dst, v.RootPath)
+		if err != nil {
+			return nil, err
+		}
+		dst, err = appendIDList(dst, v.Adopted)
+		if err != nil {
+			return nil, err
+		}
+		return appendChildren(dst, v.Children)
+	case overlay.ParentChange:
+		dst = append(dst, typeParentChange)
+		dst = appendI32(dst, int32(v.Token))
+		dst = appendID(dst, v.OldParent)
+		dst = appendF64(dst, v.Dist)
+		return appendIDList(dst, v.RootPath)
+	case overlay.ParentChangeAck:
+		dst = append(dst, typeParentChangeAck)
+		dst = appendI32(dst, int32(v.Token))
+		return appendBool(dst, v.OK), nil
+	case overlay.PathUpdate:
+		dst = append(dst, typePathUpdate)
+		return appendIDList(dst, v.Path)
+	case overlay.Detach:
+		return append(dst, typeDetach), nil
+	case overlay.LeaveNotify:
+		dst = append(dst, typeLeaveNotify)
+		return appendID(dst, v.GrandparentHint), nil
+	case overlay.Reassign:
+		dst = append(dst, typeReassign)
+		return appendID(dst, v.To), nil
+	case overlay.DataChunk:
+		dst = append(dst, typeDataChunk)
+		return appendU64(dst, uint64(v.Seq)), nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownType, m)
+	}
+}
+
+// decodeMessage decodes one message from r.
+func decodeMessage(r *reader) (overlay.Message, error) {
+	t, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case typePing:
+		tok, err := r.i32()
+		return overlay.Ping{Token: int(tok)}, err
+	case typePong:
+		tok, err := r.i32()
+		return overlay.Pong{Token: int(tok)}, err
+	case typeInfoRequest:
+		tok, err := r.i32()
+		return overlay.InfoRequest{Token: int(tok)}, err
+	case typeInfoResponse:
+		var m overlay.InfoResponse
+		tok, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		m.Token = int(tok)
+		if m.Children, err = r.children(); err != nil {
+			return nil, err
+		}
+		free, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		m.Free = int(free)
+		if m.Connected, err = r.boolean(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case typeConnRequest:
+		var m overlay.ConnRequest
+		tok, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		m.Token = int(tok)
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if kind > byte(overlay.ConnSplice) {
+			return nil, fmt.Errorf("%w: conn kind %d", ErrUnknownType, kind)
+		}
+		m.Kind = overlay.ConnKind(kind)
+		if m.Dist, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if m.Adopt, err = r.idList(); err != nil {
+			return nil, err
+		}
+		if m.Foster, err = r.boolean(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case typeConnResponse:
+		var m overlay.ConnResponse
+		tok, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		m.Token = int(tok)
+		if m.Accepted, err = r.boolean(); err != nil {
+			return nil, err
+		}
+		if m.RootPath, err = r.idList(); err != nil {
+			return nil, err
+		}
+		if m.Adopted, err = r.idList(); err != nil {
+			return nil, err
+		}
+		if m.Children, err = r.children(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case typeParentChange:
+		var m overlay.ParentChange
+		tok, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		m.Token = int(tok)
+		if m.OldParent, err = r.id(); err != nil {
+			return nil, err
+		}
+		if m.Dist, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if m.RootPath, err = r.idList(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case typeParentChangeAck:
+		var m overlay.ParentChangeAck
+		tok, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		m.Token = int(tok)
+		if m.OK, err = r.boolean(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case typePathUpdate:
+		path, err := r.idList()
+		return overlay.PathUpdate{Path: path}, err
+	case typeDetach:
+		return overlay.Detach{}, nil
+	case typeLeaveNotify:
+		hint, err := r.id()
+		return overlay.LeaveNotify{GrandparentHint: hint}, err
+	case typeReassign:
+		to, err := r.id()
+		return overlay.Reassign{To: to}, err
+	case typeDataChunk:
+		seq, err := r.u64()
+		return overlay.DataChunk{Seq: int64(seq)}, err
+	default:
+		return nil, fmt.Errorf("%w: message type %d", ErrUnknownType, t)
+	}
+}
+
+// --- frame codec ---------------------------------------------------------
+
+// AppendFrame appends the encoding of f to dst.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	var payload []byte
+	var err error
+	switch f.Kind {
+	case KindMsg:
+		if payload, err = AppendMessage(nil, f.Msg); err != nil {
+			return nil, err
+		}
+	case KindAck:
+		// empty payload
+	case KindHello:
+		if payload, err = appendString(nil, f.Addr); err != nil {
+			return nil, err
+		}
+	case KindWelcome:
+		payload = appendID(nil, f.Node)
+		payload = appendID(payload, f.Src)
+		if len(f.Peers) > MaxList {
+			return nil, fmt.Errorf("%w: peer list %d > %d", ErrTooLarge, len(f.Peers), MaxList)
+		}
+		payload = appendU16(payload, uint16(len(f.Peers)))
+		for _, p := range f.Peers {
+			payload = appendID(payload, p.ID)
+			if payload, err = appendString(payload, p.Addr); err != nil {
+				return nil, err
+			}
+		}
+	case KindAddrQuery:
+		payload = appendID(nil, f.Node)
+	case KindAddrReply:
+		payload = appendID(nil, f.Node)
+		if payload, err = appendString(payload, f.Addr); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, f.Kind)
+	}
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d > %d", ErrTooLarge, len(payload), MaxPayload)
+	}
+	dst = append(dst, Version, byte(f.Kind))
+	dst = appendU32(dst, uint32(len(payload)))
+	dst = appendID(dst, f.From)
+	dst = appendID(dst, f.To)
+	dst = appendU32(dst, f.Seq)
+	return append(dst, payload...), nil
+}
+
+// EncodeFrame encodes f into a fresh buffer.
+func EncodeFrame(f Frame) ([]byte, error) { return AppendFrame(nil, f) }
+
+// DecodeFrame decodes the first frame in b and returns it together with
+// the number of bytes consumed (so a stream of concatenated frames can be
+// walked). Every malformed input yields an error, never a panic.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	var f Frame
+	if len(b) < headerLen {
+		return f, 0, fmt.Errorf("%w: header needs %d bytes, have %d", ErrTruncated, headerLen, len(b))
+	}
+	if b[0] != Version {
+		return f, 0, fmt.Errorf("%w: %d", ErrVersion, b[0])
+	}
+	f.Kind = Kind(b[1])
+	plen := binary.BigEndian.Uint32(b[2:6])
+	if plen > MaxPayload {
+		return Frame{}, 0, fmt.Errorf("%w: payload %d > %d", ErrTooLarge, plen, MaxPayload)
+	}
+	f.From = overlay.NodeID(int32(binary.BigEndian.Uint32(b[6:10])))
+	f.To = overlay.NodeID(int32(binary.BigEndian.Uint32(b[10:14])))
+	f.Seq = binary.BigEndian.Uint32(b[14:18])
+	total := headerLen + int(plen)
+	if len(b) < total {
+		return Frame{}, 0, fmt.Errorf("%w: frame needs %d bytes, have %d", ErrTruncated, total, len(b))
+	}
+	r := &reader{b: b[headerLen:total]}
+	var err error
+	switch f.Kind {
+	case KindMsg:
+		f.Msg, err = decodeMessage(r)
+	case KindAck:
+		// empty payload
+	case KindHello:
+		f.Addr, err = r.str()
+	case KindWelcome:
+		if f.Node, err = r.id(); err != nil {
+			break
+		}
+		if f.Src, err = r.id(); err != nil {
+			break
+		}
+		var n uint16
+		if n, err = r.u16(); err != nil {
+			break
+		}
+		if int(n) > MaxList {
+			err = fmt.Errorf("%w: peer list %d > %d", ErrTooLarge, n, MaxList)
+			break
+		}
+		for i := 0; i < int(n); i++ {
+			var p PeerAddr
+			if p.ID, err = r.id(); err != nil {
+				break
+			}
+			if p.Addr, err = r.str(); err != nil {
+				break
+			}
+			f.Peers = append(f.Peers, p)
+		}
+	case KindAddrQuery:
+		f.Node, err = r.id()
+	case KindAddrReply:
+		if f.Node, err = r.id(); err != nil {
+			break
+		}
+		f.Addr, err = r.str()
+	default:
+		err = fmt.Errorf("%w: %d", ErrUnknownKind, f.Kind)
+	}
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	if r.off != len(r.b) {
+		return Frame{}, 0, fmt.Errorf("%w: %d of %d payload bytes consumed", ErrTrailing, r.off, len(r.b))
+	}
+	return f, total, nil
+}
+
+// IsControl reports whether m travels on the reliable control path (true
+// for everything but data chunks) — shared by the simulated network's and
+// the transports' accounting.
+func IsControl(m overlay.Message) bool {
+	_, data := m.(overlay.DataChunk)
+	return !data
+}

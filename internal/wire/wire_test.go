@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"vdm/internal/overlay"
+)
+
+// everyMessage is one instance of each overlay message type, with every
+// field populated (including negative node ids and empty/loaded slices).
+func everyMessage() []overlay.Message {
+	return []overlay.Message{
+		overlay.Ping{Token: 42},
+		overlay.Pong{Token: 42},
+		overlay.InfoRequest{Token: 7},
+		overlay.InfoResponse{
+			Token: 7,
+			Children: []overlay.ChildInfo{
+				{ID: 3, Dist: 12.5},
+				{ID: 9, Dist: 0.001},
+			},
+			Free:      2,
+			Connected: true,
+		},
+		overlay.InfoResponse{Token: 8, Children: nil, Free: 0, Connected: false},
+		overlay.ConnRequest{Token: 11, Kind: overlay.ConnChild, Dist: 33.25},
+		overlay.ConnRequest{
+			Token: 12, Kind: overlay.ConnSplice, Dist: 1.5,
+			Adopt: []overlay.NodeID{4, 5, 6}, Foster: true,
+		},
+		overlay.ConnResponse{
+			Token: 12, Accepted: true,
+			RootPath: []overlay.NodeID{0, 2, 8},
+			Adopted:  []overlay.NodeID{4},
+		},
+		overlay.ConnResponse{
+			Token: 13, Accepted: false,
+			Children: []overlay.ChildInfo{{ID: 1, Dist: 9}},
+		},
+		overlay.ParentChange{
+			Token: 5, OldParent: 2, Dist: 7.75,
+			RootPath: []overlay.NodeID{0, 6},
+		},
+		overlay.ParentChangeAck{Token: 5, OK: true},
+		overlay.ParentChangeAck{Token: 6, OK: false},
+		overlay.PathUpdate{Path: []overlay.NodeID{0, 1, 2, 3}},
+		overlay.PathUpdate{},
+		overlay.Detach{},
+		overlay.LeaveNotify{GrandparentHint: overlay.None},
+		overlay.LeaveNotify{GrandparentHint: 17},
+		overlay.Reassign{To: 99},
+		overlay.DataChunk{Seq: 1234567890123},
+		overlay.DataChunk{Seq: 0},
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	for _, m := range everyMessage() {
+		f := Frame{Kind: KindMsg, From: 3, To: 12, Seq: 77, Msg: m}
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		got, n, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if n != len(b) {
+			t.Fatalf("decode %T consumed %d of %d bytes", m, n, len(b))
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("round trip %T:\n got %#v\nwant %#v", m, got, f)
+		}
+	}
+}
+
+func TestBootstrapFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Kind: KindAck, From: 4, To: 0, Seq: 31337},
+		{Kind: KindHello, From: overlay.None, To: 0, Addr: "127.0.0.1:9001"},
+		{Kind: KindWelcome, From: 0, To: overlay.None, Node: 7, Src: 0,
+			Peers: []PeerAddr{{ID: 0, Addr: "127.0.0.1:9000"}, {ID: 3, Addr: "10.0.0.3:9003"}}},
+		{Kind: KindWelcome, From: 0, To: 5, Node: 5, Src: 0},
+		{Kind: KindAddrQuery, From: 7, To: 0, Node: 3},
+		{Kind: KindAddrReply, From: 0, To: 7, Node: 3, Addr: "10.0.0.3:9003"},
+		{Kind: KindAddrReply, From: 0, To: 7, Node: 12, Addr: ""},
+	}
+	for _, f := range frames {
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %v: %v", f.Kind, err)
+		}
+		got, n, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("decode %v: %v", f.Kind, err)
+		}
+		if n != len(b) {
+			t.Fatalf("decode %v consumed %d of %d", f.Kind, n, len(b))
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("round trip %v:\n got %#v\nwant %#v", f.Kind, got, f)
+		}
+	}
+}
+
+func TestStreamOfFrames(t *testing.T) {
+	var buf []byte
+	var want []Frame
+	for i, m := range everyMessage() {
+		f := Frame{Kind: KindMsg, From: overlay.NodeID(i), To: 0, Seq: uint32(i), Msg: m}
+		var err error
+		buf, err = AppendFrame(buf, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, f)
+	}
+	var got []Frame
+	for len(buf) > 0 {
+		f, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("stream decode at %d frames: %v", len(got), err)
+		}
+		got = append(got, f)
+		buf = buf[n:]
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream decoded %d frames, want %d (or contents differ)", len(got), len(want))
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid, err := EncodeFrame(Frame{Kind: KindMsg, From: 1, To: 2, Seq: 3,
+		Msg: overlay.ConnRequest{Token: 1, Adopt: []overlay.NodeID{1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": valid[:headerLen-1],
+		"bad version":  append([]byte{99}, valid[1:]...),
+		"unknown kind": func() []byte { b := bytes.Clone(valid); b[1] = 200; return b }(),
+		"truncated":    valid[:len(valid)-1],
+		"huge length":  func() []byte { b := bytes.Clone(valid); b[2], b[3] = 0xff, 0xff; return b }(),
+		"trailing": func() []byte {
+			b := bytes.Clone(valid)
+			b[5]++ // lengthen payload by one byte…
+			return append(b, 0)
+		}(),
+		"unknown msg type": func() []byte {
+			b := bytes.Clone(valid)
+			b[headerLen] = 250
+			return b
+		}(),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeFrame(b); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}
+
+func TestEncodeRejectsOversizedLists(t *testing.T) {
+	big := make([]overlay.NodeID, MaxList+1)
+	if _, err := EncodeFrame(Frame{Kind: KindMsg, Msg: overlay.PathUpdate{Path: big}}); err == nil {
+		t.Fatal("oversized id list encoded")
+	}
+	if _, err := EncodeFrame(Frame{Kind: KindHello, Addr: string(make([]byte, MaxString+1))}); err == nil {
+		t.Fatal("oversized address encoded")
+	}
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes through the decoder: it must never
+// panic, and any accepted input must re-encode to exactly the bytes it was
+// decoded from (the format is canonical).
+func FuzzDecodeFrame(f *testing.F) {
+	for _, m := range everyMessage() {
+		b, err := EncodeFrame(Frame{Kind: KindMsg, From: 1, To: 2, Seq: 9, Msg: m})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	for _, fr := range []Frame{
+		{Kind: KindAck, Seq: 1},
+		{Kind: KindHello, Addr: "127.0.0.1:9001"},
+		{Kind: KindWelcome, Node: 7, Peers: []PeerAddr{{ID: 0, Addr: "a:1"}}},
+		{Kind: KindAddrQuery, Node: 3},
+		{Kind: KindAddrReply, Node: 3, Addr: "a:1"},
+	} {
+		b, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("non-canonical frame:\n in  %x\n out %x", data[:n], re)
+		}
+	})
+}
+
+// BenchmarkWireRoundTrip tracks the codec cost of a representative control
+// message (a loaded ConnResponse) through encode + decode.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	f := Frame{Kind: KindMsg, From: 5, To: 9, Seq: 1234, Msg: overlay.ConnResponse{
+		Token:    99,
+		Accepted: true,
+		RootPath: []overlay.NodeID{0, 3, 7, 12, 19},
+		Adopted:  []overlay.NodeID{4, 5},
+		Children: []overlay.ChildInfo{{ID: 4, Dist: 10}, {ID: 5, Dist: 12}, {ID: 6, Dist: 31}},
+	}}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendFrame(buf[:0], f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := DecodeFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDataChunk tracks the hot data-plane path: the smallest,
+// most frequent frame.
+func BenchmarkWireDataChunk(b *testing.B) {
+	f := Frame{Kind: KindMsg, From: 5, To: 9, Msg: overlay.DataChunk{Seq: 424242}}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendFrame(buf[:0], f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := DecodeFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
