@@ -19,5 +19,10 @@ test:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/wire/
 
+# bench runs the wire codec and core join benchmarks and archives a JSON
+# summary (BENCH_wire.json) so the perf trajectory is tracked PR to PR.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./internal/wire/
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/wire/ ./internal/core/ | tee bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_wire.json
+	@rm -f bench.out
+	@echo "wrote BENCH_wire.json"

@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON summary on stdout, so benchmark runs can be
+// archived and diffed across PRs (see `make bench`, which writes
+// BENCH_wire.json).
+//
+//	go test -bench=. -benchmem ./internal/wire/ | benchjson > BENCH_wire.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Summary is the file layout written to stdout.
+type Summary struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoOS        string      `json:"goos,omitempty"`
+	GoArch      string      `json:"goarch,omitempty"`
+	Packages    []string    `json:"packages,omitempty"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+var (
+	benchRe = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	metaRe  = regexp.MustCompile(`^(goos|goarch|pkg): (\S+)`)
+)
+
+func main() {
+	sum := Summary{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := metaRe.FindStringSubmatch(line); m != nil {
+			switch m[1] {
+			case "goos":
+				sum.GoOS = m[2]
+			case "goarch":
+				sum.GoArch = m[2]
+			case "pkg":
+				sum.Packages = append(sum.Packages, m[2])
+			}
+			continue
+		}
+		m := benchRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1]}
+		b.Runs, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		sum.Benchmarks = append(sum.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

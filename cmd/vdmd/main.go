@@ -3,22 +3,30 @@
 // other through the source's Hello/Welcome directory and then speak the
 // overlay protocol directly, peer to peer.
 //
-// Start a source streaming 2 chunks/s:
+// Start a source streaming 2 chunks/s with the admin endpoint on :8080:
 //
-//	vdmd -listen 127.0.0.1:9000 -source -rate 2
+//	vdmd -listen 127.0.0.1:9000 -source -rate 2 -admin 127.0.0.1:8080
 //
 // Join from two more terminals:
 //
 //	vdmd -listen 127.0.0.1:9001 -join 127.0.0.1:9000
 //	vdmd -listen 127.0.0.1:9002 -join 127.0.0.1:9000
 //
+// The admin endpoint serves /metrics (Prometheus text), /debug/vars
+// (JSON snapshot of the tree view and counters) and /debug/pprof.
+// -trace writes the structured protocol event stream as JSONL.
+//
 // Ctrl-C leaves the session gracefully (children are pointed at their
-// grandparent before the process exits).
+// grandparent before the process exits) and logs a final status and
+// counters snapshot.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,6 +34,7 @@ import (
 
 	"vdm/internal/core"
 	"vdm/internal/live"
+	"vdm/internal/obs"
 	"vdm/internal/overlay"
 	"vdm/internal/rng"
 	"vdm/internal/transport"
@@ -41,11 +50,16 @@ func main() {
 		foster  = flag.Bool("foster", false, "foster quick-start join")
 		refine  = flag.Float64("refine", 0, "refinement period in seconds (0 = off)")
 		rate    = flag.Float64("rate", 1, "source stream rate (chunks/s)")
-		status  = flag.Duration("status", 5*time.Second, "status print interval (0 = quiet)")
+		status  = flag.Duration("status", 5*time.Second, "status log interval (0 = quiet)")
 		seed    = flag.Int64("seed", 1, "refinement-jitter seed")
 		timeout = flag.Duration("timeout", 10*time.Second, "join handshake timeout")
+		admin   = flag.String("admin", "", "admin HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = off)")
+		traceTo = flag.String("trace", "", "write protocol trace events as JSONL to this file (empty = off)")
+		logFmt  = flag.String("log", "text", "log format: text | json")
 	)
 	flag.Parse()
+
+	log := newLogger(*logFmt)
 
 	if !*source && *join == "" {
 		fmt.Fprintln(os.Stderr, "vdmd: need -source or -join <addr>")
@@ -54,25 +68,47 @@ func main() {
 
 	tr, err := transport.NewUDP(*listen, transport.UDPConfig{})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vdmd:", err)
+		log.Error("bind failed", "err", err)
 		os.Exit(1)
 	}
 	defer tr.Close()
+
+	// Observability plumbing: one registry, one event sink. Protocol and
+	// transport events feed the registry through the metrics sink; -trace
+	// tees the same stream to a JSONL file.
+	reg := obs.NewRegistry()
+	sink := obs.NewMetricsSink(reg)
+	var traceFile *os.File
+	if *traceTo != "" {
+		traceFile, err = os.Create(*traceTo)
+		if err != nil {
+			log.Error("trace file", "err", err)
+			os.Exit(1)
+		}
+		defer traceFile.Close()
+		sink = obs.TeeSink(sink, obs.NewJSONLSink(traceFile))
+	}
+
+	epoch := time.Now()
+	clock := func() float64 { return time.Since(epoch).Seconds() }
 
 	var id overlay.NodeID
 	if *source {
 		sess := live.NewSourceSession(tr)
 		id = sess.ID()
-		fmt.Printf("vdmd: source %s (node %d)\n", tr.LocalAddr(), id)
+		log.Info("source up", "addr", tr.LocalAddr(), "node", int64(id))
 	} else {
 		sess, err := live.JoinSession(tr, *join, *timeout)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "vdmd:", err)
+			log.Error("join failed", "err", err)
 			os.Exit(1)
 		}
 		id = sess.ID()
-		fmt.Printf("vdmd: joined %s as node %d (listening on %s)\n", *join, id, tr.LocalAddr())
+		log.Info("joined session", "source", *join, "node", int64(id), "addr", tr.LocalAddr())
 	}
+	log = log.With("node", int64(id))
+	tr.SetTracer(obs.NewTracer(sink, "vdm", id, clock))
+	obs.RegisterCounters(reg, "vdm_transport", tr.Counters(), obs.NodeLabel(id))
 
 	cfg := core.Config{
 		Gamma:         *gamma,
@@ -83,14 +119,57 @@ func main() {
 	if *refine > 0 {
 		rnd = rng.New(*seed)
 	}
-	peer := live.NewPeer(tr, time.Now(), func(bus overlay.Bus) overlay.Protocol {
-		return core.New(bus, overlay.PeerConfig{
+	peer := live.NewPeer(tr, epoch, func(bus overlay.Bus) overlay.Protocol {
+		n := core.New(bus, overlay.PeerConfig{
 			ID:        id,
 			Source:    0,
 			MaxDegree: *degree,
 			IsSource:  *source,
 		}, cfg, rnd)
+		n.SetTracer(obs.NewTracer(sink, "vdm", id, bus.Now))
+		return n
 	})
+	peer.SetTracer(obs.NewTracer(sink, "vdm", id, clock))
+	reg.RegisterCollector(func() []obs.Sample {
+		s := tr.Stats()
+		nl := obs.NodeLabel(id)
+		return []obs.Sample{
+			{Name: "vdm_udp_retransmits_sent_total", Labels: []obs.Label{nl}, Value: float64(s.Retransmits)},
+			{Name: "vdm_udp_dedupe_dropped_total", Labels: []obs.Label{nl}, Value: float64(s.DedupeDrops)},
+			{Name: "vdm_udp_acks_received_total", Labels: []obs.Label{nl}, Value: float64(s.AcksReceived)},
+			{Name: "vdm_mailbox_highwater", Labels: []obs.Label{nl}, Value: float64(peer.MailboxHighWater())},
+		}
+	})
+
+	if *admin != "" {
+		mux := obs.AdminMux(reg, func() map[string]any {
+			v := peer.View()
+			s := peer.Stats()
+			return map[string]any{
+				"node":      int64(id),
+				"uptime_s":  clock(),
+				"connected": v.Connected(),
+				"parent":    int64(v.ParentID()),
+				"children":  v.ChildIDs(),
+				"received":  s.Received,
+				"forwarded": s.Forwarded,
+				"dups":      s.Dups,
+				"orphaned":  s.OrphanCount,
+			}
+		})
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Error("admin bind failed", "err", err)
+			os.Exit(1)
+		}
+		log.Info("admin endpoint up", "addr", ln.Addr().String())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				log.Error("admin server stopped", "err", err)
+			}
+		}()
+	}
+
 	if !*source {
 		peer.StartJoin()
 	}
@@ -119,7 +198,7 @@ func main() {
 			for {
 				select {
 				case <-tick.C:
-					printStatus(peer, tr)
+					logStatus(log, peer, tr)
 				case <-stop:
 					return
 				}
@@ -131,21 +210,51 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	close(stop)
-	fmt.Println("vdmd: leaving session")
+	// Final snapshot before the state is torn down, so an operator's last
+	// log lines hold the session's closing numbers.
+	logStatus(log, peer, tr)
+	log.Info("leaving session")
 	peer.Leave()
 	// Give the Detach/LeaveNotify frames a moment to go out before the
 	// socket closes.
 	time.Sleep(200 * time.Millisecond)
+	if traceFile != nil {
+		if err := traceFile.Sync(); err != nil {
+			log.Error("trace flush", "err", err)
+		}
+	}
 }
 
-func printStatus(p *live.Peer, tr *transport.UDP) {
+func newLogger(format string) *slog.Logger {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	return slog.New(h).With("component", "vdmd")
+}
+
+// logStatus emits one structured status line: tree position, stream
+// accounting, transport counters, reliability stats.
+func logStatus(log *slog.Logger, p *live.Peer, tr *transport.UDP) {
 	v := p.View()
 	s := p.Stats()
 	c := tr.Counters().Snapshot()
-	parent := "none"
-	if v.ParentID() != overlay.None {
-		parent = fmt.Sprint(v.ParentID())
-	}
-	fmt.Printf("vdmd: node %d connected=%v parent=%s children=%v recv=%d fwd=%d ctrl=%d data=%d\n",
-		v.ID(), v.Connected(), parent, v.ChildIDs(), s.Received, s.Forwarded, c.Ctrl, c.Data)
+	u := tr.Stats()
+	log.Info("status",
+		"connected", v.Connected(),
+		"parent", int64(v.ParentID()),
+		"children", v.ChildIDs(),
+		"recv", s.Received,
+		"fwd", s.Forwarded,
+		"dups", s.Dups,
+		"orphaned", s.OrphanCount,
+		"ctrl", c.Ctrl,
+		"data", c.Data,
+		"ctrl_drops", c.CtrlDrops,
+		"retransmits", u.Retransmits,
+		"dedupe_drops", u.DedupeDrops,
+		"mailbox_hw", p.MailboxHighWater(),
+	)
 }

@@ -3,6 +3,7 @@
 //
 //	vdmsim -protocol vdm -nodes 200 -churn 5
 //	vdmsim -protocol hmtp -nodes 200 -churn 5 -samples
+//	vdmsim -protocol vdm -nodes 50 -events events.jsonl
 package main
 
 import (
@@ -10,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"vdm/internal/obs"
 	"vdm/internal/scenario"
 	"vdm/internal/sim"
 )
@@ -34,6 +36,7 @@ func main() {
 		jitter   = flag.Float64("jitter", 0.1, "measurement/queueing jitter sigma (<0 disables)")
 		scenFile = flag.String("scenario", "", "replay a scenario script (see topogen -scenario)")
 		traceN   = flag.Int("trace", 0, "print the first N protocol messages")
+		eventsTo = flag.String("events", "", "write VDM protocol trace events as JSONL to this file")
 		samples  = flag.Bool("samples", false, "print the per-measurement time series")
 		mstRatio = flag.Bool("mst", false, "compute tree/MST cost ratio")
 	)
@@ -66,9 +69,21 @@ func main() {
 		}
 	}
 
+	var eventSink obs.Sink
+	if *eventsTo != "" {
+		f, err := os.Create(*eventsTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		eventSink = obs.NewJSONLSink(f)
+	}
+
 	res, err := sim.Run(sim.Config{
 		Scenario:          scn,
 		Trace:             traceFn,
+		EventSink:         eventSink,
 		Seed:              *seed,
 		Protocol:          sim.ProtocolKind(*protocol),
 		Metric:            *metric,

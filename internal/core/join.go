@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"vdm/internal/obs"
 	"vdm/internal/overlay"
 )
 
@@ -14,6 +17,25 @@ const (
 	purposeReconnect
 	purposeRefine
 )
+
+func (p purpose) String() string {
+	switch p {
+	case purposeReconnect:
+		return "reconnect"
+	case purposeRefine:
+		return "refine"
+	default:
+		return "join"
+	}
+}
+
+// hintDetail renders the grandparent hint carried by an orphan event.
+func hintDetail(hint overlay.NodeID) string {
+	if hint == overlay.None {
+		return "no-hint"
+	}
+	return fmt.Sprintf("hint:%d", hint)
+}
 
 type stage int
 
@@ -40,6 +62,9 @@ type joinState struct {
 	// acceptance the directional search runs as an immediate
 	// refinement.
 	foster bool
+	// startedAt is when this attempt began, for the join_done trace
+	// event's duration.
+	startedAt float64
 }
 
 // Joining reports whether a join/reconnect/refine procedure is in flight.
@@ -51,12 +76,16 @@ func (n *Node) begin(p purpose, target overlay.NodeID) {
 
 func (n *Node) beginWith(p purpose, target overlay.NodeID, attempts int) {
 	js := &joinState{
-		purpose:  p,
-		visited:  make(map[overlay.NodeID]bool),
-		dists:    make(overlay.ProbeResult),
-		attempts: attempts,
+		purpose:   p,
+		visited:   make(map[overlay.NodeID]bool),
+		dists:     make(overlay.ProbeResult),
+		attempts:  attempts,
+		startedAt: n.Now(),
 	}
 	n.join = js
+	if attempts == 0 {
+		n.tracer.Emit(obs.EvJoinStart, obs.Event{Target: int64(target), Detail: p.String()})
+	}
 	n.sendInfo(js, target)
 }
 
@@ -69,6 +98,7 @@ func (n *Node) sendInfo(js *joinState, target overlay.NodeID) {
 	js.sentAt = n.Now()
 	n.token++
 	js.token = n.token
+	n.tracer.Emit(obs.EvJoinStep, obs.Event{Target: int64(target), Step: len(js.visited), Detail: js.purpose.String()})
 	n.Net().Send(n.ID(), target, overlay.InfoRequest{Token: js.token})
 
 	tok := js.token
@@ -83,6 +113,7 @@ func (n *Node) sendInfo(js *joinState, target overlay.NodeID) {
 // whose grandparent also departed falls back to the source; everything
 // else restarts.
 func (n *Node) onTargetUnusable(js *joinState) {
+	n.tracer.Emit(obs.EvJoinTimeout, obs.Event{Target: int64(js.target), Step: len(js.visited), Detail: js.purpose.String()})
 	switch {
 	case js.purpose == purposeRefine:
 		n.join = nil
@@ -153,7 +184,9 @@ func (n *Node) decide(js *joinState, res overlay.ProbeResult) {
 
 	if len(case3) > 0 {
 		// "Select closest of CaseIII, continue from closest one."
-		n.sendInfo(js, closestOf(case3, res))
+		next := closestOf(case3, res)
+		n.tracer.Emit(obs.EvJoinDecide, obs.Event{Target: int64(next), Case: "III", Step: len(case3), Value: js.dTarget})
+		n.sendInfo(js, next)
 		return
 	}
 	if len(case2) > 0 && js.purpose != purposeRefine {
@@ -163,11 +196,13 @@ func (n *Node) decide(js *joinState, res overlay.ProbeResult) {
 			adopt = adopt[:free]
 		}
 		if len(adopt) > 0 {
+			n.tracer.Emit(obs.EvJoinDecide, obs.Event{Target: int64(js.target), Case: "II", Step: len(adopt), Value: js.dTarget})
 			n.connect(js, js.target, overlay.ConnSplice, adopt)
 			return
 		}
 	}
 	// Case I: no directional child — attach to the queried node itself.
+	n.tracer.Emit(obs.EvJoinDecide, obs.Event{Target: int64(js.target), Case: "I", Value: js.dTarget})
 	n.connect(js, js.target, overlay.ConnChild, nil)
 }
 
@@ -189,6 +224,7 @@ func (n *Node) connect(js *joinState, to overlay.NodeID, kind overlay.ConnKind, 
 	js.sentAt = n.Now()
 	n.token++
 	js.token = n.token
+	n.tracer.Emit(obs.EvJoinConnect, obs.Event{Target: int64(to), Case: connKindName(kind, js), Step: len(adopt)})
 	n.Net().Send(n.ID(), to, overlay.ConnRequest{
 		Token:  js.token,
 		Kind:   kind,
@@ -243,9 +279,16 @@ func (n *Node) onConnResponse(from overlay.NodeID, m overlay.ConnResponse) {
 			n.EndSwitch()
 			n.join = nil
 			n.fostered = false // promoted or moved to a proper slot
+			n.tracer.Emit(obs.EvRefineSwitch, obs.Event{Target: int64(from), Value: dist})
 			return
 		}
 		n.ApplyConnect(from, dist, m.RootPath)
+		n.tracer.Emit(obs.EvJoinDone, obs.Event{
+			Target: int64(from),
+			Step:   len(js.visited),
+			Value:  n.Now() - js.startedAt,
+			Detail: js.purpose.String(),
+		})
 		for _, c := range m.Adopted {
 			d, ok := js.dists[c]
 			if !ok {
@@ -320,6 +363,7 @@ func (n *Node) onConnResponse(from overlay.NodeID, m overlay.ConnResponse) {
 func (n *Node) restart(js *joinState) {
 	attempts := js.attempts + 1
 	n.join = nil
+	n.tracer.Emit(obs.EvJoinRestart, obs.Event{Target: int64(js.target), Step: attempts, Detail: js.purpose.String()})
 	if js.purpose == purposeRefine {
 		n.fosterRetry()
 		return
@@ -333,6 +377,18 @@ func (n *Node) restart(js *joinState) {
 		return
 	}
 	n.beginWith(js.purpose, n.Source(), attempts)
+}
+
+// connKindName names a connection request for the trace stream.
+func connKindName(kind overlay.ConnKind, js *joinState) string {
+	switch {
+	case js.foster && js.purpose == purposeJoin:
+		return "foster"
+	case kind == overlay.ConnSplice:
+		return "splice"
+	default:
+		return "child"
+	}
 }
 
 func closestOf(ids []overlay.NodeID, dists overlay.ProbeResult) overlay.NodeID {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"vdm/internal/obs"
 	"vdm/internal/overlay"
 	"vdm/internal/rng"
 )
@@ -50,10 +51,11 @@ func (c Config) withDefaults() Config {
 // reconnection and refinement state machines.
 type Node struct {
 	*overlay.Peer
-	cfg   Config
-	rnd   *rng.Stream
-	join  *joinState
-	token int
+	cfg    Config
+	rnd    *rng.Stream
+	join   *joinState
+	token  int
+	tracer *obs.Tracer
 
 	refineArmed bool
 	// fostered marks a quick-start attachment that still occupies a
@@ -64,6 +66,11 @@ type Node struct {
 
 // Fostered reports whether the node currently sits in a foster slot.
 func (n *Node) Fostered() bool { return n.fostered }
+
+// SetTracer installs the protocol event tracer (nil disables tracing).
+// The simulator and the live runtime install tracers over the same bus
+// clock the node runs on, so event timestamps line up with protocol time.
+func (n *Node) SetTracer(t *obs.Tracer) { n.tracer = t }
 
 // fosterRetry re-runs the directional search while the node still holds a
 // foster slot (e.g. every proper candidate was briefly saturated).
@@ -106,12 +113,14 @@ func (n *Node) StartJoin() {
 	n.MarkJoinStart()
 	if n.cfg.FosterJoin {
 		js := &joinState{
-			purpose: purposeJoin,
-			foster:  true,
-			visited: make(map[overlay.NodeID]bool),
-			dists:   make(overlay.ProbeResult),
+			purpose:   purposeJoin,
+			foster:    true,
+			visited:   make(map[overlay.NodeID]bool),
+			dists:     make(overlay.ProbeResult),
+			startedAt: n.Now(),
 		}
 		n.join = js
+		n.tracer.Emit(obs.EvJoinStart, obs.Event{Target: int64(n.Source()), Detail: "foster"})
 		n.connect(js, n.Source(), overlay.ConnChild, nil)
 		return
 	}
@@ -137,6 +146,7 @@ func (n *Node) OnOrphaned(leaver, hint overlay.NodeID) {
 		n.EndSwitch()
 		n.join = nil
 	}
+	n.tracer.Emit(obs.EvOrphaned, obs.Event{Target: int64(leaver), Detail: hintDetail(hint)})
 	start := hint
 	if n.cfg.ReconnectAtSource || start == overlay.None || start == leaver || start == n.ID() {
 		start = n.Source()

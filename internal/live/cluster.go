@@ -6,6 +6,7 @@ import (
 
 	"vdm/internal/core"
 	"vdm/internal/metrics"
+	"vdm/internal/obs"
 	"vdm/internal/overlay"
 	"vdm/internal/rng"
 	"vdm/internal/transport"
@@ -28,6 +29,9 @@ type ClusterConfig struct {
 	Core core.Config
 	// Seed drives refinement jitter; zero selects 1.
 	Seed int64
+	// EventSink, when set, receives every peer's protocol trace events —
+	// the same schema a simulator session emits through its EventSink.
+	EventSink obs.Sink
 }
 
 // Cluster boots N VDM peers on one in-memory transport — the live
@@ -64,13 +68,22 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		id := overlay.NodeID(i)
 		peerRnd := rnd.Derive(fmt.Sprintf("peer-%d", i))
 		p := NewPeer(tr, epoch, func(bus overlay.Bus) overlay.Protocol {
-			return core.New(bus, overlay.PeerConfig{
+			n := core.New(bus, overlay.PeerConfig{
 				ID:        id,
 				Source:    0,
 				MaxDegree: cfg.MaxDegree,
 				IsSource:  id == 0,
 			}, cfg.Core, peerRnd)
+			if cfg.EventSink != nil {
+				n.SetTracer(obs.NewTracer(cfg.EventSink, "vdm", id, bus.Now))
+			}
+			return n
 		})
+		if cfg.EventSink != nil {
+			p.SetTracer(obs.NewTracer(cfg.EventSink, "vdm", id, func() float64 {
+				return time.Since(epoch).Seconds()
+			}))
+		}
 		c.Peers = append(c.Peers, p)
 	}
 	for _, p := range c.Peers[1:] {

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"vdm/internal/obs"
 	"vdm/internal/overlay"
 	"vdm/internal/transport"
 )
@@ -30,8 +31,28 @@ type Peer struct {
 	wake    chan struct{}
 	stopped bool
 	timers  map[*time.Timer]struct{}
+	// highWater is the deepest the mailbox has ever been — the live
+	// runtime's backpressure signal (a mailbox that only grows means the
+	// peer cannot keep up with its inbound rate).
+	highWater int
+	tracer    *obs.Tracer
 
 	done chan struct{}
+}
+
+// SetTracer installs the tracer mailbox high-water events are emitted
+// through (nil disables). Call before traffic starts.
+func (p *Peer) SetTracer(t *obs.Tracer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracer = t
+}
+
+// MailboxHighWater reports the deepest queue depth the mailbox reached.
+func (p *Peer) MailboxHighWater() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.highWater
 }
 
 // NewPeer builds a live peer: build constructs the protocol node over the
@@ -66,7 +87,16 @@ func (p *Peer) post(fn func()) {
 		return
 	}
 	p.box = append(p.box, fn)
+	depth := len(p.box)
+	var tr *obs.Tracer
+	if depth > p.highWater {
+		p.highWater = depth
+		tr = p.tracer
+	}
 	p.mu.Unlock()
+	if tr != nil {
+		tr.Emit(obs.EvMailboxDepth, obs.Event{Target: int64(overlay.None), Value: float64(depth)})
+	}
 	select {
 	case p.wake <- struct{}{}:
 	default:

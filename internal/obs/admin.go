@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminMux builds the live-introspection HTTP handler a daemon mounts on
+// its -admin port:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/debug/vars   JSON snapshot: reg plus the daemon's vars() extras
+//	/debug/pprof  the standard runtime profiles
+//
+// vars may be nil; its entries are merged over the registry snapshot
+// (daemon-supplied keys win), letting the daemon add structured state
+// like its current tree view.
+func AdminMux(reg *Registry, vars func() map[string]any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		out := reg.Snapshot()
+		if vars != nil {
+			for k, v := range vars() {
+				out[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAdminMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", L("proto", "vdm")).Add(2)
+	srv := httptest.NewServer(AdminMux(reg, func() map[string]any {
+		return map[string]any{"connected": true, "parent": int64(3)}
+	}))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content-type %q", ctype)
+	}
+	if !strings.Contains(body, `up_total{proto="vdm"} 2`) {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, ctype = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/debug/vars content-type %q", ctype)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	if vars["connected"] != true {
+		t.Fatalf("daemon vars not merged: %v", vars)
+	}
+	if _, ok := vars[`up_total{proto="vdm"}`]; !ok {
+		t.Fatalf("registry snapshot missing from vars: %v", vars)
+	}
+
+	code, body, _ = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}

@@ -1,0 +1,78 @@
+package overlay
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestOverheadZeroData(t *testing.T) {
+	var c Counters
+	if got := c.Overhead(); got != 0 {
+		t.Fatalf("empty Overhead() = %v, want 0", got)
+	}
+	c.Ctrl.Add(100) // control traffic with no data must not divide by zero
+	if got := c.Overhead(); got != 0 {
+		t.Fatalf("Overhead() with zero data = %v, want 0", got)
+	}
+}
+
+func TestCountersOverheadRatio(t *testing.T) {
+	var c Counters
+	c.Ctrl.Add(3)
+	c.Data.Add(6)
+	if got := c.Overhead(); got != 0.5 {
+		t.Fatalf("Overhead() = %v, want 0.5", got)
+	}
+	c.Data.Add(6) // ratio is cumulative, not windowed
+	if got := c.Overhead(); got != 0.25 {
+		t.Fatalf("Overhead() = %v, want 0.25", got)
+	}
+}
+
+func TestSnapshotReadsEveryField(t *testing.T) {
+	var c Counters
+	c.Ctrl.Add(1)
+	c.Data.Add(2)
+	c.DataDrops.Add(3)
+	c.CtrlDrops.Add(4)
+	c.Undeliver.Add(5)
+	got := c.Snapshot()
+	want := CounterSnapshot{Ctrl: 1, Data: 2, DataDrops: 3, CtrlDrops: 4, Undeliver: 5}
+	if got != want {
+		t.Fatalf("Snapshot() = %+v, want %+v", got, want)
+	}
+}
+
+// TestCountersConcurrent increments every field from many goroutines; under
+// -race this is the proof that Counters is safe to share between the live
+// transports' send and receive loops.
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Ctrl.Add(1)
+				c.Data.Add(2)
+				c.DataDrops.Add(1)
+				c.CtrlDrops.Add(1)
+				c.Undeliver.Add(1)
+				_ = c.Overhead() // concurrent readers
+				_ = c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	const n = workers * per
+	want := CounterSnapshot{Ctrl: n, Data: 2 * n, DataDrops: n, CtrlDrops: n, Undeliver: n}
+	if snap != want {
+		t.Fatalf("Snapshot() = %+v, want %+v", snap, want)
+	}
+	if got := c.Overhead(); got != 0.5 {
+		t.Fatalf("Overhead() = %v, want 0.5", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"vdm/internal/metrics"
 	"vdm/internal/mst"
 	"vdm/internal/nice"
+	"vdm/internal/obs"
 	"vdm/internal/overlay"
 	"vdm/internal/randjoin"
 	"vdm/internal/rng"
@@ -134,6 +135,10 @@ type Config struct {
 	// Trace, when set, observes every message send: virtual time,
 	// endpoints, and the message type name (e.g. "overlay.ConnRequest").
 	Trace func(at float64, from, to int, msgType string)
+	// EventSink, when set, receives structured protocol trace events
+	// (obs.Event) from every VDM node — the same JSONL schema the live
+	// runtime emits, so offline traces and wire traces are comparable.
+	EventSink obs.Sink
 
 	// Scenario overrides the generated workload when non-nil.
 	Scenario *scenario.Scenario
@@ -507,12 +512,16 @@ func (s *session) spawn(slot int) {
 	case Random:
 		p = randjoin.New(s.net, pc, randjoin.Config{}, s.protoRnd.Derive(fmt.Sprintf("rand-%d-%d", slot, len(s.all))))
 	default:
-		p = core.New(s.net, pc, core.Config{
+		n := core.New(s.net, pc, core.Config{
 			Gamma:             s.cfg.Gamma,
 			RefinePeriodS:     s.cfg.VDMRefinePeriodS,
 			ReconnectAtSource: s.cfg.VDMReconnectAtSrc,
 			FosterJoin:        s.cfg.VDMFosterJoin,
 		}, s.protoRnd.Derive(fmt.Sprintf("vdm-%d-%d", slot, len(s.all))))
+		if s.cfg.EventSink != nil {
+			n.SetTracer(obs.NewTracer(s.cfg.EventSink, "vdm", pc.ID, s.net.Now))
+		}
+		p = n
 	}
 	s.net.Register(overlay.NodeID(slot), p)
 	s.insts[slot] = &instance{slot: slot, proto: p}

@@ -1,10 +1,12 @@
 package transport
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"vdm/internal/obs"
 	"vdm/internal/overlay"
 	"vdm/internal/wire"
 )
@@ -281,5 +283,93 @@ func TestUDPMalformedDatagram(t *testing.T) {
 	}
 	if !waitFor(t, 2*time.Second, func() bool { return c.count() == 1 }) {
 		t.Fatal("transport stopped working after malformed datagrams")
+	}
+}
+
+// TestUDPStatsRetransmitsAndAcks drops the first k transmissions of a
+// control frame and checks the reliability accounting: k retransmissions
+// on the sender, one ack received, and matching trace events.
+func TestUDPStatsRetransmitsAndAcks(t *testing.T) {
+	const k = 2
+	cfg := UDPConfig{RetryBase: 10 * time.Millisecond, RetryAttempts: 6}
+	a, b := newUDPPair(t, cfg)
+	var c collector
+	b.Register(2, c.handler())
+	if err := a.SetRoute(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	var sink obs.MemSink
+	a.SetTracer(obs.NewTracer(&sink, "vdm", 1, func() float64 { return 0 }))
+	a.SetSendFilter(func(to overlay.NodeID, f wire.Frame, attempt int) bool {
+		return f.Kind == wire.KindMsg && attempt < k
+	})
+
+	if !a.Send(1, 2, overlay.Ping{Token: 11}) {
+		t.Fatal("send failed")
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return a.Stats().AcksReceived == 1 }) {
+		t.Fatalf("stats = %+v, want one ack", a.Stats())
+	}
+	if s := a.Stats(); s.Retransmits < k {
+		t.Fatalf("retransmits = %d, want >= %d", s.Retransmits, k)
+	}
+	if c.count() != 1 {
+		t.Fatalf("delivered %d times", c.count())
+	}
+
+	types := map[string]int{}
+	for _, e := range sink.Events() {
+		types[e.Type]++
+	}
+	if types[obs.EvUDPRetransmit] < k {
+		t.Fatalf("trace retransmit events = %d, want >= %d (%v)", types[obs.EvUDPRetransmit], k, types)
+	}
+	if types[obs.EvUDPAck] != 1 {
+		t.Fatalf("trace ack events = %d, want 1 (%v)", types[obs.EvUDPAck], types)
+	}
+	for _, e := range sink.Events() {
+		if e.Type == obs.EvUDPAck && e.Value < 0 {
+			t.Fatalf("negative ack latency: %+v", e)
+		}
+	}
+}
+
+// TestUDPStatsDedupeDrops replays an identical control frame at the
+// receiver's socket and checks the duplicate is counted, traced, and not
+// delivered twice.
+func TestUDPStatsDedupeDrops(t *testing.T) {
+	a, b := newUDPPair(t, UDPConfig{})
+	var c collector
+	b.Register(2, c.handler())
+
+	var sink obs.MemSink
+	b.SetTracer(obs.NewTracer(&sink, "vdm", 2, func() float64 { return 0 }))
+
+	// Bypass the sender's reliability machinery so the same seq arrives
+	// twice, as it would after a lost ack forced a retransmission.
+	f := wire.Frame{Kind: wire.KindMsg, From: 1, To: 2, Seq: 77, Msg: overlay.Ping{Token: 5}}
+	baddr := b.conn.LocalAddr().(*net.UDPAddr)
+	for i := 0; i < 2; i++ {
+		if err := a.SendFrame(baddr, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return b.Stats().DedupeDrops == 1 }) {
+		t.Fatalf("stats = %+v, want one dedupe drop", b.Stats())
+	}
+	time.Sleep(20 * time.Millisecond)
+	if c.count() != 1 {
+		t.Fatalf("duplicate delivered: count = %d", c.count())
+	}
+
+	found := false
+	for _, e := range sink.Events() {
+		if e.Type == obs.EvUDPDedupeDrop && e.Target == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no dedupe trace event: %+v", sink.Events())
 	}
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"vdm/internal/obs"
 	"vdm/internal/overlay"
 	"vdm/internal/wire"
 )
@@ -80,9 +82,54 @@ type UDP struct {
 	sessionHandler func(from *net.UDPAddr, f wire.Frame)
 	resolveFn      func(id overlay.NodeID)
 	sendFilter     func(to overlay.NodeID, f wire.Frame, attempt int) bool
+	tracer         *obs.Tracer
 
 	ctrs overlay.Counters
-	wg   sync.WaitGroup
+	// Reliability-path accounting, readable through Stats: the dedupe and
+	// retransmit activity that overlay.Counters (shared with the lossless
+	// simulator) has no slot for.
+	retransmits atomic.Int64
+	dedupeDrops atomic.Int64
+	acksRecv    atomic.Int64
+	wg          sync.WaitGroup
+}
+
+// UDPStats is a snapshot of the UDP reliability machinery's accounting.
+type UDPStats struct {
+	// Retransmits counts control-frame retransmissions (excluding each
+	// frame's first transmission).
+	Retransmits int64
+	// DedupeDrops counts duplicate control frames suppressed by the
+	// receive-side dedupe window.
+	DedupeDrops int64
+	// AcksReceived counts acknowledged control frames.
+	AcksReceived int64
+}
+
+// Stats reads the reliability counters once.
+func (t *UDP) Stats() UDPStats {
+	return UDPStats{
+		Retransmits:  t.retransmits.Load(),
+		DedupeDrops:  t.dedupeDrops.Load(),
+		AcksReceived: t.acksRecv.Load(),
+	}
+}
+
+// SetTracer installs the protocol event tracer the transport emits its
+// udp_retransmit / udp_dedupe_drop / udp_ack events through (nil
+// disables).
+func (t *UDP) SetTracer(tr *obs.Tracer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tracer = tr
+}
+
+// trace reads the tracer under the lock; the returned (possibly nil)
+// tracer is safe to Emit on.
+func (t *UDP) trace() *obs.Tracer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tracer
 }
 
 // SetSessionHandler installs the hook that receives non-message frames
@@ -119,6 +166,7 @@ type inflight struct {
 	to       overlay.NodeID
 	attempts int
 	timer    *time.Timer
+	sentAt   time.Time // first transmission, for ack latency
 }
 
 // parkedQueue holds messages awaiting address resolution for one
@@ -297,7 +345,7 @@ func (t *UDP) deliver(from, to overlay.NodeID, m overlay.Message) bool {
 	}
 	t.seq++
 	f.Seq = t.seq
-	inf := &inflight{frame: f, to: to}
+	inf := &inflight{frame: f, to: to, sentAt: time.Now()}
 	t.pending[f.Seq] = inf
 	inf.timer = time.AfterFunc(t.cfg.RetryBase, func() { t.retry(f.Seq, addr) })
 	t.mu.Unlock()
@@ -360,7 +408,10 @@ func (t *UDP) retry(seq uint32, addr *net.UDPAddr) {
 	inf.timer = time.AfterFunc(delay, func() { t.retry(seq, addr) })
 	f := inf.frame
 	attempt := inf.attempts
+	tr := t.tracer
 	t.mu.Unlock()
+	t.retransmits.Add(1)
+	tr.Emit(obs.EvUDPRetransmit, obs.Event{Target: int64(inf.to), Step: attempt})
 	t.write(inf.to, addr, f, attempt)
 }
 
@@ -422,11 +473,21 @@ func (t *UDP) readLoop() {
 			t.handleMsg(f, raddr)
 		case wire.KindAck:
 			t.mu.Lock()
-			if inf, ok := t.pending[f.Seq]; ok {
+			inf, ok := t.pending[f.Seq]
+			if ok {
 				inf.timer.Stop()
 				delete(t.pending, f.Seq)
 			}
+			tr := t.tracer
 			t.mu.Unlock()
+			if ok {
+				t.acksRecv.Add(1)
+				tr.Emit(obs.EvUDPAck, obs.Event{
+					Target: int64(inf.to),
+					Step:   inf.attempts + 1,
+					Value:  float64(time.Since(inf.sentAt)) / float64(time.Millisecond),
+				})
+			}
 		default:
 			t.mu.Lock()
 			h := t.sessionHandler
@@ -455,7 +516,10 @@ func (t *UDP) handleMsg(f wire.Frame, raddr *net.UDPAddr) {
 			t.recent[f.From] = d
 		}
 		if d.seen(f.Seq) {
+			tr := t.tracer
 			t.mu.Unlock()
+			t.dedupeDrops.Add(1)
+			tr.Emit(obs.EvUDPDedupeDrop, obs.Event{Target: int64(f.From)})
 			return
 		}
 	}
