@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet fuzz bench
+.PHONY: check test build vet fuzz bench bench-compare bench-experiments
 
 # check is the pre-merge gate: vet + build + race-enabled tests.
 check:
@@ -19,10 +19,26 @@ test:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/wire/
 
-# bench runs the wire codec and core join benchmarks and archives a JSON
-# summary (BENCH_wire.json) so the perf trajectory is tracked PR to PR.
+# bench runs the wire codec, event queue and core join benchmarks and
+# archives a JSON summary (BENCH_wire.json) so the perf trajectory is
+# tracked PR to PR.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/wire/ ./internal/core/ | tee bench.out
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/wire/ ./internal/eventq/ ./internal/core/ | tee bench.out
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_wire.json
 	@rm -f bench.out
 	@echo "wrote BENCH_wire.json"
+
+# bench-compare re-runs the benchmarks and fails if any regressed more
+# than 10% in ns/op — or at all in allocs/op — against the archived
+# BENCH_wire.json baseline.
+bench-compare:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/wire/ ./internal/eventq/ ./internal/core/ | $(GO) run ./cmd/benchjson > bench_new.json
+	$(GO) run ./cmd/benchdiff -old BENCH_wire.json -new bench_new.json
+	@rm -f bench_new.json
+
+# bench-experiments times a fixed experiment selection serial vs parallel
+# and archives the wall-clock numbers (BENCH_experiments.json).
+bench-experiments:
+	$(GO) run ./cmd/experiments -group ch5-refine -reps 2 -timescale 0.06 -ratescale 0.3 \
+		-benchout BENCH_experiments.json > /dev/null
+	@echo "wrote BENCH_experiments.json"

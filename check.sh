@@ -14,4 +14,12 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Optional perf gate: compare benchmarks against the archived baseline.
+# Off by default (benchmark noise depends on the machine); enable with
+#   BENCH_COMPARE=1 ./check.sh
+if [ "${BENCH_COMPARE:-0}" = "1" ]; then
+	echo "== make bench-compare"
+	make bench-compare
+fi
+
 echo "check: OK"

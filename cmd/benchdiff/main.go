@@ -1,0 +1,115 @@
+// Command benchdiff compares two benchjson summaries and fails when a
+// benchmark regressed beyond the tolerance — the guard `make
+// bench-compare` runs against the archived baseline.
+//
+//	benchdiff -old BENCH_wire.json -new bench_new.json           # 10% tolerance
+//	benchdiff -old BENCH_wire.json -new bench_new.json -tol 0.05
+//
+// A regression is a ns/op increase beyond the tolerance, or any increase
+// in allocs/op (allocation counts are deterministic, so even +1 is a real
+// change, not noise). Benchmarks present on only one side are reported
+// but never fail the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Benchmark mirrors cmd/benchjson's per-line record.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Summary mirrors cmd/benchjson's file layout.
+type Summary struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoOS        string      `json:"goos,omitempty"`
+	GoArch      string      `json:"goarch,omitempty"`
+	Packages    []string    `json:"packages,omitempty"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
+}
+
+func load(path string) (map[string]Benchmark, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Benchmark, len(s.Benchmarks))
+	order := make([]string, 0, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		if _, dup := m[b.Name]; !dup {
+			order = append(order, b.Name)
+		}
+		m[b.Name] = b
+	}
+	return m, order, nil
+}
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "baseline benchjson file")
+		newPath = flag.String("new", "", "candidate benchjson file")
+		tol     = flag.Float64("tol", 0.10, "allowed fractional ns/op increase before failing")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldB, _, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newB, newOrder, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	regressions := 0
+	for _, name := range newOrder {
+		nb := newB[name]
+		ob, ok := oldB[name]
+		if !ok {
+			fmt.Printf("NEW   %-32s %12.1f ns/op %6d allocs/op\n", name, nb.NsPerOp, nb.AllocsPerOp)
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		}
+		status := "ok"
+		if delta > *tol {
+			status = "REGRESSION(time)"
+			regressions++
+		}
+		if nb.AllocsPerOp > ob.AllocsPerOp {
+			status = "REGRESSION(allocs)"
+			regressions++
+		}
+		fmt.Printf("%-18s %-32s %12.1f -> %12.1f ns/op (%+6.1f%%)  %5d -> %5d allocs/op\n",
+			status, name, ob.NsPerOp, nb.NsPerOp, delta*100, ob.AllocsPerOp, nb.AllocsPerOp)
+	}
+	for name := range oldB {
+		if _, ok := newB[name]; !ok {
+			fmt.Printf("GONE  %s\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%% tolerance\n", regressions, *tol*100)
+		os.Exit(1)
+	}
+}

@@ -12,8 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"vdm/internal/experiments"
+	"vdm/internal/parallel"
 )
 
 func main() {
@@ -28,6 +31,8 @@ func main() {
 		rateScale = flag.Float64("ratescale", 1, "data rate multiplier (1 = paper)")
 		verbose   = flag.Bool("v", false, "print per-session progress")
 		format    = flag.String("format", "text", "output format: text | json")
+		jobs      = flag.Int("j", 0, "parallel workers for matrix cells (0 = all cores, 1 = serial); results are identical at any value")
+		benchout  = flag.String("benchout", "", "time the selected groups serial vs parallel and write wall-clock JSON to this file")
 	)
 	flag.Parse()
 
@@ -43,6 +48,7 @@ func main() {
 		Reps:      *reps,
 		TimeScale: *timeScale,
 		RateScale: *rateScale,
+		Jobs:      *jobs,
 	}
 	if *verbose {
 		opts.Progress = func(format string, args ...any) {
@@ -68,6 +74,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *benchout != "" {
+		if err := writeBench(*benchout, groups, opts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	var collected []*experiments.Table
 	for _, g := range groups {
 		tables, err := experiments.Run(g, opts)
@@ -91,4 +104,84 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// benchReport is the schema of the -benchout file: one serial and one
+// parallel wall-clock measurement of the same experiment selection, plus
+// a check that both produced identical tables.
+type benchReport struct {
+	GeneratedAt string   `json:"generated_at"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	Cores       int      `json:"cores"`
+	Workers     int      `json:"workers"`
+	Groups      []string `json:"groups"`
+	Reps        int      `json:"reps"`
+	TimeScale   float64  `json:"timescale"`
+	RateScale   float64  `json:"ratescale"`
+	SerialSec   float64  `json:"serial_sec"`
+	ParallelSec float64  `json:"parallel_sec"`
+	Speedup     float64  `json:"speedup"`
+	Identical   bool     `json:"identical_output"`
+}
+
+// runFormatted runs every group and returns the concatenated formatted
+// tables (the byte-identical artifact the determinism guarantee covers).
+func runFormatted(groups []string, o experiments.Options) (string, error) {
+	var out []byte
+	for _, g := range groups {
+		tables, err := experiments.Run(g, o)
+		if err != nil {
+			return "", fmt.Errorf("group %s: %w", g, err)
+		}
+		for _, t := range tables {
+			out = append(out, t.Format()...)
+			out = append(out, '\n')
+		}
+	}
+	return string(out), nil
+}
+
+func writeBench(path string, groups []string, opts experiments.Options) error {
+	serialOpts, parOpts := opts, opts
+	serialOpts.Jobs = 1
+	serialOpts.Progress, parOpts.Progress = nil, nil
+
+	t0 := time.Now()
+	serialOut, err := runFormatted(groups, serialOpts)
+	if err != nil {
+		return err
+	}
+	serialSec := time.Since(t0).Seconds()
+
+	t0 = time.Now()
+	parOut, err := runFormatted(groups, parOpts)
+	if err != nil {
+		return err
+	}
+	parSec := time.Since(t0).Seconds()
+
+	rep := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Cores:       runtime.NumCPU(),
+		Workers:     parallel.Workers(opts.Jobs),
+		Groups:      groups,
+		Reps:        opts.Reps,
+		TimeScale:   opts.TimeScale,
+		RateScale:   opts.RateScale,
+		SerialSec:   serialSec,
+		ParallelSec: parSec,
+		Speedup:     serialSec / parSec,
+		Identical:   serialOut == parOut,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"vdm/internal/lab"
+	"vdm/internal/parallel"
 	"vdm/internal/sim"
 )
 
@@ -32,10 +33,12 @@ func main() {
 		tree     = flag.Bool("tree", false, "print the final overlay tree")
 		dot      = flag.Bool("dot", false, "print the final tree as Graphviz DOT")
 		mstRatio = flag.Bool("mst", false, "compute tree/MST cost ratio")
+		reps     = flag.Int("reps", 1, "repetitions with derived seeds; metrics are averaged")
+		jobs     = flag.Int("j", 0, "parallel workers for repetitions (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
-	res, err := lab.Run(lab.Config{
+	cfg := lab.Config{
 		Seed:      *seed,
 		Protocol:  sim.ProtocolKind(*protocol),
 		Nodes:     *nodes,
@@ -48,10 +51,25 @@ func main() {
 		JoinPhase: *joinS,
 		DataRate:  *rate,
 		MST:       *mstRatio,
+	}
+	if *reps < 1 {
+		*reps = 1
+	}
+	// Repetitions are independent cells: each derives its own seed, so
+	// the aggregate is identical at any worker count.
+	results, err := parallel.Map(*reps, *jobs, func(rep int) (*lab.Result, error) {
+		c := cfg
+		c.Seed = cfg.Seed + int64(rep)*7_919
+		return lab.Run(c)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	res := results[0]
+	if *reps > 1 {
+		fmt.Printf("aggregated over %d repetitions (mean; tree/clustering from rep 0)\n", *reps)
+		res = meanResult(results)
 	}
 
 	fmt.Printf("node selection: %s\n", res.Selection)
@@ -79,4 +97,49 @@ func main() {
 	if *dot {
 		fmt.Print(lab.DOT(res.Result))
 	}
+}
+
+// meanResult averages the session metrics over repetitions, keeping the
+// first repetition's selection, tree and clustering for display.
+func meanResult(results []*lab.Result) *lab.Result {
+	first := results[0]
+	agg := *first
+	s := *first.Result
+	s.Stress, s.MaxStress = 0, 0
+	s.Stretch, s.MinStretch, s.MaxStretch, s.LeafStretch = 0, 0, 0, 0
+	s.Hopcount, s.LeafHopcount, s.MaxHopcount = 0, 0, 0
+	s.UsageMS, s.UsageNorm, s.Loss, s.Overhead = 0, 0, 0, 0
+	s.StartupAvg, s.StartupMax, s.ReconnAvg, s.ReconnMax = 0, 0, 0, 0
+	s.MSTRatio, s.DCMSTRatio = 0, 0
+	var reconns, alive, reach float64
+	inv := 1 / float64(len(results))
+	for _, r := range results {
+		s.Stress += r.Stress * inv
+		s.MaxStress += r.MaxStress * inv
+		s.Stretch += r.Stretch * inv
+		s.MinStretch += r.MinStretch * inv
+		s.MaxStretch += r.MaxStretch * inv
+		s.LeafStretch += r.LeafStretch * inv
+		s.Hopcount += r.Hopcount * inv
+		s.LeafHopcount += r.LeafHopcount * inv
+		s.MaxHopcount += r.MaxHopcount * inv
+		s.UsageMS += r.UsageMS * inv
+		s.UsageNorm += r.UsageNorm * inv
+		s.Loss += r.Loss * inv
+		s.Overhead += r.Overhead * inv
+		s.StartupAvg += r.StartupAvg * inv
+		s.StartupMax += r.StartupMax * inv
+		s.ReconnAvg += r.ReconnAvg * inv
+		s.ReconnMax += r.ReconnMax * inv
+		s.MSTRatio += r.MSTRatio * inv
+		s.DCMSTRatio += r.DCMSTRatio * inv
+		reconns += float64(r.ReconnCount) * inv
+		alive += float64(r.FinalAlive) * inv
+		reach += float64(r.FinalReachable) * inv
+	}
+	s.ReconnCount = int(reconns + 0.5)
+	s.FinalAlive = int(alive + 0.5)
+	s.FinalReachable = int(reach + 0.5)
+	agg.Result = &s
+	return &agg
 }

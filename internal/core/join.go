@@ -65,6 +65,53 @@ type joinState struct {
 	// startedAt is when this attempt began, for the join_done trace
 	// event's duration.
 	startedAt float64
+
+	// Scratch storage reused across iterations of one attempt and across
+	// recycled attempts (see newJoinState): probe target ids, and the
+	// Case II/III partitions built by decide. None of these escape — the
+	// prober copies its targets and sortByDist copies the adopt list.
+	probeIDs []overlay.NodeID
+	case3buf []overlay.NodeID
+	case2buf []overlay.NodeID
+}
+
+// newJoinState returns a blank attempt state, reusing the previous
+// attempt's allocations when possible. A node runs at most one join
+// procedure at a time, so a one-slot free list suffices; stale closures
+// from a recycled attempt are fenced off by the monotonic token, which
+// every timeout and probe continuation checks before touching state.
+func (n *Node) newJoinState(p purpose, attempts int) *joinState {
+	js := n.joinFree
+	if js == nil {
+		js = &joinState{
+			visited: make(map[overlay.NodeID]bool),
+			dists:   make(overlay.ProbeResult),
+		}
+	} else {
+		n.joinFree = nil
+		clear(js.visited)
+		clear(js.dists)
+		*js = joinState{
+			children: js.children[:0],
+			visited:  js.visited,
+			dists:    js.dists,
+			probeIDs: js.probeIDs[:0],
+			case3buf: js.case3buf[:0],
+			case2buf: js.case2buf[:0],
+		}
+	}
+	js.purpose = p
+	js.attempts = attempts
+	js.startedAt = n.Now()
+	return js
+}
+
+// endJoin clears the in-flight procedure and recycles its state for the
+// node's next attempt. Callers must copy out any field they still need.
+func (n *Node) endJoin(js *joinState) {
+	n.join = nil
+	js.adopt = nil // referenced by the sent ConnRequest; never reuse
+	n.joinFree = js
 }
 
 // Joining reports whether a join/reconnect/refine procedure is in flight.
@@ -75,13 +122,7 @@ func (n *Node) begin(p purpose, target overlay.NodeID) {
 }
 
 func (n *Node) beginWith(p purpose, target overlay.NodeID, attempts int) {
-	js := &joinState{
-		purpose:   p,
-		visited:   make(map[overlay.NodeID]bool),
-		dists:     make(overlay.ProbeResult),
-		attempts:  attempts,
-		startedAt: n.Now(),
-	}
+	js := n.newJoinState(p, attempts)
 	n.join = js
 	if attempts == 0 {
 		n.tracer.Emit(obs.EvJoinStart, obs.Event{Target: int64(target), Detail: p.String()})
@@ -116,7 +157,7 @@ func (n *Node) onTargetUnusable(js *joinState) {
 	n.tracer.Emit(obs.EvJoinTimeout, obs.Event{Target: int64(js.target), Step: len(js.visited), Detail: js.purpose.String()})
 	switch {
 	case js.purpose == purposeRefine:
-		n.join = nil
+		n.endJoin(js)
 		n.fosterRetry()
 	case js.purpose == purposeReconnect && js.target != n.Source():
 		n.sendInfo(js, n.Source())
@@ -138,7 +179,7 @@ func (n *Node) onInfoResponse(from overlay.NodeID, m overlay.InfoResponse) {
 	js.dists[from] = js.dTarget
 
 	js.children = js.children[:0]
-	var ids []overlay.NodeID
+	ids := js.probeIDs[:0]
 	for _, ci := range m.Children {
 		if ci.ID == n.ID() {
 			continue
@@ -146,6 +187,7 @@ func (n *Node) onInfoResponse(from overlay.NodeID, m overlay.InfoResponse) {
 		js.children = append(js.children, ci)
 		ids = append(ids, ci.ID)
 	}
+	js.probeIDs = ids
 	if len(ids) == 0 {
 		n.decide(js, nil)
 		return
@@ -166,7 +208,7 @@ func (n *Node) onInfoResponse(from overlay.NodeID, m overlay.InfoResponse) {
 // current target and advances the state machine: descend on Case III,
 // splice on Case II, attach on Case I.
 func (n *Node) decide(js *joinState, res overlay.ProbeResult) {
-	var case3, case2 []overlay.NodeID
+	case3, case2 := js.case3buf[:0], js.case2buf[:0]
 	for _, ci := range js.children {
 		d, ok := res[ci.ID]
 		if !ok {
@@ -181,6 +223,7 @@ func (n *Node) decide(js *joinState, res overlay.ProbeResult) {
 			case2 = append(case2, ci.ID)
 		}
 	}
+	js.case3buf, js.case2buf = case3, case2
 
 	if len(case3) > 0 {
 		// "Select closest of CaseIII, continue from closest one."
@@ -211,7 +254,7 @@ func (n *Node) decide(js *joinState, res overlay.ProbeResult) {
 func (n *Node) connect(js *joinState, to overlay.NodeID, kind overlay.ConnKind, adopt []overlay.NodeID) {
 	if js.purpose == purposeRefine {
 		if to == n.ParentID() && !n.fostered {
-			n.join = nil
+			n.endJoin(js)
 			return
 		}
 		// A fostered node sends a regular request even to its current
@@ -238,7 +281,7 @@ func (n *Node) connect(js *joinState, to overlay.NodeID, kind overlay.ConnKind, 
 		if n.join == js && js.stage == stageConn && js.token == tok {
 			if js.purpose == purposeRefine {
 				n.EndSwitch()
-				n.join = nil
+				n.endJoin(js)
 				n.fosterRetry()
 				return
 			}
@@ -277,7 +320,7 @@ func (n *Node) onConnResponse(from overlay.NodeID, m overlay.ConnResponse) {
 		if js.purpose == purposeRefine {
 			n.ApplySwitch(from, dist, m.RootPath)
 			n.EndSwitch()
-			n.join = nil
+			n.endJoin(js)
 			n.fostered = false // promoted or moved to a proper slot
 			n.tracer.Emit(obs.EvRefineSwitch, obs.Event{Target: int64(from), Value: dist})
 			return
@@ -296,8 +339,9 @@ func (n *Node) onConnResponse(from overlay.NodeID, m overlay.ConnResponse) {
 			}
 			n.AdoptChild(c, d, from, js.token)
 		}
-		n.join = nil
-		if js.foster {
+		foster := js.foster
+		n.endJoin(js)
+		if foster {
 			// Quick-start done; now find the ideal parent.
 			n.fostered = true
 			n.begin(purposeRefine, n.Source())
@@ -311,7 +355,7 @@ func (n *Node) onConnResponse(from overlay.NodeID, m overlay.ConnResponse) {
 	if js.purpose == purposeRefine {
 		n.EndSwitch()
 		if !n.fostered {
-			n.join = nil
+			n.endJoin(js)
 			return
 		}
 		// A fostered node must leave its beyond-degree slot eventually:
@@ -321,15 +365,17 @@ func (n *Node) onConnResponse(from overlay.NodeID, m overlay.ConnResponse) {
 	if js.foster {
 		// The source refused even a foster slot: run the regular
 		// directional join.
+		n.endJoin(js)
 		n.begin(purposeJoin, n.Source())
 		return
 	}
-	var cands []overlay.NodeID
+	cands := js.probeIDs[:0]
 	for _, ci := range m.Children {
 		if ci.ID != n.ID() && !js.visited[ci.ID] {
 			cands = append(cands, ci.ID)
 		}
 	}
+	js.probeIDs = cands
 	if len(cands) == 0 {
 		n.restart(js)
 		return
@@ -362,21 +408,22 @@ func (n *Node) onConnResponse(from overlay.NodeID, m overlay.ConnResponse) {
 // too many consecutive failures (e.g. a churn storm).
 func (n *Node) restart(js *joinState) {
 	attempts := js.attempts + 1
-	n.join = nil
-	n.tracer.Emit(obs.EvJoinRestart, obs.Event{Target: int64(js.target), Step: attempts, Detail: js.purpose.String()})
-	if js.purpose == purposeRefine {
+	p, target := js.purpose, js.target
+	n.endJoin(js)
+	n.tracer.Emit(obs.EvJoinRestart, obs.Event{Target: int64(target), Step: attempts, Detail: p.String()})
+	if p == purposeRefine {
 		n.fosterRetry()
 		return
 	}
 	if attempts >= n.cfg.MaxAttempts {
 		n.Net().After(n.cfg.RetryBackoffS, func() {
 			if n.Alive() && !n.Connected() && n.join == nil {
-				n.beginWith(js.purpose, n.Source(), 0)
+				n.beginWith(p, n.Source(), 0)
 			}
 		})
 		return
 	}
-	n.beginWith(js.purpose, n.Source(), attempts)
+	n.beginWith(p, n.Source(), attempts)
 }
 
 // connKindName names a connection request for the trace stream.

@@ -57,6 +57,10 @@ type Node struct {
 	token  int
 	tracer *obs.Tracer
 
+	// joinFree recycles the previous attempt's joinState (maps and
+	// scratch slices included); see newJoinState.
+	joinFree *joinState
+
 	refineArmed bool
 	// fostered marks a quick-start attachment that still occupies a
 	// beyond-degree foster slot; the node keeps searching until it has
@@ -112,13 +116,8 @@ func (n *Node) StartJoin() {
 	}
 	n.MarkJoinStart()
 	if n.cfg.FosterJoin {
-		js := &joinState{
-			purpose:   purposeJoin,
-			foster:    true,
-			visited:   make(map[overlay.NodeID]bool),
-			dists:     make(overlay.ProbeResult),
-			startedAt: n.Now(),
-		}
+		js := n.newJoinState(purposeJoin, 0)
+		js.foster = true
 		n.join = js
 		n.tracer.Emit(obs.EvJoinStart, obs.Event{Target: int64(n.Source()), Detail: "foster"})
 		n.connect(js, n.Source(), overlay.ConnChild, nil)
@@ -144,7 +143,7 @@ func (n *Node) OnOrphaned(leaver, hint overlay.NodeID) {
 	if n.join != nil && n.join.purpose == purposeRefine {
 		// Abandon the in-flight refinement; reconnection has priority.
 		n.EndSwitch()
-		n.join = nil
+		n.endJoin(n.join)
 	}
 	n.tracer.Emit(obs.EvOrphaned, obs.Event{Target: int64(leaver), Detail: hintDetail(hint)})
 	start := hint

@@ -28,3 +28,16 @@ func BenchmarkSelfRescheduling(b *testing.B) {
 		b.Fatalf("ticked %d < %d", n, b.N)
 	}
 }
+
+// BenchmarkEventQ is the steady-state cycle the simulations spend their
+// time in: every fired event schedules a successor. With the free list
+// this runs allocation-free after warm-up.
+func BenchmarkEventQ(b *testing.B) {
+	s := New()
+	var tick func()
+	tick = func() { s.After(1, tick) }
+	s.At(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run(float64(b.N))
+}

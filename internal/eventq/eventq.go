@@ -11,11 +11,18 @@ import (
 	"fmt"
 )
 
-// Event is a callback scheduled to run at a virtual time.
+// Event is a callback scheduled to run at a virtual time. An event holds
+// either a plain callback fn or an arg-carrying callback fnArg+arg
+// (scheduled via AtArg); the latter lets hot callers schedule a static
+// function with a recycled argument record instead of allocating a
+// closure per event.
 type event struct {
-	at  float64
-	seq uint64
-	fn  func()
+	at    float64
+	seq   uint64
+	fn    func()
+	fnArg func(any)
+	arg   any
+	next  *event // free-list link while recycled
 }
 
 type eventHeap []*event
@@ -50,6 +57,34 @@ type Sim struct {
 	events    eventHeap
 	processed uint64
 	stopped   bool
+
+	// free holds fired events for reuse, so a steady-state simulation
+	// (every fired event schedules a successor) allocates no event
+	// structs after warm-up. The list never exceeds the high-water mark
+	// of the heap.
+	free *event
+}
+
+// alloc takes an event off the free list, or makes one.
+func (s *Sim) alloc(at float64, fn func()) *event {
+	e := s.free
+	if e == nil {
+		e = &event{}
+	} else {
+		s.free = e.next
+		e.next = nil
+	}
+	s.seq++
+	e.at, e.seq, e.fn = at, s.seq, fn
+	return e
+}
+
+// recycle puts a fired event on the free list. The callback and argument
+// are dropped immediately so recycled events never pin their captures.
+func (s *Sim) recycle(e *event) {
+	e.fn, e.fnArg, e.arg = nil, nil, nil
+	e.next = s.free
+	s.free = e
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -72,8 +107,7 @@ func (s *Sim) At(t float64, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", t, s.now))
 	}
-	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	heap.Push(&s.events, s.alloc(t, fn))
 }
 
 // After schedules fn to run d seconds from now.
@@ -82,6 +116,27 @@ func (s *Sim) After(d float64, fn func()) {
 		d = 0
 	}
 	s.At(s.now+d, fn)
+}
+
+// AtArg schedules fn(arg) at absolute virtual time t. Passing a static
+// function plus a reusable argument record avoids the per-event closure
+// allocation that At's fn would cost on hot paths (message delivery
+// schedules millions of events per simulated session).
+func (s *Sim) AtArg(t float64, fn func(any), arg any) {
+	if t < s.now {
+		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", t, s.now))
+	}
+	e := s.alloc(t, nil)
+	e.fnArg, e.arg = fn, arg
+	heap.Push(&s.events, e)
+}
+
+// AfterArg schedules fn(arg) d seconds from now.
+func (s *Sim) AfterArg(d float64, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.AtArg(s.now+d, fn, arg)
 }
 
 // Stop aborts a Run in progress after the current event returns.
@@ -100,7 +155,13 @@ func (s *Sim) Run(until float64) {
 		heap.Pop(&s.events)
 		s.now = next.at
 		s.processed++
-		next.fn()
+		fn, fnArg, arg := next.fn, next.fnArg, next.arg
+		s.recycle(next)
+		if fnArg != nil {
+			fnArg(arg)
+		} else {
+			fn()
+		}
 	}
 	if s.now < until {
 		s.now = until
@@ -114,6 +175,12 @@ func (s *Sim) Drain() {
 		next := heap.Pop(&s.events).(*event)
 		s.now = next.at
 		s.processed++
-		next.fn()
+		fn, fnArg, arg := next.fn, next.fnArg, next.arg
+		s.recycle(next)
+		if fnArg != nil {
+			fnArg(arg)
+		} else {
+			fn()
+		}
 	}
 }

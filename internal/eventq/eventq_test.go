@@ -169,3 +169,34 @@ func TestPropertyRandomScheduleSorted(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEventFreeListReuse pins the free-list behavior: once the heap's
+// high-water mark is reached, a schedule/fire cycle recycles event
+// structs instead of allocating.
+func TestEventFreeListReuse(t *testing.T) {
+	s := New()
+	var tick func()
+	tick = func() { s.After(1, tick) }
+	s.At(0, tick)
+	s.Run(16) // warm up the free list
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Run(s.Now() + 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state run allocated %v objects per cycle, want 0", allocs)
+	}
+}
+
+// TestFreeListDropsClosure checks a recycled event does not pin the
+// fired callback.
+func TestFreeListDropsClosure(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.Run(2)
+	if s.free == nil {
+		t.Fatal("fired event not recycled")
+	}
+	if s.free.fn != nil {
+		t.Fatal("recycled event retains its closure")
+	}
+}

@@ -26,8 +26,11 @@ func runAblationChurnModel(o Options) ([]*Table, error) {
 		ID: "A.8", Title: "Churn model at equal turnover (1=interval bursts, 2=exponential lifetimes)",
 		XLabel: "model", Columns: []string{"loss%", "reconn_s", "stretch", "overhead%"},
 	}
+	m := newMatrix(o)
+	allCells := make([]*cell, len(cols))
 	for vi := range cols {
 		c := newCell()
+		allCells[vi] = c
 		for rep := 0; rep < o.Reps; rep++ {
 			cfg := ch3Base(o)
 			cfg.Protocol = sim.VDM
@@ -37,17 +40,20 @@ func runAblationChurnModel(o Options) ([]*Table, error) {
 				cfg.MeanLifetimeS = 4000
 			}
 			cfg.Seed = o.repSeed(740, rep)
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			o.Progress("ablation-churnmodel %s rep=%d loss=%.3f%%", cols[vi], rep, res.Loss*100)
-			c.add("loss%", res.Loss*100)
-			c.add("reconn_s", res.ReconnAvg)
-			c.add("stretch", res.Stretch)
-			c.add("overhead%", res.Overhead*100)
+			m.sim(cfg, func(res *sim.Result) {
+				o.Progress("ablation-churnmodel %s rep=%d loss=%.3f%%", cols[vi], rep, res.Loss*100)
+				c.add("loss%", res.Loss*100)
+				c.add("reconn_s", res.ReconnAvg)
+				c.add("stretch", res.Stretch)
+				c.add("overhead%", res.Overhead*100)
+			})
 		}
-		tb.Points = append(tb.Points, c.point(float64(vi+1)))
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for vi := range cols {
+		tb.Points = append(tb.Points, allCells[vi].point(float64(vi+1)))
 	}
 	return []*Table{tb}, nil
 }
@@ -61,8 +67,11 @@ func runAblationDCMST(o Options) ([]*Table, error) {
 		ID: "A.7", Title: "VDM tree cost vs MST and degree-constrained MST (degree 4)",
 		XLabel: "nodes", Columns: []string{"vs-MST", "vs-DCMST"},
 	}
+	m := newMatrix(o)
+	allCells := make([]*cell, len(sizes))
 	for xi, n := range sizes {
 		c := newCell()
+		allCells[xi] = c
 		for rep := 0; rep < o.Reps; rep++ {
 			cfg := ch5Base(o)
 			cfg.Protocol = sim.VDM
@@ -71,15 +80,18 @@ func runAblationDCMST(o Options) ([]*Table, error) {
 			cfg.Degree = 4
 			cfg.MST = true
 			cfg.Seed = o.repSeed(720+xi, rep)
-			res, err := lab.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			o.Progress("ablation-dcmst n=%g rep=%d mst=%.2f dcmst=%.2f", n, rep, res.MSTRatio, res.DCMSTRatio)
-			c.add("vs-MST", res.MSTRatio)
-			c.add("vs-DCMST", res.DCMSTRatio)
+			m.lab(cfg, func(res *lab.Result) {
+				o.Progress("ablation-dcmst n=%g rep=%d mst=%.2f dcmst=%.2f", n, rep, res.MSTRatio, res.DCMSTRatio)
+				c.add("vs-MST", res.MSTRatio)
+				c.add("vs-DCMST", res.DCMSTRatio)
+			})
 		}
-		tb.Points = append(tb.Points, c.point(n))
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for xi, n := range sizes {
+		tb.Points = append(tb.Points, allCells[xi].point(n))
 	}
 	return []*Table{tb}, nil
 }
@@ -90,25 +102,31 @@ func runAblationDCMST(o Options) ([]*Table, error) {
 func runAblationBWDegree(o Options) ([]*Table, error) {
 	cols := []string{"uniform[2,5]", "bandwidth"}
 	tb := &Table{ID: "A.6", Title: "Degree assignment: uniform vs bandwidth-derived", XLabel: "variant (1=uniform, 2=bandwidth)", Columns: []string{"stretch", "hopcount", "loss%", "maxhop"}}
+	m := newMatrix(o)
+	allCells := make([]*cell, 2)
 	for vi, bw := range []bool{false, true} {
 		c := newCell()
+		allCells[vi] = c
 		for rep := 0; rep < o.Reps; rep++ {
 			cfg := ch3Base(o)
 			cfg.Protocol = sim.VDM
 			cfg.ChurnPct = 5
 			cfg.DegreeFromBandwidth = bw
 			cfg.Seed = o.repSeed(700, rep)
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			o.Progress("ablation-bwdegree %s rep=%d stretch=%.2f", cols[vi], rep, res.Stretch)
-			c.add("stretch", res.Stretch)
-			c.add("hopcount", res.Hopcount)
-			c.add("loss%", res.Loss*100)
-			c.add("maxhop", res.MaxHopcount)
+			m.sim(cfg, func(res *sim.Result) {
+				o.Progress("ablation-bwdegree %s rep=%d stretch=%.2f", cols[vi], rep, res.Stretch)
+				c.add("stretch", res.Stretch)
+				c.add("hopcount", res.Hopcount)
+				c.add("loss%", res.Loss*100)
+				c.add("maxhop", res.MaxHopcount)
+			})
 		}
-		tb.Points = append(tb.Points, c.point(float64(vi+1)))
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for vi := range allCells {
+		tb.Points = append(tb.Points, allCells[vi].point(float64(vi+1)))
 	}
 	return []*Table{tb}, nil
 }
@@ -121,8 +139,12 @@ func runAblationFoster(o Options) ([]*Table, error) {
 	t1 := &Table{ID: "A.5", Title: "Startup time (s): regular vs foster join", XLabel: "churn (%)", Columns: cols}
 	t2 := &Table{ID: "A.5b", Title: "Stretch: regular vs foster join", XLabel: "churn (%)", Columns: cols}
 	t3 := &Table{ID: "A.5c", Title: "Loss (%): regular vs foster join", XLabel: "churn (%)", Columns: cols}
-	for ci, churn := range []float64{2, 10} {
+	churns := []float64{2, 10}
+	m := newMatrix(o)
+	allCells := make([][3]*cell, len(churns))
+	for ci, churn := range churns {
 		c1, c2, c3 := newCell(), newCell(), newCell()
+		allCells[ci] = [3]*cell{c1, c2, c3}
 		for vi, foster := range []bool{false, true} {
 			name := cols[vi]
 			for rep := 0; rep < o.Reps; rep++ {
@@ -131,19 +153,22 @@ func runAblationFoster(o Options) ([]*Table, error) {
 				cfg.ChurnPct = churn
 				cfg.Foster = foster
 				cfg.Seed = o.repSeed(680+ci, rep)
-				res, err := lab.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				o.Progress("ablation-foster churn=%g %s rep=%d startup=%.3fs", churn, name, rep, res.StartupAvg)
-				c1.add(name, res.StartupAvg)
-				c2.add(name, res.Stretch)
-				c3.add(name, res.Loss*100)
+				m.lab(cfg, func(res *lab.Result) {
+					o.Progress("ablation-foster churn=%g %s rep=%d startup=%.3fs", churn, name, rep, res.StartupAvg)
+					c1.add(name, res.StartupAvg)
+					c2.add(name, res.Stretch)
+					c3.add(name, res.Loss*100)
+				})
 			}
 		}
-		t1.Points = append(t1.Points, c1.point(churn))
-		t2.Points = append(t2.Points, c2.point(churn))
-		t3.Points = append(t3.Points, c3.point(churn))
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for ci, churn := range churns {
+		t1.Points = append(t1.Points, allCells[ci][0].point(churn))
+		t2.Points = append(t2.Points, allCells[ci][1].point(churn))
+		t3.Points = append(t3.Points, allCells[ci][2].point(churn))
 	}
 	return []*Table{t1, t2, t3}, nil
 }
@@ -157,25 +182,31 @@ func runAblationGamma(o Options) ([]*Table, error) {
 	gammas := []float64{0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.99}
 	cols := []string{"stress", "stretch", "hopcount", "overhead"}
 	tb := &Table{ID: "A.1", Title: "VDM metrics vs. collinearity threshold γ", XLabel: "gamma", Columns: cols}
+	m := newMatrix(o)
+	allCells := make([]*cell, len(gammas))
 	for gi, g := range gammas {
 		c := newCell()
+		allCells[gi] = c
 		for rep := 0; rep < o.Reps; rep++ {
 			cfg := ch3Base(o)
 			cfg.Protocol = sim.VDM
 			cfg.ChurnPct = 5
 			cfg.Gamma = g
 			cfg.Seed = o.repSeed(600+gi, rep)
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			o.Progress("ablation-gamma g=%g rep=%d stretch=%.2f", g, rep, res.Stretch)
-			c.add("stress", res.Stress)
-			c.add("stretch", res.Stretch)
-			c.add("hopcount", res.Hopcount)
-			c.add("overhead", res.Overhead*100)
+			m.sim(cfg, func(res *sim.Result) {
+				o.Progress("ablation-gamma g=%g rep=%d stretch=%.2f", g, rep, res.Stretch)
+				c.add("stress", res.Stress)
+				c.add("stretch", res.Stretch)
+				c.add("hopcount", res.Hopcount)
+				c.add("overhead", res.Overhead*100)
+			})
 		}
-		tb.Points = append(tb.Points, c.point(g))
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for gi, g := range gammas {
+		tb.Points = append(tb.Points, allCells[gi].point(g))
 	}
 	return []*Table{tb}, nil
 }
@@ -187,8 +218,11 @@ func runAblationRefine(o Options) ([]*Table, error) {
 	periods := []float64{60, 120, 300, 600}
 	cols := []string{"stretch", "hopcount", "overhead"}
 	tb := &Table{ID: "A.2", Title: "VDM-R trade-off vs. refinement period (s)", XLabel: "period (s)", Columns: cols}
+	m := newMatrix(o)
+	allCells := make([]*cell, len(periods))
 	for pi, per := range periods {
 		c := newCell()
+		allCells[pi] = c
 		for rep := 0; rep < o.Reps; rep++ {
 			cfg := ch5Base(o)
 			cfg.Protocol = sim.VDM
@@ -196,16 +230,19 @@ func runAblationRefine(o Options) ([]*Table, error) {
 			cfg.ChurnPct = 10
 			cfg.Refine = per
 			cfg.Seed = o.repSeed(620+pi, rep)
-			res, err := lab.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			o.Progress("ablation-refine period=%g rep=%d overhead=%.3f", per, rep, res.Overhead)
-			c.add("stretch", res.Stretch)
-			c.add("hopcount", res.Hopcount)
-			c.add("overhead", res.Overhead)
+			m.lab(cfg, func(res *lab.Result) {
+				o.Progress("ablation-refine period=%g rep=%d overhead=%.3f", per, rep, res.Overhead)
+				c.add("stretch", res.Stretch)
+				c.add("hopcount", res.Hopcount)
+				c.add("overhead", res.Overhead)
+			})
 		}
-		tb.Points = append(tb.Points, c.point(per))
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for pi, per := range periods {
+		tb.Points = append(tb.Points, allCells[pi].point(per))
 	}
 	return []*Table{tb}, nil
 }
@@ -217,8 +254,11 @@ func runAblationReconnect(o Options) ([]*Table, error) {
 	cols := []string{"grandparent", "source"}
 	t1 := &Table{ID: "A.3", Title: "Reconnection time (s): grandparent-first vs source-only", XLabel: "churn (%)", Columns: cols}
 	t2 := &Table{ID: "A.3b", Title: "Loss rate (%): grandparent-first vs source-only", XLabel: "churn (%)", Columns: cols}
+	m := newMatrix(o)
+	allCells := make([][2]*cell, len(churns))
 	for ci, churn := range churns {
 		c1, c2 := newCell(), newCell()
+		allCells[ci] = [2]*cell{c1, c2}
 		for vi, atSource := range []bool{false, true} {
 			name := cols[vi]
 			for rep := 0; rep < o.Reps; rep++ {
@@ -227,17 +267,20 @@ func runAblationReconnect(o Options) ([]*Table, error) {
 				cfg.ChurnPct = churn
 				cfg.ReconnSrc = atSource
 				cfg.Seed = o.repSeed(640+ci, rep)
-				res, err := lab.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				o.Progress("ablation-reconnect churn=%g %s rep=%d reconn=%.2fs", churn, name, rep, res.ReconnAvg)
-				c1.add(name, res.ReconnAvg)
-				c2.add(name, res.Loss*100)
+				m.lab(cfg, func(res *lab.Result) {
+					o.Progress("ablation-reconnect churn=%g %s rep=%d reconn=%.2fs", churn, name, rep, res.ReconnAvg)
+					c1.add(name, res.ReconnAvg)
+					c2.add(name, res.Loss*100)
+				})
 			}
 		}
-		t1.Points = append(t1.Points, c1.point(churn))
-		t2.Points = append(t2.Points, c2.point(churn))
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for ci, churn := range churns {
+		t1.Points = append(t1.Points, allCells[ci][0].point(churn))
+		t2.Points = append(t2.Points, allCells[ci][1].point(churn))
 	}
 	return []*Table{t1, t2}, nil
 }
@@ -249,25 +292,31 @@ func runAblationBaselines(o Options) ([]*Table, error) {
 	protos := []sim.ProtocolKind{sim.VDM, sim.HMTP, sim.BTP, sim.NICE, sim.Random}
 	cols := []string{"stress", "stretch", "hopcount", "loss%", "overhead%"}
 	tb := &Table{ID: "A.4", Title: "Protocol spectrum at 5% churn (x = protocol index: 1 VDM, 2 HMTP, 3 BTP, 4 NICE, 5 Random)", XLabel: "protocol", Columns: cols}
+	m := newMatrix(o)
+	allCells := make([]*cell, len(protos))
 	for pi, proto := range protos {
 		c := newCell()
+		allCells[pi] = c
 		for rep := 0; rep < o.Reps; rep++ {
 			cfg := ch3Base(o)
 			cfg.Protocol = proto
 			cfg.ChurnPct = 5
 			cfg.Seed = o.repSeed(660, rep) // identical scenarios across protocols
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			o.Progress("ablation-baselines %s rep=%d stretch=%.2f", protoLabel(proto), rep, res.Stretch)
-			c.add("stress", res.Stress)
-			c.add("stretch", res.Stretch)
-			c.add("hopcount", res.Hopcount)
-			c.add("loss%", res.Loss*100)
-			c.add("overhead%", res.Overhead*100)
+			m.sim(cfg, func(res *sim.Result) {
+				o.Progress("ablation-baselines %s rep=%d stretch=%.2f", protoLabel(proto), rep, res.Stretch)
+				c.add("stress", res.Stress)
+				c.add("stretch", res.Stretch)
+				c.add("hopcount", res.Hopcount)
+				c.add("loss%", res.Loss*100)
+				c.add("overhead%", res.Overhead*100)
+			})
 		}
-		tb.Points = append(tb.Points, c.point(float64(pi+1)))
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for pi := range protos {
+		tb.Points = append(tb.Points, allCells[pi].point(float64(pi+1)))
 	}
 	return []*Table{tb}, nil
 }

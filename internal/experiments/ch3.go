@@ -52,8 +52,11 @@ func runCh3Churn(o Options) ([]*Table, error) {
 		{ID: "3.27", Title: "Loss rate (%) vs. Churn", XLabel: "churn (%)", Columns: []string{"VDM", "HMTP"}},
 		{ID: "3.28", Title: "Overhead (%) vs. Churn", XLabel: "churn (%)", Columns: []string{"VDM", "HMTP"}},
 	}
+	m := newMatrix(o)
+	allCells := make([][]*cell, len(churns))
 	for ci, churn := range churns {
 		cells := []*cell{newCell(), newCell(), newCell(), newCell()}
+		allCells[ci] = cells
 		for pi, proto := range protos {
 			name := protoLabel(proto)
 			for rep := 0; rep < o.Reps; rep++ {
@@ -61,19 +64,22 @@ func runCh3Churn(o Options) ([]*Table, error) {
 				cfg.Protocol = proto
 				cfg.ChurnPct = churn
 				cfg.Seed = o.repSeed(ci*10+pi, rep)
-				res, err := sim.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				o.Progress("ch3-churn churn=%g proto=%s rep=%d stretch=%.2f", churn, name, rep, res.Stretch)
-				cells[0].add(name, res.Stress)
-				cells[1].add(name, res.Stretch)
-				cells[2].add(name, res.Loss*100)
-				cells[3].add(name, res.Overhead*100)
+				m.sim(cfg, func(res *sim.Result) {
+					o.Progress("ch3-churn churn=%g proto=%s rep=%d stretch=%.2f", churn, name, rep, res.Stretch)
+					cells[0].add(name, res.Stress)
+					cells[1].add(name, res.Stretch)
+					cells[2].add(name, res.Loss*100)
+					cells[3].add(name, res.Overhead*100)
+				})
 			}
 		}
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for ci, churn := range churns {
 		for ti, tb := range tables {
-			tb.Points = append(tb.Points, cells[ti].point(churn))
+			tb.Points = append(tb.Points, allCells[ci][ti].point(churn))
 		}
 	}
 	return tables, nil
@@ -89,25 +95,31 @@ func runCh3Nodes(o Options) ([]*Table, error) {
 		{ID: "3.31", Title: "Loss rate (%) vs. Number of Nodes", XLabel: "nodes", Columns: []string{"VDM"}},
 		{ID: "3.32", Title: "Overhead (%) vs. Number of Nodes", XLabel: "nodes", Columns: []string{"VDM"}},
 	}
+	m := newMatrix(o)
+	allCells := make([][]*cell, len(sizes))
 	for si, n := range sizes {
 		c := []*cell{newCell(), newCell(), newCell(), newCell()}
+		allCells[si] = c
 		for rep := 0; rep < o.Reps; rep++ {
 			cfg := ch3Base(o)
 			cfg.Nodes = n
 			cfg.ChurnPct = 5
 			cfg.Seed = o.repSeed(100+si, rep)
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			o.Progress("ch3-nodes n=%d rep=%d stress=%.2f stretch=%.2f", n, rep, res.Stress, res.Stretch)
-			c[0].add("VDM", res.Stress)
-			c[1].add("VDM", res.Stretch)
-			c[2].add("VDM", res.Loss*100)
-			c[3].add("VDM", res.Overhead*100)
+			m.sim(cfg, func(res *sim.Result) {
+				o.Progress("ch3-nodes n=%d rep=%d stress=%.2f stretch=%.2f", n, rep, res.Stress, res.Stretch)
+				c[0].add("VDM", res.Stress)
+				c[1].add("VDM", res.Stretch)
+				c[2].add("VDM", res.Loss*100)
+				c[3].add("VDM", res.Overhead*100)
+			})
 		}
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for si, n := range sizes {
 		for ti, tb := range tables {
-			tb.Points = append(tb.Points, c[ti].point(float64(n)))
+			tb.Points = append(tb.Points, allCells[si][ti].point(float64(n)))
 		}
 	}
 	return tables, nil
@@ -123,25 +135,31 @@ func runCh3Degree(o Options) ([]*Table, error) {
 		{ID: "3.35", Title: "Loss rate (%) vs. Node Degree", XLabel: "avg degree", Columns: []string{"VDM"}},
 		{ID: "3.36", Title: "Overhead (%) vs. Node Degree", XLabel: "avg degree", Columns: []string{"VDM"}},
 	}
+	m := newMatrix(o)
+	allCells := make([][]*cell, len(degrees))
 	for di, d := range degrees {
 		c := []*cell{newCell(), newCell(), newCell(), newCell()}
+		allCells[di] = c
 		for rep := 0; rep < o.Reps; rep++ {
 			cfg := ch3Base(o)
 			cfg.AvgDegree = d
 			cfg.ChurnPct = 5
 			cfg.Seed = o.repSeed(200+di, rep)
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			o.Progress("ch3-degree d=%g rep=%d stretch=%.2f", d, rep, res.Stretch)
-			c[0].add("VDM", res.Stress)
-			c[1].add("VDM", res.Stretch)
-			c[2].add("VDM", res.Loss*100)
-			c[3].add("VDM", res.Overhead*100)
+			m.sim(cfg, func(res *sim.Result) {
+				o.Progress("ch3-degree d=%g rep=%d stretch=%.2f", d, rep, res.Stretch)
+				c[0].add("VDM", res.Stress)
+				c[1].add("VDM", res.Stretch)
+				c[2].add("VDM", res.Loss*100)
+				c[3].add("VDM", res.Overhead*100)
+			})
 		}
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for di, d := range degrees {
 		for ti, tb := range tables {
-			tb.Points = append(tb.Points, c[ti].point(d))
+			tb.Points = append(tb.Points, allCells[di][ti].point(d))
 		}
 	}
 	return tables, nil

@@ -37,6 +37,7 @@ func runCh4Time(o Options) ([]*Table, error) {
 		cells[i] = []*cell{newCell(), newCell(), newCell(), newCell()}
 	}
 
+	m := newMatrix(o)
 	for mi, mu := range metricsUnder {
 		for rep := 0; rep < o.Reps; rep++ {
 			cfg := sim.Config{
@@ -55,21 +56,22 @@ func runCh4Time(o Options) ([]*Table, error) {
 				LinkLossMax: 0.02,
 				Seed:        o.repSeed(300+mi, rep),
 			}
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			o.Progress("ch4-time metric=%s rep=%d final loss=%.3f", mu.name, rep, res.Loss)
-			for si, sample := range res.Samples {
-				if si >= batches {
-					break
+			m.sim(cfg, func(res *sim.Result) {
+				o.Progress("ch4-time metric=%s rep=%d final loss=%.3f", mu.name, rep, res.Loss)
+				for si, sample := range res.Samples {
+					if si >= batches {
+						break
+					}
+					cells[si][0].add(mu.name, sample.Tree.Stress)
+					cells[si][1].add(mu.name, sample.Tree.Stretch)
+					cells[si][2].add(mu.name, sample.Loss*100)
+					cells[si][3].add(mu.name, sample.Overhead*100)
 				}
-				cells[si][0].add(mu.name, sample.Tree.Stress)
-				cells[si][1].add(mu.name, sample.Tree.Stretch)
-				cells[si][2].add(mu.name, sample.Loss*100)
-				cells[si][3].add(mu.name, sample.Overhead*100)
-			}
+			})
 		}
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
 	}
 	for si := 0; si < batches; si++ {
 		x := float64(si+1) * intervalS

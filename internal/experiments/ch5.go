@@ -48,11 +48,14 @@ func runCh5Churn(o Options) ([]*Table, error) {
 		{ID: "5.12", Title: "Loss Rate (%) vs. Churn Rate", XLabel: "churn (%)", Columns: cols},
 		{ID: "5.13", Title: "Overhead vs. Churn Rate", XLabel: "churn (%)", Columns: cols},
 	}
+	m := newMatrix(o)
+	allCells := make([][]*cell, len(churns))
 	for ci, churn := range churns {
 		cells := make([]*cell, len(tables))
 		for i := range cells {
 			cells[i] = newCell()
 		}
+		allCells[ci] = cells
 		for pi, proto := range protos {
 			name := protoLabel(proto)
 			for rep := 0; rep < o.Reps; rep++ {
@@ -60,22 +63,25 @@ func runCh5Churn(o Options) ([]*Table, error) {
 				cfg.Protocol = proto
 				cfg.ChurnPct = churn
 				cfg.Seed = o.repSeed(400+ci*10+pi, rep)
-				res, err := lab.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				o.Progress("ch5-churn churn=%g proto=%s rep=%d startup=%.2fs", churn, name, rep, res.StartupAvg)
-				cells[0].add(name, res.StartupAvg)
-				cells[1].add(name, res.ReconnAvg)
-				cells[2].add(name, res.Stretch)
-				cells[3].add(name, res.Hopcount)
-				cells[4].add(name, res.UsageNorm)
-				cells[5].add(name, res.Loss*100)
-				cells[6].add(name, res.Overhead)
+				m.lab(cfg, func(res *lab.Result) {
+					o.Progress("ch5-churn churn=%g proto=%s rep=%d startup=%.2fs", churn, name, rep, res.StartupAvg)
+					cells[0].add(name, res.StartupAvg)
+					cells[1].add(name, res.ReconnAvg)
+					cells[2].add(name, res.Stretch)
+					cells[3].add(name, res.Hopcount)
+					cells[4].add(name, res.UsageNorm)
+					cells[5].add(name, res.Loss*100)
+					cells[6].add(name, res.Overhead)
+				})
 			}
 		}
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for ci, churn := range churns {
 		for ti, tb := range tables {
-			tb.Points = append(tb.Points, cells[ti].point(churn))
+			tb.Points = append(tb.Points, allCells[ci][ti].point(churn))
 		}
 	}
 	return tables, nil
@@ -96,43 +102,49 @@ func ch5VDMSweep(o Options, idBase int, figPrefix []string, xlabel string,
 		{ID: figPrefix[5], Title: "Loss Rate (%) vs. " + xlabel, XLabel: xlabel, Columns: []string{"avg"}},
 		{ID: figPrefix[6], Title: "Overhead vs. " + xlabel, XLabel: xlabel, Columns: []string{"avg"}},
 	}
+	m := newMatrix(o)
+	allCells := make([][]*cell, len(xs))
 	for xi, x := range xs {
 		cells := make([]*cell, len(tables))
 		for i := range cells {
 			cells[i] = newCell()
 		}
+		allCells[xi] = cells
 		for rep := 0; rep < o.Reps; rep++ {
 			cfg := ch5Base(o)
 			cfg.Protocol = sim.VDM
 			cfg.ChurnPct = 10
 			apply(&cfg, x)
 			cfg.Seed = o.repSeed(idBase+xi, rep)
-			res, err := lab.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			o.Progress("ch5 sweep %s=%g rep=%d stretch=%.2f hop=%.2f", xlabel, x, rep, res.Stretch, res.Hopcount)
-			cells[0].add("avg", res.StartupAvg)
-			cells[0].add("max", res.StartupMax)
-			cells[1].add("avg", res.ReconnAvg)
-			cells[1].add("max", res.ReconnMax)
-			cells[2].add("min", res.MinStretch)
-			cells[2].add("avg", res.Stretch)
-			cells[2].add("leaf-avg", res.LeafStretch)
-			cells[2].add("max", res.MaxStretch)
-			cells[3].add("avg", res.Hopcount)
-			cells[3].add("leaf-avg", res.LeafHopcount)
-			cells[3].add("max", res.MaxHopcount)
-			// The paper plots the (normalized) *total* used-link length,
-			// which grows with N; normalizing by the unicast-star cost
-			// would cancel that growth, so the sweeps report the raw
-			// total in seconds.
-			cells[4].add("avg", res.UsageMS/1000)
-			cells[5].add("avg", res.Loss*100)
-			cells[6].add("avg", res.Overhead)
+			m.lab(cfg, func(res *lab.Result) {
+				o.Progress("ch5 sweep %s=%g rep=%d stretch=%.2f hop=%.2f", xlabel, x, rep, res.Stretch, res.Hopcount)
+				cells[0].add("avg", res.StartupAvg)
+				cells[0].add("max", res.StartupMax)
+				cells[1].add("avg", res.ReconnAvg)
+				cells[1].add("max", res.ReconnMax)
+				cells[2].add("min", res.MinStretch)
+				cells[2].add("avg", res.Stretch)
+				cells[2].add("leaf-avg", res.LeafStretch)
+				cells[2].add("max", res.MaxStretch)
+				cells[3].add("avg", res.Hopcount)
+				cells[3].add("leaf-avg", res.LeafHopcount)
+				cells[3].add("max", res.MaxHopcount)
+				// The paper plots the (normalized) *total* used-link length,
+				// which grows with N; normalizing by the unicast-star cost
+				// would cancel that growth, so the sweeps report the raw
+				// total in seconds.
+				cells[4].add("avg", res.UsageMS/1000)
+				cells[5].add("avg", res.Loss*100)
+				cells[6].add("avg", res.Overhead)
+			})
 		}
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for xi, x := range xs {
 		for ti, tb := range tables {
-			tb.Points = append(tb.Points, cells[ti].point(x))
+			tb.Points = append(tb.Points, allCells[xi][ti].point(x))
 		}
 	}
 	return tables, nil
@@ -164,8 +176,11 @@ func runCh5Refine(o Options) ([]*Table, error) {
 		{ID: "5.29", Title: "Hopcount with/without Refinement", XLabel: "nodes", Columns: cols},
 		{ID: "5.30", Title: "Overhead cost of Refinement", XLabel: "nodes", Columns: cols},
 	}
+	m := newMatrix(o)
+	allCells := make([][]*cell, len(sizes))
 	for xi, n := range sizes {
 		cells := []*cell{newCell(), newCell(), newCell()}
+		allCells[xi] = cells
 		for vi, refine := range []float64{0, 300} {
 			name := cols[vi]
 			for rep := 0; rep < o.Reps; rep++ {
@@ -175,18 +190,21 @@ func runCh5Refine(o Options) ([]*Table, error) {
 				cfg.ChurnPct = 10
 				cfg.Refine = refine
 				cfg.Seed = o.repSeed(540+xi, rep) // same seeds for both variants
-				res, err := lab.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				o.Progress("ch5-refine n=%g %s rep=%d stretch=%.2f overhead=%.3f", n, name, rep, res.Stretch, res.Overhead)
-				cells[0].add(name, res.Stretch)
-				cells[1].add(name, res.Hopcount)
-				cells[2].add(name, res.Overhead)
+				m.lab(cfg, func(res *lab.Result) {
+					o.Progress("ch5-refine n=%g %s rep=%d stretch=%.2f overhead=%.3f", n, name, rep, res.Stretch, res.Overhead)
+					cells[0].add(name, res.Stretch)
+					cells[1].add(name, res.Hopcount)
+					cells[2].add(name, res.Overhead)
+				})
 			}
 		}
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for xi, n := range sizes {
 		for ti, tb := range tables {
-			tb.Points = append(tb.Points, cells[ti].point(n))
+			tb.Points = append(tb.Points, allCells[xi][ti].point(n))
 		}
 	}
 	return tables, nil
@@ -200,8 +218,11 @@ func runCh5MST(o Options) ([]*Table, error) {
 	tables := []*Table{
 		{ID: "5.31", Title: "Tree cost / MST cost", XLabel: "nodes", Columns: []string{"VDM"}},
 	}
+	m := newMatrix(o)
+	allCells := make([]*cell, len(sizes))
 	for xi, n := range sizes {
 		c := newCell()
+		allCells[xi] = c
 		for rep := 0; rep < o.Reps; rep++ {
 			cfg := ch5Base(o)
 			cfg.Protocol = sim.VDM
@@ -210,14 +231,17 @@ func runCh5MST(o Options) ([]*Table, error) {
 			cfg.Degree = 64
 			cfg.MST = true
 			cfg.Seed = o.repSeed(560+xi, rep)
-			res, err := lab.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			o.Progress("ch5-mst n=%g rep=%d ratio=%.2f", n, rep, res.MSTRatio)
-			c.add("VDM", res.MSTRatio)
+			m.lab(cfg, func(res *lab.Result) {
+				o.Progress("ch5-mst n=%g rep=%d ratio=%.2f", n, rep, res.MSTRatio)
+				c.add("VDM", res.MSTRatio)
+			})
 		}
-		tables[0].Points = append(tables[0].Points, c.point(n))
+	}
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	for xi, n := range sizes {
+		tables[0].Points = append(tables[0].Points, allCells[xi].point(n))
 	}
 	return tables, nil
 }

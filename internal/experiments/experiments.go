@@ -10,6 +10,9 @@ import (
 	"sort"
 	"strings"
 
+	"vdm/internal/lab"
+	"vdm/internal/parallel"
+	"vdm/internal/sim"
 	"vdm/internal/stats"
 )
 
@@ -25,7 +28,15 @@ type Options struct {
 	TimeScale float64
 	// RateScale multiplies the data chunk rate; zero selects 1.
 	RateScale float64
+	// Jobs caps the session worker pool: every (sweep value, protocol,
+	// repetition) cell is an independent seeded simulation, so cells run
+	// concurrently and are aggregated in queue order — the output is
+	// byte-identical at any Jobs value. Zero selects GOMAXPROCS; 1 runs
+	// fully serial.
+	Jobs int
 	// Progress, when non-nil, receives one line per finished session.
+	// Lines are emitted during the deterministic aggregation phase, so
+	// their order does not depend on Jobs either.
 	Progress func(format string, args ...any)
 }
 
@@ -159,6 +170,52 @@ func Run(group string, o Options) ([]*Table, error) {
 		return nil, fmt.Errorf("experiments: unknown group %q (have %s)", group, strings.Join(names, ", "))
 	}
 	return r(o.withDefaults())
+}
+
+// matrix queues the independent session cells of one experiment, executes
+// them across Options.Jobs workers, and then replays each cell's
+// aggregation callback serially in queue order. Queue order equals the
+// order the old serial loops ran in, and float accumulation happens only
+// inside the ordered callbacks — so the tables (and Progress lines) an
+// experiment produces are byte-identical to a serial run regardless of
+// worker count. Every cell must be self-contained: each derives all of
+// its randomness from its own repSeed, and sim.Run/lab.Run build a
+// private underlay, event queue and RNG per call.
+type matrix struct {
+	o    Options
+	runs []func() (any, error)
+	acks []func(any)
+}
+
+func newMatrix(o Options) *matrix { return &matrix{o: o} }
+
+// sim queues one simulator session; then consumes its result during
+// flush, in queue order.
+func (m *matrix) sim(cfg sim.Config, then func(*sim.Result)) {
+	m.runs = append(m.runs, func() (any, error) { return sim.Run(cfg) })
+	m.acks = append(m.acks, func(v any) { then(v.(*sim.Result)) })
+}
+
+// lab queues one chapter-5 lab emulation.
+func (m *matrix) lab(cfg lab.Config, then func(*lab.Result)) {
+	m.runs = append(m.runs, func() (any, error) { return lab.Run(cfg) })
+	m.acks = append(m.acks, func(v any) { then(v.(*lab.Result)) })
+}
+
+// flush executes every queued cell (concurrently up to o.Jobs workers),
+// then applies the aggregation callbacks serially in queue order.
+func (m *matrix) flush() error {
+	results, err := parallel.Map(len(m.runs), m.o.Jobs, func(i int) (any, error) {
+		return m.runs[i]()
+	})
+	if err != nil {
+		return err
+	}
+	for i, ack := range m.acks {
+		ack(results[i])
+	}
+	m.runs, m.acks = nil, nil
+	return nil
 }
 
 // collect turns per-rep observations into a Point series map.

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// renderAll runs group with o and returns the concatenation of every
+// formatted table plus every Progress line — the complete observable
+// output of a run.
+func renderAll(t *testing.T, group string, o Options) string {
+	t.Helper()
+	var sb strings.Builder
+	o.Progress = func(format string, args ...any) {
+		fmt.Fprintf(&sb, format+"\n", args...)
+	}
+	tables, err := Run(group, o)
+	if err != nil {
+		t.Fatalf("group %s: %v", group, err)
+	}
+	for _, tb := range tables {
+		sb.WriteString(tb.Format())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestParallelRunsAreByteIdentical is the determinism guard for the
+// parallel experiment engine: for a sample of groups across all three
+// chapters and the ablations, a run at Jobs=8 must reproduce the Jobs=1
+// output byte for byte — tables and progress lines both, since the
+// aggregation phase replays callbacks in queue order.
+func TestParallelRunsAreByteIdentical(t *testing.T) {
+	groups := []string{"ch3-churn", "ch5-mst", "ch5-refine", "ablation-reconnect"}
+	for _, g := range groups {
+		t.Run(g, func(t *testing.T) {
+			serial := tinyOpts()
+			serial.Jobs = 1
+			parallel := tinyOpts()
+			parallel.Jobs = 8
+			a := renderAll(t, g, serial)
+			b := renderAll(t, g, parallel)
+			if a != b {
+				t.Fatalf("output differs between -j 1 and -j 8:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+			}
+			if !strings.Contains(a, "Figure") {
+				t.Fatalf("run produced no tables:\n%s", a)
+			}
+		})
+	}
+}
+
+// TestJobsDefaultMatchesSerial checks the default (Jobs=0, all cores)
+// also reproduces the serial output.
+func TestJobsDefaultMatchesSerial(t *testing.T) {
+	serial := tinyOpts()
+	serial.Jobs = 1
+	def := tinyOpts() // Jobs zero value
+	if a, b := renderAll(t, "ch5-mst", serial), renderAll(t, "ch5-mst", def); a != b {
+		t.Fatalf("default Jobs output differs from serial:\n%s\n---\n%s", a, b)
+	}
+}

@@ -39,6 +39,34 @@ type Network struct {
 	// TraceFn, when set, observes every send (including drops) — a
 	// debugging tap, not part of the protocol.
 	TraceFn func(at float64, from, to NodeID, m Message)
+
+	// freeDel recycles delivery records: every Send schedules one, so
+	// without reuse delivery closures dominate a session's allocations.
+	freeDel *delivery
+}
+
+// delivery is one in-flight message, scheduled via the event queue's
+// arg-carrying form so the hot send path allocates nothing in steady
+// state.
+type delivery struct {
+	net      *Network
+	from, to NodeID
+	m        Message
+	next     *delivery // free-list link
+}
+
+// deliver hands the message to its destination handler and recycles the
+// record first, so a handler that sends more messages can reuse it
+// immediately.
+func deliver(a any) {
+	d := a.(*delivery)
+	n, from, to, m := d.net, d.from, d.to, d.m
+	d.m = nil
+	d.next = n.freeDel
+	n.freeDel = d
+	if h, ok := n.handlers[to]; ok {
+		h.HandleMessage(from, m)
+	}
 }
 
 var _ Bus = (*Network)(nil)
@@ -101,12 +129,15 @@ func (n *Network) Send(from, to NodeID, m Message) bool {
 		n.ctrs.Undeliver.Add(1)
 		return false
 	}
-	d := n.U.OneWayDelayMS(int(from), int(to)) / 1000
-	n.Sim.After(d, func() {
-		if h, ok := n.handlers[to]; ok {
-			h.HandleMessage(from, m)
-		}
-	})
+	del := n.freeDel
+	if del == nil {
+		del = &delivery{net: n}
+	} else {
+		n.freeDel = del.next
+		del.next = nil
+	}
+	del.from, del.to, del.m = from, to, m
+	n.Sim.AfterArg(n.U.OneWayDelayMS(int(from), int(to))/1000, deliver, del)
 	return true
 }
 

@@ -13,6 +13,11 @@ type Prober struct {
 	peer     *Peer
 	next     int
 	sessions map[int]*probeSession
+
+	// free recycles finished sessions (struct and pending map). The
+	// result map is handed to the round's callback, which may keep it,
+	// so it is always fresh.
+	free *probeSession
 }
 
 type probeSession struct {
@@ -20,10 +25,27 @@ type probeSession struct {
 	results  ProbeResult
 	done     func(ProbeResult)
 	finished bool
+	freeLink *probeSession
 }
 
 func newProber(p *Peer) *Prober {
 	return &Prober{peer: p, sessions: make(map[int]*probeSession)}
+}
+
+// session returns a blank probe session, reusing a recycled one when
+// available.
+func (pr *Prober) session(targets int) *probeSession {
+	sess := pr.free
+	if sess == nil {
+		sess = &probeSession{pending: make(map[NodeID]float64, targets)}
+	} else {
+		pr.free = sess.freeLink
+		sess.freeLink = nil
+		sess.finished = false
+		clear(sess.pending)
+	}
+	sess.results = make(ProbeResult, targets)
+	return sess
 }
 
 // Launch pings every target in parallel. done fires exactly once — when
@@ -33,11 +55,8 @@ func newProber(p *Peer) *Prober {
 func (pr *Prober) Launch(targets []NodeID, timeoutS float64, done func(ProbeResult)) {
 	pr.next++
 	token := pr.next
-	sess := &probeSession{
-		pending: make(map[NodeID]float64, len(targets)),
-		results: make(ProbeResult, len(targets)),
-		done:    done,
-	}
+	sess := pr.session(len(targets))
+	sess.done = done
 	pr.sessions[token] = sess
 
 	now := pr.peer.net.Now()
@@ -85,5 +104,9 @@ func (pr *Prober) handlePong(from NodeID, m Pong) bool {
 func (pr *Prober) finish(token int, sess *probeSession) {
 	sess.finished = true
 	delete(pr.sessions, token)
-	sess.done(sess.results)
+	done, results := sess.done, sess.results
+	sess.done, sess.results = nil, nil
+	sess.freeLink = pr.free
+	pr.free = sess
+	done(results)
 }

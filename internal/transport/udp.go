@@ -427,7 +427,9 @@ func (t *UDP) write(to overlay.NodeID, addr *net.UDPAddr, f wire.Frame, attempt 
 		}
 		return
 	}
-	b, err := wire.EncodeFrame(f)
+	eb := wire.GetEncodeBuffer()
+	defer eb.Release()
+	b, err := eb.Encode(f)
 	if err != nil {
 		// Nothing in the overlay vocabulary fails to encode; treat as a
 		// drop rather than crash on a protocol bug.
@@ -444,7 +446,9 @@ func (t *UDP) write(to overlay.NodeID, addr *net.UDPAddr, f wire.Frame, attempt 
 // SendFrame transmits a session frame (bootstrap traffic) to an explicit
 // socket address, outside the node-id routing and reliability machinery.
 func (t *UDP) SendFrame(addr *net.UDPAddr, f wire.Frame) error {
-	b, err := wire.EncodeFrame(f)
+	eb := wire.GetEncodeBuffer()
+	defer eb.Release()
+	b, err := eb.Encode(f)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,80 @@
+package underlay
+
+import (
+	"sync"
+	"testing"
+
+	"vdm/internal/rng"
+	"vdm/internal/topology"
+)
+
+// TestRouterUnderlayConcurrent exercises the deterministic query paths of
+// one RouterUnderlay from many goroutines; the lazy SPT and path-loss
+// caches used to be unsynchronized, so this test documents (under -race)
+// that a single underlay can back concurrent sessions.
+func TestRouterUnderlayConcurrent(t *testing.T) {
+	ts, err := topology.GenerateTransitStub(topology.DefaultTransitStub(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.AssignLinkLoss(0.02, rng.New(8))
+	const hosts = 64
+	attach := ts.AttachHosts(hosts, rng.New(9))
+	u := NewRouter(ts.Graph, attach)
+
+	// Reference answers, computed single-threaded on a fresh twin.
+	ref := NewRouter(ts.Graph, attach)
+	wantRTT := make([]float64, hosts)
+	wantLoss := make([]float64, hosts)
+	for h := 0; h < hosts; h++ {
+		wantRTT[h] = ref.BaseRTT(h, (h+1)%hosts)
+		wantLoss[h] = ref.LossRate(h, (h+1)%hosts)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				for h := 0; h < hosts; h++ {
+					a, b := h, (h+1)%hosts
+					if got := u.BaseRTT(a, b); got != wantRTT[h] {
+						t.Errorf("worker %d: BaseRTT(%d,%d) = %v, want %v", w, a, b, got, wantRTT[h])
+						return
+					}
+					if got := u.LossRate(a, b); got != wantLoss[h] {
+						t.Errorf("worker %d: LossRate(%d,%d) = %v, want %v", w, a, b, got, wantLoss[h])
+						return
+					}
+					_ = u.PathLinks(a, b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestRouterUnderlayPrecompute verifies the eager fill covers every
+// attachment router so later queries are read-only.
+func TestRouterUnderlayPrecompute(t *testing.T) {
+	ts, err := topology.GenerateTransitStub(topology.DefaultTransitStub(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach := ts.AttachHosts(16, rng.New(4))
+	u := NewRouter(ts.Graph, attach)
+	u.Precompute()
+	routers := make(map[topology.RouterID]bool)
+	for _, r := range attach {
+		routers[r] = true
+	}
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	for r := range routers {
+		if _, ok := u.spts[r]; !ok {
+			t.Fatalf("router %d SPT not precomputed", r)
+		}
+	}
+}

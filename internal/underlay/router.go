@@ -1,6 +1,8 @@
 package underlay
 
 import (
+	"sync"
+
 	"vdm/internal/rng"
 	"vdm/internal/topology"
 )
@@ -12,12 +14,24 @@ const hostAccessMS = 0.5
 // RouterUnderlay routes host-to-host traffic over a router graph along
 // shortest-delay paths. Shortest-path trees are computed lazily per
 // attachment router and cached.
+//
+// The deterministic query methods (BaseRTT, LossRate, PathLinks, and the
+// accessors) are safe for concurrent use: the lazy SPT and path-loss
+// caches are guarded so one underlay can back many concurrent sessions
+// without duplicating Dijkstra work. The jittered measurement methods
+// (RTT, OneWayDelayMS) draw from a single random stream and must stay
+// within one session's event loop.
 type RouterUnderlay struct {
 	g      *topology.Graph
 	attach []topology.RouterID // host -> router
-	spts   map[topology.RouterID]*topology.SPT
+
+	// mu guards the two lazy caches below. Writes (cache misses) take the
+	// full lock and re-check, so each SPT is computed exactly once.
+	mu   sync.RWMutex
+	spts map[topology.RouterID]*topology.SPT
 	// pathLoss caches end-to-end loss per (router,router) pair.
 	pathLoss map[[2]topology.RouterID]float64
+
 	// Measurement jitter: application-level pings observe queueing and
 	// processing variation on top of propagation delay.
 	jitterRnd   *rng.Stream
@@ -55,12 +69,32 @@ func (u *RouterUnderlay) NumLinks() int { return u.g.NumLinks() }
 func (u *RouterUnderlay) AttachmentRouter(h int) topology.RouterID { return u.attach[h] }
 
 func (u *RouterUnderlay) spt(r topology.RouterID) *topology.SPT {
-	if t, ok := u.spts[r]; ok {
+	u.mu.RLock()
+	t, ok := u.spts[r]
+	u.mu.RUnlock()
+	if ok {
 		return t
 	}
-	t := u.g.ShortestPaths(r)
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if t, ok := u.spts[r]; ok {
+		return t // another goroutine computed it while we waited
+	}
+	t = u.g.ShortestPaths(r)
 	u.spts[r] = t
 	return t
+}
+
+// Precompute eagerly fills the SPT cache for every attachment router, so
+// subsequent concurrent queries never take the write lock.
+func (u *RouterUnderlay) Precompute() {
+	seen := make(map[topology.RouterID]bool, len(u.attach))
+	for _, r := range u.attach {
+		if !seen[r] {
+			seen[r] = true
+			u.spt(r)
+		}
+	}
 }
 
 // oneWay returns the one-way host-to-host delay in ms.
@@ -110,15 +144,20 @@ func (u *RouterUnderlay) LossRate(a, b int) float64 {
 	if ra > rb {
 		key = [2]topology.RouterID{rb, ra}
 	}
-	if p, ok := u.pathLoss[key]; ok {
+	u.mu.RLock()
+	p, ok := u.pathLoss[key]
+	u.mu.RUnlock()
+	if ok {
 		return p
 	}
 	survive := 1.0
 	for _, lid := range u.spt(key[0]).PathLinks(key[1]) {
 		survive *= 1 - u.g.Link(lid).LossRate
 	}
-	p := 1 - survive
+	p = 1 - survive
+	u.mu.Lock()
 	u.pathLoss[key] = p
+	u.mu.Unlock()
 	return p
 }
 

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"vdm/internal/overlay"
 )
@@ -525,57 +526,93 @@ func decodeMessage(r *reader) (overlay.Message, error) {
 
 // --- frame codec ---------------------------------------------------------
 
-// AppendFrame appends the encoding of f to dst.
+// AppendFrame appends the encoding of f to dst. The payload is encoded
+// in place after the header (no intermediate buffer); the length field is
+// backfilled once the payload size is known, so an encode costs zero
+// allocations when dst has capacity.
 func AppendFrame(dst []byte, f Frame) ([]byte, error) {
-	var payload []byte
+	base := len(dst)
+	dst = append(dst, Version, byte(f.Kind))
+	dst = appendU32(dst, 0) // plen, backfilled below
+	dst = appendID(dst, f.From)
+	dst = appendID(dst, f.To)
+	dst = appendU32(dst, f.Seq)
+	payloadStart := len(dst)
+
 	var err error
 	switch f.Kind {
 	case KindMsg:
-		if payload, err = AppendMessage(nil, f.Msg); err != nil {
-			return nil, err
-		}
+		dst, err = AppendMessage(dst, f.Msg)
 	case KindAck:
 		// empty payload
 	case KindHello:
-		if payload, err = appendString(nil, f.Addr); err != nil {
-			return nil, err
-		}
+		dst, err = appendString(dst, f.Addr)
 	case KindWelcome:
-		payload = appendID(nil, f.Node)
-		payload = appendID(payload, f.Src)
+		dst = appendID(dst, f.Node)
+		dst = appendID(dst, f.Src)
 		if len(f.Peers) > MaxList {
 			return nil, fmt.Errorf("%w: peer list %d > %d", ErrTooLarge, len(f.Peers), MaxList)
 		}
-		payload = appendU16(payload, uint16(len(f.Peers)))
+		dst = appendU16(dst, uint16(len(f.Peers)))
 		for _, p := range f.Peers {
-			payload = appendID(payload, p.ID)
-			if payload, err = appendString(payload, p.Addr); err != nil {
+			dst = appendID(dst, p.ID)
+			if dst, err = appendString(dst, p.Addr); err != nil {
 				return nil, err
 			}
 		}
 	case KindAddrQuery:
-		payload = appendID(nil, f.Node)
+		dst = appendID(dst, f.Node)
 	case KindAddrReply:
-		payload = appendID(nil, f.Node)
-		if payload, err = appendString(payload, f.Addr); err != nil {
-			return nil, err
-		}
+		dst = appendID(dst, f.Node)
+		dst, err = appendString(dst, f.Addr)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, f.Kind)
 	}
-	if len(payload) > MaxPayload {
-		return nil, fmt.Errorf("%w: payload %d > %d", ErrTooLarge, len(payload), MaxPayload)
+	if err != nil {
+		return nil, err
 	}
-	dst = append(dst, Version, byte(f.Kind))
-	dst = appendU32(dst, uint32(len(payload)))
-	dst = appendID(dst, f.From)
-	dst = appendID(dst, f.To)
-	dst = appendU32(dst, f.Seq)
-	return append(dst, payload...), nil
+	plen := len(dst) - payloadStart
+	if plen > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d > %d", ErrTooLarge, plen, MaxPayload)
+	}
+	binary.BigEndian.PutUint32(dst[base+2:], uint32(plen))
+	return dst, nil
 }
 
 // EncodeFrame encodes f into a fresh buffer.
 func EncodeFrame(f Frame) ([]byte, error) { return AppendFrame(nil, f) }
+
+// encodeBufPool recycles frame-encode scratch buffers: the live
+// transports encode one frame per datagram on their hot paths, and the
+// pool makes that steady-state allocation-free.
+var encodeBufPool = sync.Pool{
+	New: func() any { return &EncodeBuffer{buf: make([]byte, 0, 1536)} },
+}
+
+// An EncodeBuffer is a reusable frame-encode scratch buffer drawn from a
+// package-level pool. It is not safe for concurrent use; draw one per
+// encode site (or per call) instead of sharing.
+type EncodeBuffer struct {
+	buf []byte
+}
+
+// GetEncodeBuffer draws a buffer from the pool.
+func GetEncodeBuffer() *EncodeBuffer { return encodeBufPool.Get().(*EncodeBuffer) }
+
+// Release returns the buffer to the pool. The slice returned by Encode
+// must not be used afterwards.
+func (b *EncodeBuffer) Release() { encodeBufPool.Put(b) }
+
+// Encode encodes f into the buffer and returns the encoded bytes, which
+// stay valid only until the next Encode or Release.
+func (b *EncodeBuffer) Encode(f Frame) ([]byte, error) {
+	out, err := AppendFrame(b.buf[:0], f)
+	if err != nil {
+		return nil, err
+	}
+	b.buf = out // keep the grown capacity for the next frame
+	return out, nil
+}
 
 // DecodeFrame decodes the first frame in b and returns it together with
 // the number of bytes consumed (so a stream of concatenated frames can be

@@ -258,3 +258,52 @@ func BenchmarkWireDataChunk(b *testing.B) {
 		}
 	}
 }
+
+// TestEncodeBufferReuse checks that a pooled buffer produces correct
+// frames across reuse and that Encode results match EncodeFrame.
+func TestEncodeBufferReuse(t *testing.T) {
+	frames := []Frame{
+		{Kind: KindMsg, From: 1, To: 2, Seq: 7, Msg: overlay.DataChunk{Seq: 99}},
+		{Kind: KindHello, From: 3, To: 4, Addr: "10.0.0.1:9000"},
+		{Kind: KindMsg, From: 5, To: 9, Seq: 1234, Msg: overlay.ConnResponse{
+			Token:    99,
+			Accepted: true,
+			RootPath: []overlay.NodeID{0, 3, 7, 12, 19},
+			Adopted:  []overlay.NodeID{4, 5},
+			Children: []overlay.ChildInfo{{ID: 4, Dist: 10}, {ID: 5, Dist: 12}},
+		}},
+		{Kind: KindAck, From: 2, To: 1, Seq: 8},
+	}
+	eb := GetEncodeBuffer()
+	defer eb.Release()
+	for round := 0; round < 3; round++ {
+		for _, f := range frames {
+			want, err := EncodeFrame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eb.Encode(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round %d kind %d: pooled encode differs from EncodeFrame", round, f.Kind)
+			}
+		}
+	}
+}
+
+// BenchmarkWireEncodePooled tracks the transport send path: draw a
+// pooled buffer, encode, release. Steady state should not allocate.
+func BenchmarkWireEncodePooled(b *testing.B) {
+	f := Frame{Kind: KindMsg, From: 5, To: 9, Msg: overlay.DataChunk{Seq: 424242}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eb := GetEncodeBuffer()
+		if _, err := eb.Encode(f); err != nil {
+			b.Fatal(err)
+		}
+		eb.Release()
+	}
+}
