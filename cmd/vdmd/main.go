@@ -13,7 +13,11 @@
 //	vdmd -listen 127.0.0.1:9002 -join 127.0.0.1:9000
 //
 // The admin endpoint serves /metrics (Prometheus text), /debug/vars
-// (JSON snapshot of the tree view and counters) and /debug/pprof.
+// (JSON snapshot of the tree view and counters) and /debug/pprof; on the
+// source it additionally serves /tree (the live tree reconstructed from
+// the peers' StatusReports, with per-peer health and online quality
+// metrics) and /health (200 while every peer is fresh and attached, 503
+// otherwise). -report tunes how often peers send those StatusReports;
 // -trace writes the structured protocol event stream as JSONL.
 //
 // Ctrl-C leaves the session gracefully (children are pointed at their
@@ -35,6 +39,7 @@ import (
 	"vdm/internal/core"
 	"vdm/internal/live"
 	"vdm/internal/obs"
+	"vdm/internal/obs/tree"
 	"vdm/internal/overlay"
 	"vdm/internal/rng"
 	"vdm/internal/transport"
@@ -51,6 +56,7 @@ func main() {
 		refine  = flag.Float64("refine", 0, "refinement period in seconds (0 = off)")
 		rate    = flag.Float64("rate", 1, "source stream rate (chunks/s)")
 		status  = flag.Duration("status", 5*time.Second, "status log interval (0 = quiet)")
+		report  = flag.Duration("report", 5*time.Second, "tree-health StatusReport interval to the source (0 = off)")
 		seed    = flag.Int64("seed", 1, "refinement-jitter seed")
 		timeout = flag.Duration("timeout", 10*time.Second, "join handshake timeout")
 		admin   = flag.String("admin", "", "admin HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = off)")
@@ -119,6 +125,17 @@ func main() {
 	if *refine > 0 {
 		rnd = rng.New(*seed)
 	}
+	// The source aggregates every peer's StatusReports into the live tree
+	// view served on /tree and /health.
+	var agg *tree.Aggregator
+	if *source && *report > 0 {
+		agg = tree.New(tree.Config{
+			Source:      0,
+			StaleAfterS: 3 * report.Seconds(),
+			Now:         clock,
+		})
+		agg.RegisterMetrics(reg)
+	}
 	peer := live.NewPeer(tr, epoch, func(bus overlay.Bus) overlay.Protocol {
 		n := core.New(bus, overlay.PeerConfig{
 			ID:        id,
@@ -127,6 +144,12 @@ func main() {
 			IsSource:  *source,
 		}, cfg, rnd)
 		n.SetTracer(obs.NewTracer(sink, "vdm", id, bus.Now))
+		if *report > 0 {
+			if agg != nil {
+				n.Base().SetStatusHandler(agg.Handler())
+			}
+			n.Base().EnableStatusReports(report.Seconds())
+		}
 		return n
 	})
 	peer.SetTracer(obs.NewTracer(sink, "vdm", id, clock))
@@ -157,6 +180,9 @@ func main() {
 				"orphaned":  s.OrphanCount,
 			}
 		})
+		if agg != nil {
+			agg.Register(mux)
+		}
 		ln, err := net.Listen("tcp", *admin)
 		if err != nil {
 			log.Error("admin bind failed", "err", err)

@@ -1,0 +1,210 @@
+// Command vdmtop is the operator's view of a running VDM session. It has
+// two modes, usable together:
+//
+// Topology mode tails a source's /tree admin route and renders the
+// reconstructed multicast tree with per-peer health:
+//
+//	vdmtop -admin 127.0.0.1:8080            # one snapshot
+//	vdmtop -admin 127.0.0.1:8080 -watch 2s  # refresh every 2 s
+//
+// Trace mode merges per-peer JSONL trace files (vdmd -trace output, or
+// the per-peer sinks of a lab cluster) on the shared session clock and
+// reconstructs every join procedure's descent path across the peers it
+// touched, correlated by join_id:
+//
+//	vdmtop -traces source.jsonl,peer1.jsonl,peer2.jsonl
+//	vdmtop -traces source.jsonl,peer1.jsonl -join 3:1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"vdm/internal/obs"
+	"vdm/internal/obs/tree"
+)
+
+func main() {
+	var (
+		admin  = flag.String("admin", "", "source admin address (host:port or URL) to fetch /tree from")
+		watch  = flag.Duration("watch", 0, "with -admin: refresh interval (0 = print once)")
+		traces = flag.String("traces", "", "comma-separated per-peer JSONL trace files to merge")
+		joinID = flag.String("join", "", "with -traces: show only this join_id (e.g. 3:1)")
+	)
+	flag.Parse()
+
+	if *admin == "" && *traces == "" {
+		fmt.Fprintln(os.Stderr, "vdmtop: need -admin <addr> and/or -traces <files>")
+		os.Exit(2)
+	}
+
+	if *traces != "" {
+		if err := showJoins(strings.Split(*traces, ","), *joinID); err != nil {
+			fmt.Fprintln(os.Stderr, "vdmtop:", err)
+			os.Exit(1)
+		}
+	}
+	if *admin != "" {
+		for {
+			if err := showTree(*admin); err != nil {
+				fmt.Fprintln(os.Stderr, "vdmtop:", err)
+				if *watch == 0 {
+					os.Exit(1)
+				}
+			}
+			if *watch == 0 {
+				return
+			}
+			time.Sleep(*watch)
+		}
+	}
+}
+
+// showTree fetches one /tree snapshot and renders it.
+func showTree(addr string) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/tree"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var snap tree.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decode %s: %w", url, err)
+	}
+	RenderTree(os.Stdout, &snap)
+	return nil
+}
+
+// RenderTree prints the snapshot as an indented topology plus a summary
+// line per health dimension.
+func RenderTree(w *os.File, snap *tree.Snapshot) {
+	s := snap.Summary
+	fmt.Fprintf(w, "tree @ %.1fs  members=%d reachable=%d stale=%d partitioned=%d orphans=%d\n",
+		snap.AtS, s.Members, s.Reachable, s.Stale, s.Partitioned, s.Orphans)
+	fmt.Fprintf(w, "cost=%.1fms depth max=%d avg=%.2f stretch-proxy avg=%.2f max=%.2f fanout max=%d avg=%.2f\n",
+		s.CostMS, s.MaxDepth, s.AvgDepth, s.StretchProxyAvg, s.StretchProxyMax, s.MaxFanout, s.AvgFanout)
+	if snap.Exact != nil {
+		fmt.Fprintf(w, "exact: stress=%.2f stretch=%.2f hopcount=%.2f usage=%.1fms\n",
+			snap.Exact.Stress, snap.Exact.Stretch, snap.Exact.Hopcount, snap.Exact.UsageMS)
+	}
+
+	byID := make(map[int64]tree.PeerHealth, len(snap.Peers))
+	kids := make(map[int64][]int64)
+	for _, p := range snap.Peers {
+		byID[p.ID] = p
+		if p.ID != snap.Source && p.Parent >= 0 {
+			kids[p.Parent] = append(kids[p.Parent], p.ID)
+		}
+	}
+	for _, c := range kids {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	var render func(id int64, indent string)
+	render = func(id int64, indent string) {
+		p, known := byID[id]
+		label := fmt.Sprintf("%s%d", indent, id)
+		if known && id != snap.Source {
+			label += fmt.Sprintf("  rtt=%.1fms depth=%d", p.ParentRTTMS, p.Depth)
+			if p.Stale {
+				label += "  STALE"
+			}
+			if p.Partitioned {
+				label += "  PARTITIONED"
+			}
+		}
+		fmt.Fprintln(w, label)
+		for _, c := range kids[id] {
+			render(c, indent+"  ")
+		}
+	}
+	render(snap.Source, "")
+	// Peers that report a parent the source never heard from hang off no
+	// rendered node; list them so nothing silently disappears.
+	shown := map[int64]bool{snap.Source: true}
+	var mark func(id int64)
+	mark = func(id int64) {
+		for _, c := range kids[id] {
+			shown[c] = true
+			mark(c)
+		}
+	}
+	mark(snap.Source)
+	for _, p := range snap.Peers {
+		if !shown[p.ID] {
+			fmt.Fprintf(w, "~ %d detached (parent=%d stale=%v)\n", p.ID, p.Parent, p.Stale)
+		}
+	}
+}
+
+// showJoins merges the trace files and prints every join's descent path.
+func showJoins(files []string, only string) error {
+	var traces [][]obs.Event
+	for _, f := range files {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		fh, err := os.Open(f)
+		if err != nil {
+			return err
+		}
+		evs, err := obs.ReadJSONL(fh)
+		fh.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		traces = append(traces, evs)
+	}
+	joins := obs.ReconstructJoins(obs.MergeTraces(traces...))
+	ids := make([]string, 0, len(joins))
+	for id := range joins {
+		if only != "" && id != only {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	if only != "" && len(ids) == 0 {
+		return fmt.Errorf("join %q not found in %d traces", only, len(files))
+	}
+	sort.Slice(ids, func(i, j int) bool { return joins[ids[i]].Start < joins[ids[j]].Start })
+	for _, id := range ids {
+		printJoin(joins[id])
+	}
+	return nil
+}
+
+func printJoin(j *obs.JoinPath) {
+	state := "in flight"
+	if j.Done {
+		state = fmt.Sprintf("done in %.3fs → parent %d", j.Duration, j.Parent)
+	}
+	fmt.Printf("join %s  node %d  %s  @%.3fs  %s\n", j.JoinID, j.Node, j.Purpose, j.Start, state)
+	if j.Restarts > 0 {
+		fmt.Printf("  restarts: %d\n", j.Restarts)
+	}
+	for i, st := range j.Path {
+		mark := " "
+		if st.Served {
+			mark = "*" // corroborated by the queried peer's own trace
+		}
+		fmt.Printf("  %2d. %s node %-4d @%.3fs\n", i+1, mark, st.Node, st.T)
+	}
+	if len(j.Servers) > 0 {
+		fmt.Printf("  served by: %v", j.Servers)
+		if j.Accepted >= 0 {
+			fmt.Printf("  (accepted by %d)", j.Accepted)
+		}
+		fmt.Println()
+	}
+}

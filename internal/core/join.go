@@ -125,7 +125,7 @@ func (n *Node) beginWith(p purpose, target overlay.NodeID, attempts int) {
 	js := n.newJoinState(p, attempts)
 	n.join = js
 	if attempts == 0 {
-		n.tracer.Emit(obs.EvJoinStart, obs.Event{Target: int64(target), Detail: p.String()})
+		n.emit(obs.EvJoinStart, obs.Event{Target: int64(target), Detail: p.String()})
 	}
 	n.sendInfo(js, target)
 }
@@ -139,8 +139,8 @@ func (n *Node) sendInfo(js *joinState, target overlay.NodeID) {
 	js.sentAt = n.Now()
 	n.token++
 	js.token = n.token
-	n.tracer.Emit(obs.EvJoinStep, obs.Event{Target: int64(target), Step: len(js.visited), Detail: js.purpose.String()})
-	n.Net().Send(n.ID(), target, overlay.InfoRequest{Token: js.token})
+	n.emit(obs.EvJoinStep, obs.Event{Target: int64(target), Step: len(js.visited), Detail: js.purpose.String()})
+	n.Net().Send(n.ID(), target, overlay.InfoRequest{Token: js.token, JoinID: n.curJoin})
 
 	tok := js.token
 	n.Net().After(n.InfoTimeoutS, func() {
@@ -154,7 +154,7 @@ func (n *Node) sendInfo(js *joinState, target overlay.NodeID) {
 // whose grandparent also departed falls back to the source; everything
 // else restarts.
 func (n *Node) onTargetUnusable(js *joinState) {
-	n.tracer.Emit(obs.EvJoinTimeout, obs.Event{Target: int64(js.target), Step: len(js.visited), Detail: js.purpose.String()})
+	n.emit(obs.EvJoinTimeout, obs.Event{Target: int64(js.target), Step: len(js.visited), Detail: js.purpose.String()})
 	switch {
 	case js.purpose == purposeRefine:
 		n.endJoin(js)
@@ -228,7 +228,7 @@ func (n *Node) decide(js *joinState, res overlay.ProbeResult) {
 	if len(case3) > 0 {
 		// "Select closest of CaseIII, continue from closest one."
 		next := closestOf(case3, res)
-		n.tracer.Emit(obs.EvJoinDecide, obs.Event{Target: int64(next), Case: "III", Step: len(case3), Value: js.dTarget})
+		n.emit(obs.EvJoinDecide, obs.Event{Target: int64(next), Case: "III", Step: len(case3), Value: js.dTarget})
 		n.sendInfo(js, next)
 		return
 	}
@@ -239,13 +239,13 @@ func (n *Node) decide(js *joinState, res overlay.ProbeResult) {
 			adopt = adopt[:free]
 		}
 		if len(adopt) > 0 {
-			n.tracer.Emit(obs.EvJoinDecide, obs.Event{Target: int64(js.target), Case: "II", Step: len(adopt), Value: js.dTarget})
+			n.emit(obs.EvJoinDecide, obs.Event{Target: int64(js.target), Case: "II", Step: len(adopt), Value: js.dTarget})
 			n.connect(js, js.target, overlay.ConnSplice, adopt)
 			return
 		}
 	}
 	// Case I: no directional child — attach to the queried node itself.
-	n.tracer.Emit(obs.EvJoinDecide, obs.Event{Target: int64(js.target), Case: "I", Value: js.dTarget})
+	n.emit(obs.EvJoinDecide, obs.Event{Target: int64(js.target), Case: "I", Value: js.dTarget})
 	n.connect(js, js.target, overlay.ConnChild, nil)
 }
 
@@ -267,13 +267,14 @@ func (n *Node) connect(js *joinState, to overlay.NodeID, kind overlay.ConnKind, 
 	js.sentAt = n.Now()
 	n.token++
 	js.token = n.token
-	n.tracer.Emit(obs.EvJoinConnect, obs.Event{Target: int64(to), Case: connKindName(kind, js), Step: len(adopt)})
+	n.emit(obs.EvJoinConnect, obs.Event{Target: int64(to), Case: connKindName(kind, js), Step: len(adopt)})
 	n.Net().Send(n.ID(), to, overlay.ConnRequest{
 		Token:  js.token,
 		Kind:   kind,
 		Dist:   n.distTo(js, to),
 		Adopt:  adopt,
 		Foster: js.foster && js.purpose == purposeJoin,
+		JoinID: n.curJoin,
 	})
 
 	tok := js.token
@@ -322,11 +323,11 @@ func (n *Node) onConnResponse(from overlay.NodeID, m overlay.ConnResponse) {
 			n.EndSwitch()
 			n.endJoin(js)
 			n.fostered = false // promoted or moved to a proper slot
-			n.tracer.Emit(obs.EvRefineSwitch, obs.Event{Target: int64(from), Value: dist})
+			n.emit(obs.EvRefineSwitch, obs.Event{Target: int64(from), Value: dist})
 			return
 		}
 		n.ApplyConnect(from, dist, m.RootPath)
-		n.tracer.Emit(obs.EvJoinDone, obs.Event{
+		n.emit(obs.EvJoinDone, obs.Event{
 			Target: int64(from),
 			Step:   len(js.visited),
 			Value:  n.Now() - js.startedAt,
@@ -410,7 +411,7 @@ func (n *Node) restart(js *joinState) {
 	attempts := js.attempts + 1
 	p, target := js.purpose, js.target
 	n.endJoin(js)
-	n.tracer.Emit(obs.EvJoinRestart, obs.Event{Target: int64(target), Step: attempts, Detail: p.String()})
+	n.emit(obs.EvJoinRestart, obs.Event{Target: int64(target), Step: attempts, Detail: p.String()})
 	if p == purposeRefine {
 		n.fosterRetry()
 		return

@@ -61,6 +61,15 @@ type Node struct {
 	// scratch slices included); see newJoinState.
 	joinFree *joinState
 
+	// joinSeq counts join procedures started by this node; curJoin is the
+	// correlation id of the current (or most recent) procedure, stamped
+	// on every outgoing join message and trace event. A new id is minted
+	// per trigger — StartJoin, an orphaning, a refinement timer — while
+	// restarts and back-offs keep it, so one logical join stays one
+	// correlatable trace.
+	joinSeq uint32
+	curJoin overlay.JoinID
+
 	refineArmed bool
 	// fostered marks a quick-start attachment that still occupies a
 	// beyond-degree foster slot; the node keeps searching until it has
@@ -71,10 +80,54 @@ type Node struct {
 // Fostered reports whether the node currently sits in a foster slot.
 func (n *Node) Fostered() bool { return n.fostered }
 
+// JoinID returns the correlation id of the current (or most recent) join
+// procedure; zero before the first join.
+func (n *Node) JoinID() overlay.JoinID { return n.curJoin }
+
+// nextJoinID mints the correlation id for a new join procedure.
+func (n *Node) nextJoinID() overlay.JoinID {
+	n.joinSeq++
+	n.curJoin = overlay.MakeJoinID(n.ID(), n.joinSeq)
+	return n.curJoin
+}
+
+// emit stamps the current join id onto e and forwards it to the tracer.
+// All join-machinery events go through here so every record of one
+// procedure — across restarts — carries the same join_id.
+func (n *Node) emit(typ string, e obs.Event) {
+	e.JoinID = n.curJoin.String()
+	n.tracer.Emit(typ, e)
+}
+
 // SetTracer installs the protocol event tracer (nil disables tracing).
 // The simulator and the live runtime install tracers over the same bus
 // clock the node runs on, so event timestamps line up with protocol time.
-func (n *Node) SetTracer(t *obs.Tracer) { n.tracer = t }
+// It also bridges the peer base's served-request observations into the
+// trace stream: when this node answers another peer's InfoRequest or
+// ConnRequest, an info_served/conn_served event carrying the requester's
+// join id lands in this node's trace — the cross-peer half of a join
+// trace.
+func (n *Node) SetTracer(t *obs.Tracer) {
+	n.tracer = t
+	if t == nil {
+		n.Peer.SetServeObserver(nil)
+		return
+	}
+	n.Peer.SetServeObserver(func(ev overlay.ServeEvent) {
+		e := obs.Event{Target: int64(ev.From), JoinID: ev.JoinID.String()}
+		switch ev.Kind {
+		case overlay.ServeInfo:
+			t.Emit(obs.EvInfoServed, e)
+		case overlay.ServeConn:
+			if ev.Accepted {
+				e.Case = "accept"
+			} else {
+				e.Case = "reject"
+			}
+			t.Emit(obs.EvConnServed, e)
+		}
+	})
+}
 
 // fosterRetry re-runs the directional search while the node still holds a
 // foster slot (e.g. every proper candidate was briefly saturated).
@@ -115,11 +168,12 @@ func (n *Node) StartJoin() {
 		return
 	}
 	n.MarkJoinStart()
+	n.nextJoinID()
 	if n.cfg.FosterJoin {
 		js := n.newJoinState(purposeJoin, 0)
 		js.foster = true
 		n.join = js
-		n.tracer.Emit(obs.EvJoinStart, obs.Event{Target: int64(n.Source()), Detail: "foster"})
+		n.emit(obs.EvJoinStart, obs.Event{Target: int64(n.Source()), Detail: "foster"})
 		n.connect(js, n.Source(), overlay.ConnChild, nil)
 		return
 	}
@@ -145,7 +199,10 @@ func (n *Node) OnOrphaned(leaver, hint overlay.NodeID) {
 		n.EndSwitch()
 		n.endJoin(n.join)
 	}
-	n.tracer.Emit(obs.EvOrphaned, obs.Event{Target: int64(leaver), Detail: hintDetail(hint)})
+	// The orphan event carries the reconnection's join id, so the whole
+	// recovery — trigger included — reads as one trace.
+	n.nextJoinID()
+	n.emit(obs.EvOrphaned, obs.Event{Target: int64(leaver), Detail: hintDetail(hint)})
 	start := hint
 	if n.cfg.ReconnectAtSource || start == overlay.None || start == leaver || start == n.ID() {
 		start = n.Source()
@@ -173,6 +230,7 @@ func (n *Node) scheduleRefine() {
 			return
 		}
 		if n.Connected() && n.join == nil && !n.Switching() {
+			n.nextJoinID()
 			n.begin(purposeRefine, n.Source())
 		}
 		n.scheduleRefine()

@@ -32,6 +32,16 @@ type ClusterConfig struct {
 	// EventSink, when set, receives every peer's protocol trace events —
 	// the same schema a simulator session emits through its EventSink.
 	EventSink obs.Sink
+	// PerPeerSink, when set, supplies each peer its own trace sink (the
+	// deployment shape: one JSONL file per host). It composes with
+	// EventSink; both receive every event.
+	PerPeerSink func(id overlay.NodeID) obs.Sink
+	// StatusPeriod enables the tree-health telemetry: every peer reports
+	// its StatusReport to the source this often. Zero disables reporting.
+	StatusPeriod time.Duration
+	// StatusHandler receives the reports at the source (typically a
+	// tree.Aggregator's Handler). Ignored when StatusPeriod is zero.
+	StatusHandler overlay.StatusHandler
 }
 
 // Cluster boots N VDM peers on one in-memory transport — the live
@@ -67,6 +77,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	for i := 0; i < cfg.N; i++ {
 		id := overlay.NodeID(i)
 		peerRnd := rnd.Derive(fmt.Sprintf("peer-%d", i))
+		sink := cfg.EventSink
+		if cfg.PerPeerSink != nil {
+			sink = obs.TeeSink(sink, cfg.PerPeerSink(id))
+		}
 		p := NewPeer(tr, epoch, func(bus overlay.Bus) overlay.Protocol {
 			n := core.New(bus, overlay.PeerConfig{
 				ID:        id,
@@ -74,13 +88,19 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 				MaxDegree: cfg.MaxDegree,
 				IsSource:  id == 0,
 			}, cfg.Core, peerRnd)
-			if cfg.EventSink != nil {
-				n.SetTracer(obs.NewTracer(cfg.EventSink, "vdm", id, bus.Now))
+			if sink != nil {
+				n.SetTracer(obs.NewTracer(sink, "vdm", id, bus.Now))
+			}
+			if cfg.StatusPeriod > 0 {
+				if id == 0 && cfg.StatusHandler != nil {
+					n.Base().SetStatusHandler(cfg.StatusHandler)
+				}
+				n.Base().EnableStatusReports(cfg.StatusPeriod.Seconds())
 			}
 			return n
 		})
-		if cfg.EventSink != nil {
-			p.SetTracer(obs.NewTracer(cfg.EventSink, "vdm", id, func() float64 {
+		if sink != nil {
+			p.SetTracer(obs.NewTracer(sink, "vdm", id, func() float64 {
 				return time.Since(epoch).Seconds()
 			}))
 		}
@@ -136,10 +156,10 @@ func (c *Cluster) Views() []overlay.TreeView {
 	return views
 }
 
-// Snapshot collects the paper's tree metrics over a uniform underlay whose
-// RTT matches the loopback delay (in ms) — depth and degree structure are
-// meaningful; stretch is 1 by construction on a uniform matrix.
-func (c *Cluster) Snapshot() metrics.TreeSnapshot {
+// Underlay builds the uniform RTT-matrix underlay that models the
+// loopback transport: every pair sits 2×Delay apart (in ms). Offline
+// metric collection and the tree aggregator's exact mode share it.
+func (c *Cluster) Underlay() underlay.Underlay {
 	n := len(c.Peers)
 	rttMS := 2 * float64(c.cfg.Delay) / float64(time.Millisecond)
 	rtt := make([][]float64, n)
@@ -151,7 +171,14 @@ func (c *Cluster) Snapshot() metrics.TreeSnapshot {
 			}
 		}
 	}
-	return metrics.Collect(c.Views(), 0, underlay.NewStatic(rtt))
+	return underlay.NewStatic(rtt)
+}
+
+// Snapshot collects the paper's tree metrics over a uniform underlay whose
+// RTT matches the loopback delay (in ms) — depth and degree structure are
+// meaningful; stretch is 1 by construction on a uniform matrix.
+func (c *Cluster) Snapshot() metrics.TreeSnapshot {
+	return metrics.Collect(c.Views(), 0, c.Underlay())
 }
 
 // Validate runs the structural tree checks (degree bounds, parent/child

@@ -1,0 +1,150 @@
+package live
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vdm/internal/obs/tree"
+	"vdm/internal/overlay"
+)
+
+// TestClusterTreeTelemetry is the tree-health acceptance test: a 24-peer
+// live cluster reports status over the real runtime, the source-side
+// aggregator reconstructs the tree, and the /tree admin route must agree
+// with the peers' actual parent/child state — with the online stress and
+// cost figures matching the offline metrics computed on the same tree.
+func TestClusterTreeTelemetry(t *testing.T) {
+	const (
+		nPeers    = 24
+		maxDegree = 4
+	)
+	agg := tree.New(tree.Config{Source: 0, StaleAfterS: 10})
+	c := NewCluster(ClusterConfig{
+		N:             nPeers,
+		MaxDegree:     maxDegree,
+		StatusPeriod:  50 * time.Millisecond,
+		StatusHandler: agg.Handler(),
+	})
+	defer c.Close()
+	agg.SetUnderlay(c.Underlay())
+
+	if err := c.WaitConnected(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Let every peer push at least two post-join reports so the
+	// aggregator sees the settled tree.
+	waitFor(t, 10*time.Second, func() bool {
+		s := agg.Snapshot().Summary
+		return s.Members == nPeers && s.Reachable == nPeers-1
+	})
+
+	// Query the tree the way an operator would: over HTTP.
+	mux := http.NewServeMux()
+	agg.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap tree.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Reconstructed topology == actual topology, edge by edge and child
+	// set by child set.
+	actual := make(map[int64]overlay.TreeView, nPeers)
+	for _, p := range c.Peers {
+		v := p.View()
+		actual[int64(v.ID())] = v
+	}
+	if len(snap.Peers) != nPeers {
+		t.Fatalf("/tree reports %d peers, cluster has %d", len(snap.Peers), nPeers)
+	}
+	for _, row := range snap.Peers {
+		v, ok := actual[row.ID]
+		if !ok {
+			t.Fatalf("/tree invented peer %d", row.ID)
+		}
+		if row.ID != 0 && row.Parent != int64(v.ParentID()) {
+			t.Errorf("peer %d: reported parent %d, actual %d", row.ID, row.Parent, v.ParentID())
+		}
+		want := map[int64]bool{}
+		for _, ch := range v.ChildIDs() {
+			want[int64(ch)] = true
+		}
+		if len(row.Children) != len(want) {
+			t.Errorf("peer %d: reported children %v, actual %v", row.ID, row.Children, v.ChildIDs())
+			continue
+		}
+		for _, ch := range row.Children {
+			if !want[ch] {
+				t.Errorf("peer %d: reported child %d not in actual %v", row.ID, ch, v.ChildIDs())
+			}
+		}
+	}
+	if snap.Summary.Stale != 0 || snap.Summary.Partitioned != 0 || snap.Summary.Orphans != 0 {
+		t.Errorf("settled cluster flagged unhealthy: %+v", snap.Summary)
+	}
+
+	// Online vs offline agreement on the same tree. The aggregator's
+	// exact block runs metrics.Collect over the reconstructed views; the
+	// offline baseline runs it over the peers' real views on the same
+	// underlay. Topology equality makes them identical.
+	if snap.Exact == nil {
+		t.Fatal("/tree has no exact metrics despite underlay")
+	}
+	offline := c.Snapshot()
+	if snap.Exact.UsageMS != offline.UsageMS || snap.Exact.Stress != offline.Stress {
+		t.Errorf("online stress/cost (%v, %v) != offline (%v, %v)",
+			snap.Exact.Stress, snap.Exact.UsageMS, offline.Stress, offline.UsageMS)
+	}
+	if snap.Exact.Hopcount != offline.Hopcount || snap.Exact.Reachable != offline.Reachable {
+		t.Errorf("online depth/reachable diverge: %+v vs %+v", snap.Exact, offline)
+	}
+	// The online (report-derived) cost sums measured parent RTTs. Those
+	// include real scheduling overhead, so they don't equal the idealized
+	// 2×Delay matrix — but they must be internally consistent (cost =
+	// Σ parent RTT over reachable peers) and bounded below by the
+	// idealized usage on the same edges.
+	var costSum float64
+	for _, row := range snap.Peers {
+		if row.ID != 0 && !row.Partitioned {
+			costSum += row.ParentRTTMS
+		}
+	}
+	if math.Abs(snap.Summary.CostMS-costSum) > 1e-9 {
+		t.Errorf("summary cost %v != Σ parent RTT %v", snap.Summary.CostMS, costSum)
+	}
+	if snap.Summary.CostMS < offline.UsageMS {
+		t.Errorf("measured online cost %v below idealized offline usage %v", snap.Summary.CostMS, offline.UsageMS)
+	}
+
+	// /health agrees.
+	resp, err = http.Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/health = %d on a settled cluster", resp.StatusCode)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not met in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestJSONLGoldenSchema pins the exact serialized form of the trace event
+// — field order, field names, zero-value rendering — against a committed
+// golden file. Downstream consumers (the vdmtop merger, external log
+// pipelines) parse this schema; any change to it must be deliberate and
+// show up in review as a golden diff. Regenerate with:
+//
+//	go test ./internal/obs -run GoldenSchema -update
+func TestJSONLGoldenSchema(t *testing.T) {
+	var sb strings.Builder
+	sink := NewJSONLSink(&sb)
+	tr := NewTracer(sink, "vdm", 7, func() float64 { return 12.5 })
+
+	// One fully populated event and one zero-heavy event: together they
+	// pin both the field order and the always-marshalled contract.
+	tr.Emit(EvJoinDecide, Event{
+		Target: 3,
+		Case:   "III",
+		Step:   2,
+		Value:  41.25,
+		Detail: "join",
+		JoinID: "7:1",
+	})
+	tr.Emit(EvMailboxDepth, Event{Target: -1, Value: 9})
+
+	got := sb.String()
+	golden := filepath.Join("testdata", "event_schema.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("JSONL event schema drifted from golden.\ngot:\n%swant:\n%s", got, want)
+	}
+}

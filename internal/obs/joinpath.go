@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is the cross-peer join correlation toolkit: read per-peer
+// JSONL traces back in, merge them on the shared bus clock, and fold the
+// events carrying one join_id into the join's descent path — the joiner's
+// own join_start/join_step/join_done records interleaved with the
+// info_served/conn_served records of every peer that answered it.
+
+// ReadJSONL decodes a line-delimited event stream (the JSONLSink output).
+// Blank lines are skipped; a malformed line aborts with its line number so
+// torn writes surface instead of silently truncating a trace.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MergeTraces interleaves per-peer traces into one timeline ordered by the
+// shared bus clock. The sort is stable, so events with equal timestamps
+// keep their per-trace order (and traces keep their argument order).
+func MergeTraces(traces ...[]Event) []Event {
+	n := 0
+	for _, t := range traces {
+		n += len(t)
+	}
+	merged := make([]Event, 0, n)
+	for _, t := range traces {
+		merged = append(merged, t...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].T < merged[j].T })
+	return merged
+}
+
+// JoinStep is one hop of a join's descent: a node the joiner queried, and
+// whether that node's own trace corroborates serving the request.
+type JoinStep struct {
+	// Node is the queried peer.
+	Node int64 `json:"node"`
+	// T is when the joiner sent the query.
+	T float64 `json:"t"`
+	// Served is true when the queried peer's trace contains the matching
+	// info_served event — the cross-peer confirmation.
+	Served bool `json:"served"`
+}
+
+// JoinPath is one join procedure reconstructed from a merged trace.
+type JoinPath struct {
+	// JoinID is the correlation id ("node:seq").
+	JoinID string `json:"join_id"`
+	// Node is the joining peer.
+	Node int64 `json:"node"`
+	// Purpose is "join", "reconnect" or "refine" (from join_start).
+	Purpose string `json:"purpose"`
+	// Start is the join_start timestamp.
+	Start float64 `json:"start"`
+	// Path is the descent: every node the joiner queried, in order,
+	// across restarts.
+	Path []JoinStep `json:"path"`
+	// Parent is the resulting parent (join_done's target); −1 while
+	// unfinished.
+	Parent int64 `json:"parent"`
+	// Done is true once join_done was seen.
+	Done bool `json:"done"`
+	// Duration is join_done's reported duration in seconds.
+	Duration float64 `json:"duration"`
+	// Restarts counts join_restart events.
+	Restarts int `json:"restarts"`
+	// Servers lists the distinct peers whose own traces recorded serving
+	// this join (info_served/conn_served), ascending.
+	Servers []int64 `json:"servers"`
+	// Accepted is the node whose conn_served event has Case "accept";
+	// −1 when no acceptance was traced.
+	Accepted int64 `json:"accepted"`
+}
+
+// ReconstructJoins folds a merged event stream into per-join paths keyed
+// by join_id. Events without a join id are ignored. Pass the merged traces
+// of every peer involved: the joiner's events define the path skeleton and
+// the served events of the queried peers fill in the corroboration.
+func ReconstructJoins(events []Event) map[string]*JoinPath {
+	joins := make(map[string]*JoinPath)
+	servers := make(map[string]map[int64]bool)
+	get := func(e Event) *JoinPath {
+		jp, ok := joins[e.JoinID]
+		if !ok {
+			jp = &JoinPath{JoinID: e.JoinID, Node: e.Node, Parent: -1, Accepted: -1}
+			joins[e.JoinID] = jp
+			servers[e.JoinID] = make(map[int64]bool)
+		}
+		return jp
+	}
+	for _, e := range events {
+		if e.JoinID == "" {
+			continue
+		}
+		switch e.Type {
+		case EvJoinStart:
+			jp := get(e)
+			jp.Node = e.Node
+			jp.Purpose = e.Detail
+			jp.Start = e.T
+		case EvJoinStep:
+			jp := get(e)
+			jp.Path = append(jp.Path, JoinStep{Node: e.Target, T: e.T})
+		case EvJoinRestart:
+			get(e).Restarts++
+		case EvJoinDone:
+			jp := get(e)
+			jp.Done = true
+			jp.Parent = e.Target
+			jp.Duration = e.Value
+			if jp.Purpose == "" {
+				jp.Purpose = e.Detail
+			}
+		case EvOrphaned:
+			jp := get(e)
+			jp.Node = e.Node
+			if jp.Purpose == "" {
+				jp.Purpose = "reconnect"
+			}
+		case EvInfoServed:
+			jp := get(e)
+			servers[e.JoinID][e.Node] = true
+			// Corroborate the latest unserved step querying this node.
+			for i := len(jp.Path) - 1; i >= 0; i-- {
+				if jp.Path[i].Node == e.Node && !jp.Path[i].Served {
+					jp.Path[i].Served = true
+					break
+				}
+			}
+		case EvConnServed:
+			jp := get(e)
+			servers[e.JoinID][e.Node] = true
+			if e.Case == "accept" {
+				jp.Accepted = e.Node
+			}
+		}
+	}
+	for id, jp := range joins {
+		for n := range servers[id] {
+			jp.Servers = append(jp.Servers, n)
+		}
+		sort.Slice(jp.Servers, func(i, j int) bool { return jp.Servers[i] < jp.Servers[j] })
+	}
+	return joins
+}

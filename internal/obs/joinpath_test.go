@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// syntheticTraces builds the three-peer scenario the docs walk through:
+// node 3 joins, queries the source (0), gets redirected into child 1, and
+// attaches there. Each peer's trace is a separate slice, as it would be a
+// separate JSONL file in a deployment.
+func syntheticTraces() (joiner, source, relay []Event) {
+	jid := "3:1"
+	joiner = []Event{
+		{T: 1.0, Proto: "vdm", Node: 3, Type: EvJoinStart, Target: 0, Detail: "join", JoinID: jid},
+		{T: 1.0, Proto: "vdm", Node: 3, Type: EvJoinStep, Target: 0, Step: 1, Detail: "join", JoinID: jid},
+		{T: 1.2, Proto: "vdm", Node: 3, Type: EvJoinDecide, Target: 0, Case: "III", Value: 40, JoinID: jid},
+		{T: 1.2, Proto: "vdm", Node: 3, Type: EvJoinStep, Target: 1, Step: 2, Detail: "join", JoinID: jid},
+		{T: 1.4, Proto: "vdm", Node: 3, Type: EvJoinDecide, Target: 1, Case: "I", Value: 25, JoinID: jid},
+		{T: 1.4, Proto: "vdm", Node: 3, Type: EvJoinConnect, Target: 1, Case: "child", JoinID: jid},
+		{T: 1.6, Proto: "vdm", Node: 3, Type: EvJoinDone, Target: 1, Value: 0.6, Step: 2, Detail: "join", JoinID: jid},
+	}
+	source = []Event{
+		{T: 1.1, Proto: "vdm", Node: 0, Type: EvInfoServed, Target: 3, JoinID: jid},
+	}
+	relay = []Event{
+		{T: 1.3, Proto: "vdm", Node: 1, Type: EvInfoServed, Target: 3, JoinID: jid},
+		{T: 1.5, Proto: "vdm", Node: 1, Type: EvConnServed, Target: 3, Case: "accept", JoinID: jid},
+	}
+	return
+}
+
+func TestReconstructJoinsMergesThreePeers(t *testing.T) {
+	joiner, source, relay := syntheticTraces()
+	merged := MergeTraces(joiner, source, relay)
+	if len(merged) != len(joiner)+len(source)+len(relay) {
+		t.Fatalf("merged %d events", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].T < merged[i-1].T {
+			t.Fatalf("merge not time-ordered at %d", i)
+		}
+	}
+
+	joins := ReconstructJoins(merged)
+	if len(joins) != 1 {
+		t.Fatalf("got %d joins, want 1", len(joins))
+	}
+	j := joins["3:1"]
+	if j == nil {
+		t.Fatal("join 3:1 missing")
+	}
+	if j.Node != 3 || j.Purpose != "join" || !j.Done || j.Parent != 1 {
+		t.Fatalf("bad join summary: %+v", j)
+	}
+	if j.Duration != 0.6 || j.Start != 1.0 {
+		t.Fatalf("bad timing: %+v", j)
+	}
+	// The descent path: source first, then the child it redirected into —
+	// both corroborated by the serving peers' own traces.
+	if len(j.Path) != 2 || j.Path[0].Node != 0 || j.Path[1].Node != 1 {
+		t.Fatalf("bad path: %+v", j.Path)
+	}
+	for i, st := range j.Path {
+		if !st.Served {
+			t.Fatalf("step %d (node %d) not corroborated", i, st.Node)
+		}
+	}
+	if len(j.Servers) != 2 || j.Servers[0] != 0 || j.Servers[1] != 1 {
+		t.Fatalf("bad servers: %v", j.Servers)
+	}
+	if j.Accepted != 1 {
+		t.Fatalf("accepted = %d, want 1", j.Accepted)
+	}
+}
+
+func TestReconstructJoinsIgnoresUncorrelatedEvents(t *testing.T) {
+	joins := ReconstructJoins([]Event{
+		{Type: EvJoinStart, Node: 5, Target: 0, Detail: "join"}, // no join id
+		{Type: EvUDPAck, Node: 5, Value: 3},
+	})
+	if len(joins) != 0 {
+		t.Fatalf("uncorrelated events produced joins: %v", joins)
+	}
+}
+
+func TestReconstructJoinsCountsRestarts(t *testing.T) {
+	jid := "4:2"
+	joins := ReconstructJoins([]Event{
+		{T: 1, Node: 4, Type: EvJoinStart, Target: 0, Detail: "reconnect", JoinID: jid},
+		{T: 1, Node: 4, Type: EvJoinStep, Target: 0, Step: 1, JoinID: jid},
+		{T: 3, Node: 4, Type: EvJoinRestart, Target: 0, Step: 1, JoinID: jid},
+		{T: 3, Node: 4, Type: EvJoinStep, Target: 0, Step: 1, JoinID: jid},
+	})
+	j := joins[jid]
+	if j == nil || j.Restarts != 1 || len(j.Path) != 2 || j.Done {
+		t.Fatalf("bad restart accounting: %+v", j)
+	}
+}
+
+func TestReadJSONLRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	sink := NewJSONLSink(&sb)
+	joiner, _, _ := syntheticTraces()
+	for _, e := range joiner {
+		sink.Emit(e)
+	}
+	got, err := ReadJSONL(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(joiner) {
+		t.Fatalf("read %d events, want %d", len(got), len(joiner))
+	}
+	for i := range got {
+		if got[i] != joiner[i] {
+			t.Fatalf("event %d drifted: %+v != %+v", i, got[i], joiner[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsTornLine(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"t\":1}\n{\"t\":2,\"proto\n")); err == nil {
+		t.Fatal("torn line accepted")
+	}
+}

@@ -126,6 +126,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	hists      map[string]*Histogram
 	meta       map[string]series // key → identity, for ordered exposition
+	help       map[string]string // family name → HELP text
 	collectors []func() []Sample
 }
 
@@ -136,7 +137,29 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		meta:     make(map[string]series),
+		help:     make(map[string]string),
 	}
+}
+
+// SetHelp records the HELP text for a metric family; the exposition emits
+// it before the family's TYPE line. Families without explicit help get a
+// generic fallback, so every family in /metrics always carries a HELP line
+// (promlint's baseline expectation).
+func (r *Registry) SetHelp(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
+}
+
+// helpFor returns the registered HELP text or a fallback. Caller holds no
+// lock; the map is only written under mu, so take it here.
+func (r *Registry) helpFor(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.help[name]; ok {
+		return t
+	}
+	return name + " (no description registered)"
 }
 
 // Counter returns the counter for (name, labels), registering it on first
@@ -223,6 +246,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	emitType := func(name, typ string) {
 		if !typed[name] {
 			typed[name] = true
+			fmt.Fprintf(w, "# HELP %s %s\n", name, r.helpFor(name))
 			fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
 		}
 	}

@@ -38,6 +38,10 @@ type Event struct {
 	Value float64 `json:"value"`
 	// Detail is free-form context (join purpose, restart reason).
 	Detail string `json:"detail"`
+	// JoinID correlates all events of one join procedure across every
+	// peer it touched ("node:seq", the joiner's id and its procedure
+	// counter); "" when the event has no join context.
+	JoinID string `json:"join_id"`
 }
 
 // The trace event types.
@@ -72,6 +76,14 @@ const (
 	// EvRefineSwitch: refinement moved the peer under a better parent
 	// (Target); Value is the new parent distance.
 	EvRefineSwitch = "refine_switch"
+	// EvInfoServed: this peer answered Target's InfoRequest; JoinID is
+	// the requester's join correlation id. Together with EvConnServed it
+	// lets merged traces reconstruct a join's descent path from the
+	// serving side.
+	EvInfoServed = "info_served"
+	// EvConnServed: this peer answered Target's ConnRequest; Case is
+	// "accept" or "reject", JoinID the requester's correlation id.
+	EvConnServed = "conn_served"
 
 	// EvUDPRetransmit: a control frame to Target was retransmitted; Step
 	// is the attempt number (1 = first retry).

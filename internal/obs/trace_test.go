@@ -50,7 +50,7 @@ func TestJSONLSinkWritesDecodableLinesWithFullSchema(t *testing.T) {
 			t.Fatalf("line %d not JSON: %v", lines, err)
 		}
 		// The schema contract: every field present on every event.
-		for _, k := range []string{"t", "proto", "node", "type", "target", "case", "step", "value", "detail"} {
+		for _, k := range []string{"t", "proto", "node", "type", "target", "case", "step", "value", "detail", "join_id"} {
 			if _, ok := m[k]; !ok {
 				t.Fatalf("line %d missing field %q: %s", lines, k, sc.Text())
 			}

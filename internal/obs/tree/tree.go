@@ -1,0 +1,474 @@
+// Package tree aggregates the periodic StatusReports every peer sends to
+// the source into a live view of the multicast tree: the reconstructed
+// topology, per-peer health (staleness, partition, parent RTT), and online
+// tree-quality metrics — cost, depth distribution, fan-out stress, and an
+// RTT-based stretch proxy computed purely from what the peers reported.
+// With an optional underlay attached it also runs the exact offline
+// metrics (metrics.Collect) over the reconstructed tree, so a live session
+// can be compared against the paper's evaluation numbers in real time.
+//
+// The aggregator is the source-side half of the telemetry loop: peers emit
+// overlay.StatusReport (internal/overlay/status.go), the source's
+// StatusHandler feeds Ingest, and the /tree and /health admin routes plus
+// the vdm_tree_* metric family publish the result.
+package tree
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"vdm/internal/metrics"
+	"vdm/internal/obs"
+	"vdm/internal/overlay"
+	"vdm/internal/underlay"
+)
+
+// Config tunes an Aggregator.
+type Config struct {
+	// Source is the session source's node id; its own report anchors the
+	// reconstructed tree.
+	Source overlay.NodeID
+	// StaleAfterS flags a peer stale when no report arrived for this many
+	// seconds; zero selects 15.
+	StaleAfterS float64
+	// Now supplies the current bus clock for staleness checks. When nil,
+	// the newest ingested report timestamp stands in — correct for the
+	// virtual-time simulator, where "now" only advances with events.
+	Now func() float64
+	// Underlay, when set, enables the exact offline metrics
+	// (metrics.Collect) over the reconstructed tree in every Snapshot.
+	Underlay underlay.Underlay
+}
+
+// peerState is the last report from one peer plus running totals of its
+// delta counters.
+type peerState struct {
+	report  overlay.StatusReport
+	at      float64 // bus clock of the last ingest
+	recv    int64   // accumulated RecvDelta
+	fwd     int64
+	dup     int64
+	reports int64
+}
+
+// Aggregator ingests StatusReports and serves tree snapshots. All methods
+// are safe for concurrent use; live peers report from the source peer's
+// mailbox goroutine while HTTP handlers read.
+type Aggregator struct {
+	cfg Config
+
+	mu     sync.Mutex
+	peers  map[overlay.NodeID]*peerState
+	lastAt float64 // newest ingest timestamp (the default clock)
+
+	reg *obs.Registry // optional, set by RegisterMetrics
+}
+
+// New builds an aggregator for the given source.
+func New(cfg Config) *Aggregator {
+	if cfg.StaleAfterS <= 0 {
+		cfg.StaleAfterS = 15
+	}
+	return &Aggregator{cfg: cfg, peers: make(map[overlay.NodeID]*peerState)}
+}
+
+// SetUnderlay attaches (or replaces) the underlay used for the exact
+// offline metrics. Lets callers break the construction cycle where the
+// aggregator's handler must exist before the thing that owns the underlay
+// (e.g. live.NewCluster) does.
+func (a *Aggregator) SetUnderlay(u underlay.Underlay) {
+	a.mu.Lock()
+	a.cfg.Underlay = u
+	a.mu.Unlock()
+}
+
+// Handler adapts Ingest to the overlay.StatusHandler signature the source
+// peer wants.
+func (a *Aggregator) Handler() overlay.StatusHandler {
+	return func(at float64, from overlay.NodeID, r overlay.StatusReport) {
+		a.Ingest(at, from, r)
+	}
+}
+
+// Ingest absorbs one report. at is the bus clock at arrival; from is the
+// reporting peer. Re-delivered reports (same or older Seq) refresh the
+// peer's liveness but do not double-count its delta counters.
+func (a *Aggregator) Ingest(at float64, from overlay.NodeID, r overlay.StatusReport) {
+	a.mu.Lock()
+	ps, ok := a.peers[from]
+	if !ok {
+		ps = &peerState{}
+		a.peers[from] = ps
+	}
+	fresh := !ok || r.Seq > ps.report.Seq
+	if fresh {
+		ps.recv += r.RecvDelta
+		ps.fwd += r.FwdDelta
+		ps.dup += r.DupDelta
+	}
+	ps.report = r
+	ps.at = at
+	ps.reports++
+	if at > a.lastAt {
+		a.lastAt = at
+	}
+	reg := a.reg
+	a.mu.Unlock()
+
+	if reg != nil {
+		reg.Counter("vdm_tree_reports_total").Inc()
+		if r.Parent != overlay.None && r.ParentDist > 0 {
+			reg.Histogram("vdm_tree_parent_rtt_ms", obs.LatencyBucketsMS).Observe(r.ParentDist)
+		}
+	}
+}
+
+// now returns the staleness clock: the configured one, or the newest
+// ingest timestamp. Caller holds a.mu.
+func (a *Aggregator) now() float64 {
+	if a.cfg.Now != nil {
+		return a.cfg.Now()
+	}
+	return a.lastAt
+}
+
+// reportView adapts one report to overlay.TreeView so the offline metric
+// collectors run unchanged over the reconstructed tree.
+type reportView struct {
+	id       overlay.NodeID
+	parent   overlay.NodeID
+	children []overlay.NodeID
+	conn     bool
+	source   bool
+}
+
+func (v reportView) ID() overlay.NodeID         { return v.id }
+func (v reportView) ParentID() overlay.NodeID   { return v.parent }
+func (v reportView) ChildIDs() []overlay.NodeID { return v.children }
+func (v reportView) Connected() bool            { return v.conn }
+func (v reportView) IsSource() bool             { return v.source }
+
+// Views returns the reconstructed tree as overlay.TreeView values, one per
+// reporting peer, ordered by id.
+func (a *Aggregator) Views() []overlay.TreeView {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.viewsLocked()
+}
+
+func (a *Aggregator) viewsLocked() []overlay.TreeView {
+	ids := make([]overlay.NodeID, 0, len(a.peers))
+	for id := range a.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	views := make([]overlay.TreeView, 0, len(ids))
+	for _, id := range ids {
+		r := a.peers[id].report
+		kids := make([]overlay.NodeID, len(r.Children))
+		for i, c := range r.Children {
+			kids[i] = c.ID
+		}
+		views = append(views, reportView{
+			id: id, parent: r.Parent, children: kids,
+			conn: r.Connected, source: id == a.cfg.Source,
+		})
+	}
+	return views
+}
+
+// PeerHealth is one peer's row in a Snapshot.
+type PeerHealth struct {
+	ID       int64   `json:"id"`
+	Parent   int64   `json:"parent"`
+	Children []int64 `json:"children"`
+	// Depth is the hop count to the source along the reconstructed
+	// parent chain; −1 when the chain does not reach the source.
+	Depth int `json:"depth"`
+	// ReportedDepth is what the peer itself claimed (its root-path
+	// length); a mismatch with Depth means the tree moved between the
+	// peers' report instants.
+	ReportedDepth int     `json:"reported_depth"`
+	ParentRTTMS   float64 `json:"parent_rtt_ms"`
+	SrcRTTMS      float64 `json:"src_rtt_ms"`
+	// PathRTTMS sums ParentRTTMS along the reconstructed chain to the
+	// source — the overlay delay proxy.
+	PathRTTMS float64 `json:"path_rtt_ms"`
+	// StretchProxy is PathRTTMS / SrcRTTMS, the online estimate of the
+	// paper's stretch metric; 0 when the peer never measured the source.
+	StretchProxy float64 `json:"stretch_proxy"`
+	MaxDegree    int     `json:"max_degree"`
+	Free         int     `json:"free"`
+	Connected    bool    `json:"connected"`
+	// Stale: no report within StaleAfterS.
+	Stale bool `json:"stale"`
+	// Partitioned: the reconstructed parent chain does not reach the
+	// source (orphaned, parent unknown, or a loop).
+	Partitioned bool    `json:"partitioned"`
+	AgeS        float64 `json:"age_s"`
+	Reports     int64   `json:"reports"`
+	RecvTotal   int64   `json:"recv_total"`
+	FwdTotal    int64   `json:"fwd_total"`
+	DupTotal    int64   `json:"dup_total"`
+}
+
+// Summary is the tree-wide digest in a Snapshot.
+type Summary struct {
+	// Members counts reporting peers, the source included.
+	Members int `json:"members"`
+	// Reachable counts non-source peers whose chain reaches the source.
+	Reachable   int `json:"reachable"`
+	Stale       int `json:"stale"`
+	Partitioned int `json:"partitioned"`
+	Orphans     int `json:"orphans"`
+	// CostMS sums the parent-link RTT over reachable peers — the online
+	// resource-usage (tree cost) figure.
+	CostMS   float64 `json:"cost_ms"`
+	MaxDepth int     `json:"max_depth"`
+	AvgDepth float64 `json:"avg_depth"`
+	// DepthCounts[d] is the number of reachable peers at depth d+1.
+	DepthCounts      []int   `json:"depth_counts"`
+	StretchProxyAvg  float64 `json:"stretch_proxy_avg"`
+	StretchProxyMax  float64 `json:"stretch_proxy_max"`
+	// MaxFanout and AvgFanout describe per-peer copy load (children per
+	// forwarding peer) — the overlay-level stress on reporting hosts.
+	MaxFanout int     `json:"max_fanout"`
+	AvgFanout float64 `json:"avg_fanout"`
+}
+
+// Snapshot is the full /tree payload.
+type Snapshot struct {
+	// AtS is the clock the staleness judgement used.
+	AtS     float64      `json:"at_s"`
+	Source  int64        `json:"source"`
+	Summary Summary      `json:"summary"`
+	Peers   []PeerHealth `json:"peers"`
+	// Exact carries the offline evaluation metrics computed over the
+	// reconstructed tree; only present when the aggregator has an
+	// underlay.
+	Exact *metrics.TreeSnapshot `json:"exact,omitempty"`
+}
+
+// Snapshot reconstructs the tree and computes the online metrics.
+func (a *Aggregator) Snapshot() Snapshot {
+	a.mu.Lock()
+	now := a.now()
+	type row struct {
+		id overlay.NodeID
+		ps peerState
+	}
+	rows := make([]row, 0, len(a.peers))
+	for id, ps := range a.peers {
+		rows = append(rows, row{id, *ps})
+	}
+	views := a.viewsLocked()
+	u := a.cfg.Underlay
+	a.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+
+	byID := make(map[overlay.NodeID]overlay.StatusReport, len(rows))
+	for _, r := range rows {
+		byID[r.id] = r.ps.report
+	}
+
+	// chainTo walks id's parent chain; returns (depth, summed parent
+	// RTT, reached-source).
+	chainTo := func(id overlay.NodeID) (int, float64, bool) {
+		depth, rtt := 0, 0.0
+		cur := id
+		for range rows {
+			r, ok := byID[cur]
+			if !ok || r.Parent == overlay.None {
+				return depth, rtt, false
+			}
+			depth++
+			rtt += r.ParentDist
+			if r.Parent == a.cfg.Source {
+				return depth, rtt, true
+			}
+			cur = r.Parent
+		}
+		return depth, rtt, false // loop
+	}
+
+	snap := Snapshot{AtS: now, Source: int64(a.cfg.Source)}
+	var depthSum, stretchSum float64
+	var stretchN, fanoutSum, forwarders int
+	for _, r := range rows {
+		rep := r.ps.report
+		h := PeerHealth{
+			ID:            int64(r.id),
+			Parent:        int64(rep.Parent),
+			Depth:         -1,
+			ReportedDepth: rep.Depth,
+			ParentRTTMS:   rep.ParentDist,
+			SrcRTTMS:      rep.SrcDist,
+			MaxDegree:     rep.MaxDegree,
+			Free:          rep.Free,
+			Connected:     rep.Connected,
+			AgeS:          now - r.ps.at,
+			Reports:       r.ps.reports,
+			RecvTotal:     r.ps.recv,
+			FwdTotal:      r.ps.fwd,
+			DupTotal:      r.ps.dup,
+		}
+		h.Stale = h.AgeS > a.cfg.StaleAfterS
+		for _, c := range rep.Children {
+			h.Children = append(h.Children, int64(c.ID))
+		}
+		snap.Summary.Members++
+		if len(rep.Children) > 0 {
+			forwarders++
+			fanoutSum += len(rep.Children)
+			if len(rep.Children) > snap.Summary.MaxFanout {
+				snap.Summary.MaxFanout = len(rep.Children)
+			}
+		}
+		if r.id == a.cfg.Source {
+			h.Depth = 0
+			snap.Peers = append(snap.Peers, h)
+			continue
+		}
+		if rep.Parent == overlay.None {
+			snap.Summary.Orphans++
+		}
+		depth, pathRTT, reached := chainTo(r.id)
+		if reached {
+			h.Depth = depth
+			h.PathRTTMS = pathRTT
+			snap.Summary.Reachable++
+			snap.Summary.CostMS += rep.ParentDist
+			depthSum += float64(depth)
+			if depth > snap.Summary.MaxDepth {
+				snap.Summary.MaxDepth = depth
+			}
+			for len(snap.Summary.DepthCounts) < depth {
+				snap.Summary.DepthCounts = append(snap.Summary.DepthCounts, 0)
+			}
+			snap.Summary.DepthCounts[depth-1]++
+			if rep.SrcDist > 0 {
+				h.StretchProxy = pathRTT / rep.SrcDist
+				stretchSum += h.StretchProxy
+				stretchN++
+				if h.StretchProxy > snap.Summary.StretchProxyMax {
+					snap.Summary.StretchProxyMax = h.StretchProxy
+				}
+			}
+		} else {
+			h.Partitioned = true
+			snap.Summary.Partitioned++
+		}
+		if h.Stale {
+			snap.Summary.Stale++
+		}
+		snap.Peers = append(snap.Peers, h)
+	}
+	if snap.Summary.Reachable > 0 {
+		snap.Summary.AvgDepth = depthSum / float64(snap.Summary.Reachable)
+	}
+	if stretchN > 0 {
+		snap.Summary.StretchProxyAvg = stretchSum / float64(stretchN)
+	}
+	if forwarders > 0 {
+		snap.Summary.AvgFanout = float64(fanoutSum) / float64(forwarders)
+	}
+	if u != nil && len(views) > 0 {
+		exact := metrics.Collect(views, a.cfg.Source, u)
+		snap.Exact = &exact
+	}
+	return snap
+}
+
+// RegisterMetrics publishes the tree summary into reg as the vdm_tree_*
+// family: a collector recomputes the snapshot at every scrape, Ingest
+// feeds vdm_tree_reports_total and the parent-RTT histogram.
+func (a *Aggregator) RegisterMetrics(reg *obs.Registry) {
+	a.mu.Lock()
+	a.reg = reg
+	a.mu.Unlock()
+	reg.SetHelp("vdm_tree_reports_total", "StatusReports ingested by the tree aggregator.")
+	reg.SetHelp("vdm_tree_parent_rtt_ms", "Parent-link RTT reported by peers, milliseconds.")
+	reg.SetHelp("vdm_tree_members", "Peers currently known to the tree aggregator (source included).")
+	reg.SetHelp("vdm_tree_reachable", "Peers whose reconstructed parent chain reaches the source.")
+	reg.SetHelp("vdm_tree_stale", "Peers without a report within the staleness window.")
+	reg.SetHelp("vdm_tree_partitioned", "Peers whose reconstructed chain does not reach the source.")
+	reg.SetHelp("vdm_tree_orphans", "Peers reporting no parent.")
+	reg.SetHelp("vdm_tree_cost_ms", "Summed parent-link RTT over reachable peers (tree cost).")
+	reg.SetHelp("vdm_tree_depth_max", "Maximum reconstructed tree depth.")
+	reg.SetHelp("vdm_tree_depth_avg", "Average reconstructed tree depth over reachable peers.")
+	reg.SetHelp("vdm_tree_depth_peers", "Reachable peers at each tree depth.")
+	reg.SetHelp("vdm_tree_stretch_proxy_avg", "Average online stretch proxy (path RTT / direct source RTT).")
+	reg.SetHelp("vdm_tree_stretch_proxy_max", "Maximum online stretch proxy.")
+	reg.SetHelp("vdm_tree_fanout_max", "Maximum children count over forwarding peers.")
+	reg.SetHelp("vdm_tree_fanout_avg", "Average children count over forwarding peers.")
+	reg.RegisterCollector(func() []obs.Sample {
+		s := a.Snapshot().Summary
+		samples := []obs.Sample{
+			{Name: "vdm_tree_members", Value: float64(s.Members)},
+			{Name: "vdm_tree_reachable", Value: float64(s.Reachable)},
+			{Name: "vdm_tree_stale", Value: float64(s.Stale)},
+			{Name: "vdm_tree_partitioned", Value: float64(s.Partitioned)},
+			{Name: "vdm_tree_orphans", Value: float64(s.Orphans)},
+			{Name: "vdm_tree_cost_ms", Value: s.CostMS},
+			{Name: "vdm_tree_depth_max", Value: float64(s.MaxDepth)},
+			{Name: "vdm_tree_depth_avg", Value: s.AvgDepth},
+			{Name: "vdm_tree_stretch_proxy_avg", Value: s.StretchProxyAvg},
+			{Name: "vdm_tree_stretch_proxy_max", Value: s.StretchProxyMax},
+			{Name: "vdm_tree_fanout_max", Value: float64(s.MaxFanout)},
+			{Name: "vdm_tree_fanout_avg", Value: s.AvgFanout},
+		}
+		for d, n := range s.DepthCounts {
+			samples = append(samples, obs.Sample{
+				Name:   "vdm_tree_depth_peers",
+				Labels: []obs.Label{obs.L("depth", strconv.Itoa(d + 1))},
+				Value:  float64(n),
+			})
+		}
+		return samples
+	})
+}
+
+// Register mounts the aggregator's admin routes on mux:
+//
+//	/tree     the full Snapshot as indented JSON
+//	/health   200 "ok" when every peer is fresh and attached,
+//	          503 with a JSON digest otherwise
+func (a *Aggregator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/tree", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a.Snapshot())
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		snap := a.Snapshot()
+		healthy := snap.Summary.Stale == 0 && snap.Summary.Partitioned == 0
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		status := "ok"
+		if !healthy {
+			status = "degraded"
+		}
+		var stale, part []int64
+		for _, p := range snap.Peers {
+			if p.Stale {
+				stale = append(stale, p.ID)
+			}
+			if p.Partitioned {
+				part = append(part, p.ID)
+			}
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":      status,
+			"members":     snap.Summary.Members,
+			"reachable":   snap.Summary.Reachable,
+			"stale":       stale,
+			"partitioned": part,
+		})
+	})
+}

@@ -7,12 +7,44 @@
 // virtual-distance measurements.
 package overlay
 
+import "fmt"
+
 // NodeID identifies an overlay node. It doubles as the node's host index
 // in the underlay.
 type NodeID int
 
 // None is the null node id (no parent, no grandparent).
 const None NodeID = -1
+
+// JoinID correlates every message and trace event of one join procedure
+// across all the peers it touches: the joiner stamps it on the
+// InfoRequests and ConnRequests it sends, the serving peers echo it into
+// their own trace streams, and merged JSONL traces can then reconstruct
+// the full source→child descent path. The zero JoinID means "no join
+// context" (probes, data, transport events).
+type JoinID uint64
+
+// MakeJoinID builds a join id from the joining node and its per-node join
+// sequence number. The pair is globally unique because a node runs at
+// most one join procedure at a time.
+func MakeJoinID(node NodeID, seq uint32) JoinID {
+	return JoinID(uint64(uint32(int32(node)))<<32 | uint64(seq))
+}
+
+// Node returns the joining node encoded in the id.
+func (j JoinID) Node() NodeID { return NodeID(int32(uint32(j >> 32))) }
+
+// Seq returns the joiner's procedure sequence number.
+func (j JoinID) Seq() uint32 { return uint32(j) }
+
+// String renders the id as "node:seq"; the zero id renders as "" so
+// traces without join context stay visibly blank.
+func (j JoinID) String() string {
+	if j == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d:%d", int64(j.Node()), j.Seq())
+}
 
 // Message is the sealed union of wire messages exchanged between peers.
 type Message interface{ msg() }
@@ -32,8 +64,13 @@ type Pong struct{ Token int }
 
 // InfoRequest asks a node for its children list; the dissertation's
 // "information request". The requester also derives its distance to the
-// responder from the exchange.
-type InfoRequest struct{ Token int }
+// responder from the exchange. JoinID names the join procedure the query
+// belongs to (zero outside a join), letting the serving peer stamp its
+// own trace events with the requester's correlation id.
+type InfoRequest struct {
+	Token  int
+	JoinID JoinID
+}
 
 // InfoResponse answers an InfoRequest with the responder's children and
 // their stored distances, its free degree, and whether it is currently
@@ -73,6 +110,9 @@ type ConnRequest struct {
 	// dissertation describes for HMTP); the requester is expected to
 	// promote itself or move to a proper parent shortly.
 	Foster bool
+	// JoinID is the requester's join-procedure correlation id (zero
+	// outside a join), mirrored into the acceptor's trace stream.
+	JoinID JoinID
 }
 
 // ConnResponse answers a ConnRequest; the dissertation's "connection
@@ -132,6 +172,41 @@ type Reassign struct{ To NodeID }
 // children.
 type DataChunk struct{ Seq int64 }
 
+// StatusReport is the tree-health telemetry a peer periodically sends to
+// the session source: its current tree position (parent, children, depth,
+// distances), its degree budget, and the data-plane counter deltas since
+// the previous report. The source's aggregator reconstructs the live tree
+// and its quality metrics from these. The source composes the same report
+// for itself and hands it to the aggregator directly.
+type StatusReport struct {
+	// Seq is the per-peer report sequence number; the aggregator drops
+	// reordered stale reports by it.
+	Seq uint32
+	// Parent is the current parent (None for the source and orphans);
+	// ParentDist the stored virtual distance to it (milliseconds under
+	// the delay metric).
+	Parent     NodeID
+	ParentDist float64
+	// SrcDist is the peer's latest measured virtual distance straight to
+	// the source (0 until first measured) — the denominator of the
+	// aggregator's RTT-based stretch proxy.
+	SrcDist float64
+	// Depth is the self-reported tree depth (root-path length).
+	Depth int
+	// MaxDegree and Free describe the degree budget.
+	MaxDegree int
+	Free      int
+	Connected bool
+	// Children lists the regular children with their stored distances,
+	// so the aggregator can cross-check parent/child symmetry.
+	Children []ChildInfo
+	// Counter deltas since the previous report (distinct chunks
+	// received, copies forwarded, duplicates suppressed).
+	RecvDelta int64
+	FwdDelta  int64
+	DupDelta  int64
+}
+
 func (Ping) msg()            {}
 func (Pong) msg()            {}
 func (InfoRequest) msg()     {}
@@ -145,3 +220,4 @@ func (Detach) msg()          {}
 func (Reassign) msg()        {}
 func (LeaveNotify) msg()     {}
 func (DataChunk) msg()       {}
+func (StatusReport) msg()    {}

@@ -124,6 +124,21 @@ type Peer struct {
 	// staleFrom counts consecutive chunks received from non-parents,
 	// per sender, for stale-edge pruning.
 	staleFrom map[NodeID]int
+
+	// Status-report telemetry (see status.go): the periodic report
+	// ticker, the source-side report consumer, the latest measured
+	// distance to the source, and the counter baseline of the last
+	// emitted report.
+	statusPeriodS float64
+	statusSeq     uint32
+	statusHandler StatusHandler
+	srcDist       float64
+	lastRecv      int64
+	lastFwd       int64
+	lastDup       int64
+
+	// serveObs observes answered join-protocol requests (see status.go).
+	serveObs func(ServeEvent)
 }
 
 // staleChunkThreshold is how many chunks a non-parent must push before
@@ -263,12 +278,17 @@ func (p *Peer) Metric() vdist.Metric { return p.metric }
 
 // Measure converts a measured probe round-trip into a virtual distance:
 // the elapsed time itself for the delay metric, or the configured metric's
-// value otherwise.
+// value otherwise. Measurements against the source are remembered for the
+// peer's status reports (the stretch-proxy denominator).
 func (p *Peer) Measure(target NodeID, elapsedMS float64) float64 {
-	if p.metric == nil {
-		return elapsedMS
+	d := elapsedMS
+	if p.metric != nil {
+		d = p.metric.Distance(int(p.id), int(target))
 	}
-	return p.metric.Distance(int(p.id), int(target))
+	if target == p.source && !p.isSource {
+		p.srcDist = d
+	}
+	return d
 }
 
 // MarkJoinStart records the instant the runner asked the peer to join.
@@ -309,8 +329,13 @@ func (p *Peer) HandleMessage(from NodeID, m Message) {
 			Free:      p.FreeDegree(),
 			Connected: p.connected,
 		})
+		p.observeServe(ServeEvent{Kind: ServeInfo, From: from, JoinID: msg.JoinID})
 	case ConnRequest:
 		p.handleConnRequest(from, msg)
+	case StatusReport:
+		if p.statusHandler != nil {
+			p.statusHandler(p.Now(), from, msg)
+		}
 	case ParentChange:
 		p.handleParentChange(from, msg)
 	case ParentChangeAck:
@@ -366,6 +391,13 @@ func (p *Peer) handleConnRequest(from NodeID, m ConnRequest) {
 			Accepted: false,
 			Children: p.childSnapshot(),
 		})
+		p.observeServe(ServeEvent{Kind: ServeConn, From: from, JoinID: m.JoinID})
+	}
+	accept := func(resp ConnResponse) {
+		resp.Token = m.Token
+		resp.Accepted = true
+		p.net.Send(p.id, from, resp)
+		p.observeServe(ServeEvent{Kind: ServeConn, From: from, JoinID: m.JoinID, Accepted: true})
 	}
 	if (!p.connected && !p.isSource) || p.switching || p.inRootPath(from) || from == p.id {
 		reject()
@@ -376,22 +408,14 @@ func (p *Peer) handleConnRequest(from NodeID, m ConnRequest) {
 		// is expected to promote or move shortly.
 		delete(p.children, from)
 		p.fosters[from] = m.Dist
-		p.net.Send(p.id, from, ConnResponse{
-			Token:    m.Token,
-			Accepted: true,
-			RootPath: p.pathForChildren(),
-		})
+		accept(ConnResponse{RootPath: p.pathForChildren()})
 		return
 	}
 	if _, already := p.children[from]; already {
 		// Idempotent re-request (e.g. a retry after a lost ack window):
 		// refresh the distance and accept again.
 		p.children[from] = m.Dist
-		p.net.Send(p.id, from, ConnResponse{
-			Token:    m.Token,
-			Accepted: true,
-			RootPath: p.pathForChildren(),
-		})
+		accept(ConnResponse{RootPath: p.pathForChildren()})
 		return
 	}
 	if _, fostered := p.fosters[from]; fostered {
@@ -402,11 +426,7 @@ func (p *Peer) handleConnRequest(from NodeID, m ConnRequest) {
 		}
 		delete(p.fosters, from)
 		p.children[from] = m.Dist
-		p.net.Send(p.id, from, ConnResponse{
-			Token:    m.Token,
-			Accepted: true,
-			RootPath: p.pathForChildren(),
-		})
+		accept(ConnResponse{RootPath: p.pathForChildren()})
 		return
 	}
 
@@ -426,12 +446,7 @@ func (p *Peer) handleConnRequest(from NodeID, m ConnRequest) {
 		delete(p.children, c)
 	}
 	p.children[from] = m.Dist
-	p.net.Send(p.id, from, ConnResponse{
-		Token:    m.Token,
-		Accepted: true,
-		RootPath: p.pathForChildren(),
-		Adopted:  adopted,
-	})
+	accept(ConnResponse{RootPath: p.pathForChildren(), Adopted: adopted})
 }
 
 // pathForChildren is the root path a child of this node should hold.

@@ -1,0 +1,111 @@
+package overlay
+
+// StatusHandler consumes one StatusReport at the session source. at is
+// the bus time the report was composed (source's own) or received.
+type StatusHandler func(at float64, from NodeID, r StatusReport)
+
+// SetStatusHandler installs the source-side report consumer (typically an
+// obs/tree aggregator's Ingest). Reports arriving at a peer without a
+// handler are dropped. Install before traffic starts: the handler runs on
+// the peer's execution context (event loop or mailbox goroutine).
+func (p *Peer) SetStatusHandler(h StatusHandler) { p.statusHandler = h }
+
+// ServeKind says which side of the join protocol a peer served.
+type ServeKind int
+
+// The served-request kinds.
+const (
+	// ServeInfo: the peer answered an InfoRequest.
+	ServeInfo ServeKind = iota
+	// ServeConn: the peer answered a ConnRequest (ServeEvent.Accepted
+	// says how).
+	ServeConn
+)
+
+// ServeEvent describes one join-protocol request this peer answered, with
+// the requester's join correlation id — the cross-peer half of a join
+// trace. The peer base cannot import the obs package (obs imports
+// overlay), so protocols bridge these into their tracer via
+// SetServeObserver.
+type ServeEvent struct {
+	Kind     ServeKind
+	From     NodeID
+	JoinID   JoinID
+	Accepted bool // ServeConn only
+}
+
+// SetServeObserver installs the callback fired after the peer answers an
+// InfoRequest or ConnRequest (nil disables). It runs on the peer's
+// execution context, after the response was sent.
+func (p *Peer) SetServeObserver(fn func(ServeEvent)) { p.serveObs = fn }
+
+// observeServe fires the serve observer if one is installed.
+func (p *Peer) observeServe(ev ServeEvent) {
+	if p.serveObs != nil {
+		p.serveObs(ev)
+	}
+}
+
+// SrcDist returns the peer's latest measured virtual distance to the
+// source (0 until a probe or join exchange measured it).
+func (p *Peer) SrcDist() float64 { return p.srcDist }
+
+// EnableStatusReports starts the periodic status ticker: every periodS
+// seconds the peer composes a StatusReport and sends it to the source (a
+// source peer hands it to its status handler directly, so the aggregator
+// sees the root's children too). The ticker self-reschedules through the
+// bus, so it works identically under virtual and wall-clock time. It
+// stops when the peer leaves; enabling twice or with periodS <= 0 is a
+// no-op.
+func (p *Peer) EnableStatusReports(periodS float64) {
+	if periodS <= 0 || p.statusPeriodS > 0 {
+		return
+	}
+	p.statusPeriodS = periodS
+	p.scheduleStatus()
+}
+
+func (p *Peer) scheduleStatus() {
+	p.net.After(p.statusPeriodS, func() {
+		if !p.alive {
+			return
+		}
+		p.emitStatus()
+		p.scheduleStatus()
+	})
+}
+
+// emitStatus composes and delivers one report, advancing the delta
+// baseline.
+func (p *Peer) emitStatus() {
+	r := p.ComposeStatus()
+	p.lastRecv, p.lastFwd, p.lastDup = p.stats.Received, p.stats.Forwarded, p.stats.Dups
+	if p.isSource {
+		if p.statusHandler != nil {
+			p.statusHandler(p.Now(), p.id, r)
+		}
+		return
+	}
+	p.net.Send(p.id, p.source, r)
+}
+
+// ComposeStatus builds the peer's current status report: tree position,
+// degree budget, and counter deltas since the last emitted report. Each
+// call advances the report sequence number.
+func (p *Peer) ComposeStatus() StatusReport {
+	p.statusSeq++
+	return StatusReport{
+		Seq:        p.statusSeq,
+		Parent:     p.parent,
+		ParentDist: p.parentDist,
+		SrcDist:    p.srcDist,
+		Depth:      len(p.rootPath),
+		MaxDegree:  p.maxDegree,
+		Free:       p.FreeDegree(),
+		Connected:  p.connected,
+		Children:   p.childSnapshot(),
+		RecvDelta:  p.stats.Received - p.lastRecv,
+		FwdDelta:   p.stats.Forwarded - p.lastFwd,
+		DupDelta:   p.stats.Dups - p.lastDup,
+	}
+}

@@ -139,6 +139,14 @@ type Config struct {
 	// (obs.Event) from every VDM node — the same JSONL schema the live
 	// runtime emits, so offline traces and wire traces are comparable.
 	EventSink obs.Sink
+	// StatusPeriodS enables the tree-health telemetry on every peer: the
+	// same StatusReport schema the live runtime sends over the wire,
+	// emitted synchronously on the virtual clock. Zero disables it, which
+	// keeps experiment outputs byte-identical to sessions without it.
+	StatusPeriodS float64
+	// StatusHandler receives the reports at the source (typically a
+	// tree.Aggregator's Handler). Ignored when StatusPeriodS is zero.
+	StatusHandler overlay.StatusHandler
 
 	// Scenario overrides the generated workload when non-nil.
 	Scenario *scenario.Scenario
@@ -522,6 +530,12 @@ func (s *session) spawn(slot int) {
 			n.SetTracer(obs.NewTracer(s.cfg.EventSink, "vdm", pc.ID, s.net.Now))
 		}
 		p = n
+	}
+	if s.cfg.StatusPeriodS > 0 {
+		if slot == 0 && s.cfg.StatusHandler != nil {
+			p.Base().SetStatusHandler(s.cfg.StatusHandler)
+		}
+		p.Base().EnableStatusReports(s.cfg.StatusPeriodS)
 	}
 	s.net.Register(overlay.NodeID(slot), p)
 	s.insts[slot] = &instance{slot: slot, proto: p}

@@ -26,8 +26,10 @@ import (
 )
 
 // Version is the current wire format version, the first byte of every
-// frame.
-const Version = 1
+// frame. Version 2 added the join correlation id to InfoRequest and
+// ConnRequest and the StatusReport telemetry message; decoding is strict,
+// so version-1 frames are rejected rather than half-understood.
+const Version = 2
 
 // headerLen is the fixed frame header size.
 const headerLen = 1 + 1 + 4 + 4 + 4 + 4
@@ -102,6 +104,7 @@ const (
 	typeLeaveNotify     = 11
 	typeReassign        = 12
 	typeDataChunk       = 13
+	typeStatusReport    = 14
 )
 
 // The codec error classes. Decode errors wrap one of these, so transports
@@ -335,7 +338,8 @@ func AppendMessage(dst []byte, m overlay.Message) ([]byte, error) {
 		return appendI32(dst, int32(v.Token)), nil
 	case overlay.InfoRequest:
 		dst = append(dst, typeInfoRequest)
-		return appendI32(dst, int32(v.Token)), nil
+		dst = appendI32(dst, int32(v.Token))
+		return appendU64(dst, uint64(v.JoinID)), nil
 	case overlay.InfoResponse:
 		dst = append(dst, typeInfoResponse)
 		dst = appendI32(dst, int32(v.Token))
@@ -354,7 +358,8 @@ func AppendMessage(dst []byte, m overlay.Message) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return appendBool(dst, v.Foster), nil
+		dst = appendBool(dst, v.Foster)
+		return appendU64(dst, uint64(v.JoinID)), nil
 	case overlay.ConnResponse:
 		dst = append(dst, typeConnResponse)
 		dst = appendI32(dst, int32(v.Token))
@@ -392,6 +397,23 @@ func AppendMessage(dst []byte, m overlay.Message) ([]byte, error) {
 	case overlay.DataChunk:
 		dst = append(dst, typeDataChunk)
 		return appendU64(dst, uint64(v.Seq)), nil
+	case overlay.StatusReport:
+		dst = append(dst, typeStatusReport)
+		dst = appendU32(dst, v.Seq)
+		dst = appendID(dst, v.Parent)
+		dst = appendF64(dst, v.ParentDist)
+		dst = appendF64(dst, v.SrcDist)
+		dst = appendI32(dst, int32(v.Depth))
+		dst = appendI32(dst, int32(v.MaxDegree))
+		dst = appendI32(dst, int32(v.Free))
+		dst = appendBool(dst, v.Connected)
+		dst, err := appendChildren(dst, v.Children)
+		if err != nil {
+			return nil, err
+		}
+		dst = appendU64(dst, uint64(v.RecvDelta))
+		dst = appendU64(dst, uint64(v.FwdDelta))
+		return appendU64(dst, uint64(v.DupDelta)), nil
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownType, m)
 	}
@@ -411,8 +433,18 @@ func decodeMessage(r *reader) (overlay.Message, error) {
 		tok, err := r.i32()
 		return overlay.Pong{Token: int(tok)}, err
 	case typeInfoRequest:
+		var m overlay.InfoRequest
 		tok, err := r.i32()
-		return overlay.InfoRequest{Token: int(tok)}, err
+		if err != nil {
+			return nil, err
+		}
+		m.Token = int(tok)
+		jid, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.JoinID = overlay.JoinID(jid)
+		return m, nil
 	case typeInfoResponse:
 		var m overlay.InfoResponse
 		tok, err := r.i32()
@@ -456,6 +488,11 @@ func decodeMessage(r *reader) (overlay.Message, error) {
 		if m.Foster, err = r.boolean(); err != nil {
 			return nil, err
 		}
+		jid, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.JoinID = overlay.JoinID(jid)
 		return m, nil
 	case typeConnResponse:
 		var m overlay.ConnResponse
@@ -519,6 +556,58 @@ func decodeMessage(r *reader) (overlay.Message, error) {
 	case typeDataChunk:
 		seq, err := r.u64()
 		return overlay.DataChunk{Seq: int64(seq)}, err
+	case typeStatusReport:
+		var m overlay.StatusReport
+		var err error
+		if m.Seq, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if m.Parent, err = r.id(); err != nil {
+			return nil, err
+		}
+		if m.ParentDist, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if m.SrcDist, err = r.f64(); err != nil {
+			return nil, err
+		}
+		depth, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		m.Depth = int(depth)
+		deg, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		m.MaxDegree = int(deg)
+		free, err := r.i32()
+		if err != nil {
+			return nil, err
+		}
+		m.Free = int(free)
+		if m.Connected, err = r.boolean(); err != nil {
+			return nil, err
+		}
+		if m.Children, err = r.children(); err != nil {
+			return nil, err
+		}
+		recv, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.RecvDelta = int64(recv)
+		fwd, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.FwdDelta = int64(fwd)
+		dup, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.DupDelta = int64(dup)
+		return m, nil
 	default:
 		return nil, fmt.Errorf("%w: message type %d", ErrUnknownType, t)
 	}

@@ -15,6 +15,7 @@ func everyMessage() []overlay.Message {
 		overlay.Ping{Token: 42},
 		overlay.Pong{Token: 42},
 		overlay.InfoRequest{Token: 7},
+		overlay.InfoRequest{Token: 8, JoinID: overlay.MakeJoinID(9, 3)},
 		overlay.InfoResponse{
 			Token: 7,
 			Children: []overlay.ChildInfo{
@@ -29,6 +30,7 @@ func everyMessage() []overlay.Message {
 		overlay.ConnRequest{
 			Token: 12, Kind: overlay.ConnSplice, Dist: 1.5,
 			Adopt: []overlay.NodeID{4, 5, 6}, Foster: true,
+			JoinID: overlay.MakeJoinID(12, 1),
 		},
 		overlay.ConnResponse{
 			Token: 12, Accepted: true,
@@ -53,6 +55,13 @@ func everyMessage() []overlay.Message {
 		overlay.Reassign{To: 99},
 		overlay.DataChunk{Seq: 1234567890123},
 		overlay.DataChunk{Seq: 0},
+		overlay.StatusReport{
+			Seq: 31, Parent: 2, ParentDist: 18.5, SrcDist: 42.25,
+			Depth: 3, MaxDegree: 4, Free: 1, Connected: true,
+			Children:  []overlay.ChildInfo{{ID: 5, Dist: 7.5}, {ID: 8, Dist: 0.125}},
+			RecvDelta: 120, FwdDelta: 240, DupDelta: 3,
+		},
+		overlay.StatusReport{Seq: 1, Parent: overlay.None},
 	}
 }
 
