@@ -19,14 +19,18 @@ test:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/wire/
 
-# bench runs the wire codec, event queue and core join benchmarks and
-# archives a JSON summary (BENCH_wire.json) so the perf trajectory is
-# tracked PR to PR.
+# bench runs the wire codec, event queue and core join benchmarks plus
+# the data-plane goodput harness, and archives JSON summaries
+# (BENCH_wire.json, BENCH_dataplane.json) so the perf trajectory is
+# tracked PR to PR; every run also appends one line per summary to
+# BENCH_history.jsonl.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/wire/ ./internal/eventq/ ./internal/core/ | tee bench.out
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_wire.json
+	$(GO) run ./cmd/benchjson -history BENCH_history.jsonl < bench.out > BENCH_wire.json
 	@rm -f bench.out
-	@echo "wrote BENCH_wire.json"
+	$(GO) run ./cmd/benchpump -peers 16 -chunks 1000 -payload 1024 \
+		-out BENCH_dataplane.json -history BENCH_history.jsonl
+	@echo "wrote BENCH_wire.json BENCH_dataplane.json"
 
 # bench-compare re-runs the benchmarks and fails if any regressed more
 # than 10% in ns/op — or at all in allocs/op — against the archived

@@ -4,16 +4,23 @@
 // BENCH_wire.json).
 //
 //	go test -bench=. -benchmem ./internal/wire/ | benchjson > BENCH_wire.json
+//
+// With -history FILE, each run also appends one self-contained JSON line
+// (keyed by git SHA and timestamp) to FILE, building the longitudinal
+// record BENCH_history.jsonl tracks across PRs.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"strconv"
 	"time"
+
+	"vdm/internal/benchio"
 )
 
 // Benchmark is one parsed result line.
@@ -40,6 +47,10 @@ var (
 )
 
 func main() {
+	history := flag.String("history", "",
+		"append a one-line record of this run (keyed by git SHA and timestamp) to this JSONL file")
+	flag.Parse()
+
 	sum := Summary{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -80,5 +91,16 @@ func main() {
 	if err := enc.Encode(sum); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *history != "" {
+		rec := struct {
+			Kind   string `json:"kind"`
+			GitSHA string `json:"git_sha"`
+			Summary
+		}{Kind: "microbench", GitSHA: benchio.GitSHA(), Summary: sum}
+		if err := benchio.AppendHistory(*history, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: history:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,386 @@
+// Command benchpump is the data-plane goodput harness: it pushes a
+// configurable-rate chunk stream from the source of a real N-peer UDP
+// cluster (Hello/Welcome bootstrap, VDM join, loopback sockets — the
+// same stack cmd/vdmd runs) and measures what the tree actually
+// delivers. Every run does two passes over identical clusters — first
+// with the batched data plane disabled (the pre-batching baseline),
+// then enabled — so the emitted BENCH_dataplane.json carries its own
+// baseline and the batched/baseline goodput and syscalls-per-packet
+// ratios PR gates can key on.
+//
+//	benchpump -peers 16 -chunks 1000 -payload 1024 -out BENCH_dataplane.json
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vdm/internal/benchio"
+	"vdm/internal/core"
+	"vdm/internal/live"
+	"vdm/internal/overlay"
+	"vdm/internal/transport"
+)
+
+type config struct {
+	Peers   int   `json:"peers"`   // joiners fed by the source
+	Chunks  int   `json:"chunks"`  // chunks emitted per pass
+	Payload int   `json:"payload"` // payload bytes per chunk (>= 8 for the timestamp)
+	Rate    int   `json:"rate"`    // chunks/sec; 0 = unpaced (max throughput)
+	Degree  int   `json:"degree"`  // max children per peer; 0 = flat fan-out (== peers)
+	Seed    int64 `json:"seed"`
+}
+
+// passStats is one measured pass through the cluster.
+type passStats struct {
+	Mode        string  `json:"mode"` // "baseline" or "batched"
+	DurationSec float64 `json:"duration_sec"`
+	Emitted     int64   `json:"emitted"`
+	Delivered   int64   `json:"delivered"`
+	// DeliveryRatio is delivered / (emitted × peers): the fraction of
+	// chunk copies that survived backpressure and socket-buffer loss.
+	DeliveryRatio float64 `json:"delivery_ratio"`
+	// GoodputMBps is delivered payload bytes per second, summed across
+	// all receivers, in MB/s (1e6 bytes).
+	GoodputMBps float64 `json:"goodput_mbps"`
+	// Per-hop delivery latency percentiles (end-to-end latency divided
+	// by the receiver's tree depth), in milliseconds.
+	HopLatencyP50Ms float64 `json:"hop_latency_p50_ms"`
+	HopLatencyP95Ms float64 `json:"hop_latency_p95_ms"`
+	HopLatencyP99Ms float64 `json:"hop_latency_p99_ms"`
+	// Aggregate data-plane accounting summed over every transport in the
+	// cluster (source + joiners).
+	SendSyscalls int64 `json:"send_syscalls"`
+	RecvSyscalls int64 `json:"recv_syscalls"`
+	SentFrames   int64 `json:"sent_frames"`
+	RecvFrames   int64 `json:"recv_frames"`
+	// SyscallsPerPacket is (send+recv syscalls) / (sent+recv frames) —
+	// the batching win the acceptance gate keys on.
+	SyscallsPerPacket float64 `json:"syscalls_per_packet"`
+	MaxBatch          int64   `json:"max_batch"`
+	QueueDrops        int64   `json:"queue_drops"`
+	DataDrops         int64   `json:"data_drops"`
+	FanoutEncodes     int64   `json:"fanout_encodes"`
+	FanoutFrames      int64   `json:"fanout_frames"`
+	BatchIO           bool    `json:"batch_io"`
+}
+
+// report is the BENCH_dataplane.json layout.
+type report struct {
+	GeneratedAt string    `json:"generated_at"`
+	GoOS        string    `json:"goos"`
+	GoArch      string    `json:"goarch"`
+	GitSHA      string    `json:"git_sha"`
+	Config      config    `json:"config"`
+	Baseline    passStats `json:"baseline"`
+	Batched     passStats `json:"batched"`
+	// GoodputRatio is batched/baseline goodput (higher is better);
+	// SyscallsPerPacketRatio is batched/baseline syscalls per packet
+	// (lower is better).
+	GoodputRatio           float64 `json:"goodput_ratio"`
+	SyscallsPerPacketRatio float64 `json:"syscalls_per_packet_ratio"`
+}
+
+// receiver accumulates one joiner's deliveries; the chunk observer runs
+// on that peer's mailbox goroutine, so each receiver is effectively
+// single-writer and the mutex is uncontended.
+type receiver struct {
+	mu    sync.Mutex
+	lats  []time.Duration
+	bytes int64
+	depth int64 // set once the tree has formed, before the stream starts
+}
+
+func main() {
+	cfg := config{}
+	flag.IntVar(&cfg.Peers, "peers", 16, "joiner peers fed by the source")
+	flag.IntVar(&cfg.Chunks, "chunks", 1000, "chunks emitted per pass")
+	flag.IntVar(&cfg.Payload, "payload", 1024, "payload bytes per chunk (min 8)")
+	flag.IntVar(&cfg.Rate, "rate", 0, "chunks per second (0 = unpaced)")
+	flag.IntVar(&cfg.Degree, "degree", 0, "max children per peer (0 = flat fan-out)")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "refinement jitter seed")
+	out := flag.String("out", "BENCH_dataplane.json", "report file")
+	history := flag.String("history", "", "append a one-line run record to this JSONL file")
+	flag.Parse()
+	if cfg.Payload < 8 {
+		cfg.Payload = 8
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = cfg.Peers
+	}
+
+	baseline, err := runPass(cfg, "baseline", true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchpump: baseline pass:", err)
+		os.Exit(1)
+	}
+	batched, err := runPass(cfg, "batched", false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchpump: batched pass:", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoOS:        runtime.GOOS,
+		GoArch:      runtime.GOARCH,
+		GitSHA:      benchio.GitSHA(),
+		Config:      cfg,
+		Baseline:    baseline,
+		Batched:     batched,
+	}
+	if baseline.GoodputMBps > 0 {
+		rep.GoodputRatio = batched.GoodputMBps / baseline.GoodputMBps
+	}
+	if baseline.SyscallsPerPacket > 0 {
+		rep.SyscallsPerPacketRatio = batched.SyscallsPerPacket / baseline.SyscallsPerPacket
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchpump:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpump:", err)
+		os.Exit(1)
+	}
+	if *history != "" {
+		rec := struct {
+			Kind                   string  `json:"kind"`
+			GitSHA                 string  `json:"git_sha"`
+			GeneratedAt            string  `json:"generated_at"`
+			Peers                  int     `json:"peers"`
+			BaselineGoodputMBps    float64 `json:"baseline_goodput_mbps"`
+			BatchedGoodputMBps     float64 `json:"batched_goodput_mbps"`
+			GoodputRatio           float64 `json:"goodput_ratio"`
+			BaselineSyscallsPerPkt float64 `json:"baseline_syscalls_per_packet"`
+			BatchedSyscallsPerPkt  float64 `json:"batched_syscalls_per_packet"`
+			SyscallsPerPacketRatio float64 `json:"syscalls_per_packet_ratio"`
+		}{
+			Kind: "dataplane", GitSHA: rep.GitSHA, GeneratedAt: rep.GeneratedAt,
+			Peers:                  cfg.Peers,
+			BaselineGoodputMBps:    baseline.GoodputMBps,
+			BatchedGoodputMBps:     batched.GoodputMBps,
+			GoodputRatio:           rep.GoodputRatio,
+			BaselineSyscallsPerPkt: baseline.SyscallsPerPacket,
+			BatchedSyscallsPerPkt:  batched.SyscallsPerPacket,
+			SyscallsPerPacketRatio: rep.SyscallsPerPacketRatio,
+		}
+		if err := benchio.AppendHistory(*history, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "benchpump: history:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("benchpump: %d peers, %d chunks × %d B\n", cfg.Peers, cfg.Chunks, cfg.Payload)
+	fmt.Printf("  baseline: %7.2f MB/s goodput, %5.2f syscalls/pkt, p50 hop %.3f ms\n",
+		baseline.GoodputMBps, baseline.SyscallsPerPacket, baseline.HopLatencyP50Ms)
+	fmt.Printf("  batched:  %7.2f MB/s goodput, %5.2f syscalls/pkt, p50 hop %.3f ms\n",
+		batched.GoodputMBps, batched.SyscallsPerPacket, batched.HopLatencyP50Ms)
+	fmt.Printf("  ratios:   %.2fx goodput, %.2fx syscalls/packet\n",
+		rep.GoodputRatio, rep.SyscallsPerPacketRatio)
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// runPass boots a fresh UDP cluster, streams the configured load through
+// it, and tears it down.
+func runPass(cfg config, mode string, disableBatch bool) (passStats, error) {
+	udpCfg := transport.UDPConfig{Batch: transport.BatchConfig{Disable: disableBatch}}
+	epoch := time.Now()
+
+	newNode := func(bus overlay.Bus, id overlay.NodeID) *core.Node {
+		return core.New(bus, overlay.PeerConfig{
+			ID: id, Source: 0, MaxDegree: cfg.Degree, IsSource: id == 0,
+		}, core.Config{}, nil)
+	}
+
+	srcTr, err := transport.NewUDP("127.0.0.1:0", udpCfg)
+	if err != nil {
+		return passStats{}, err
+	}
+	defer srcTr.Close()
+	live.NewSourceSession(srcTr)
+	srcPeer := live.NewPeer(srcTr, epoch, func(bus overlay.Bus) overlay.Protocol {
+		return newNode(bus, 0)
+	})
+	defer srcPeer.Stop()
+
+	var (
+		peers     []*live.Peer
+		trs       = []*transport.UDP{srcTr}
+		recvs     []*receiver
+		delivered atomic.Int64
+		lastRecv  atomic.Int64 // ns since epoch of the latest delivery
+	)
+	for i := 0; i < cfg.Peers; i++ {
+		tr, err := transport.NewUDP("127.0.0.1:0", udpCfg)
+		if err != nil {
+			return passStats{}, err
+		}
+		defer tr.Close()
+		trs = append(trs, tr)
+		sess, err := live.JoinSession(tr, srcTr.LocalAddr(), 10*time.Second)
+		if err != nil {
+			return passStats{}, fmt.Errorf("peer %d: %w", i, err)
+		}
+		id := sess.ID()
+		rc := &receiver{}
+		recvs = append(recvs, rc)
+		p := live.NewPeer(tr, epoch, func(bus overlay.Bus) overlay.Protocol {
+			n := newNode(bus, id)
+			n.Base().SetChunkObserver(func(c overlay.DataChunk) {
+				if len(c.Payload) < 8 {
+					return
+				}
+				sent := time.Duration(binary.BigEndian.Uint64(c.Payload))
+				now := time.Since(epoch)
+				rc.mu.Lock()
+				rc.lats = append(rc.lats, now-sent)
+				rc.bytes += int64(len(c.Payload))
+				rc.mu.Unlock()
+				delivered.Add(1)
+				lastRecv.Store(int64(now))
+			})
+			return n
+		})
+		defer p.Stop()
+		p.StartJoin()
+		peers = append(peers, p)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		all := true
+		for _, p := range peers {
+			if !p.Connected() {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			return passStats{}, fmt.Errorf("%s: peers did not all connect", mode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i, p := range peers {
+		recvs[i].depth = int64(treeDepth(p, peers))
+	}
+
+	// Stream. The payload buffer is reused: the UDP path copies it into
+	// the encode buffer before EmitData returns.
+	payload := make([]byte, cfg.Payload)
+	start := time.Now()
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Second / time.Duration(cfg.Rate)
+	}
+	for seq := 0; seq < cfg.Chunks; seq++ {
+		if interval > 0 {
+			if next := start.Add(time.Duration(seq) * interval); time.Now().Before(next) {
+				time.Sleep(time.Until(next))
+			}
+		}
+		binary.BigEndian.PutUint64(payload, uint64(time.Since(epoch)))
+		srcPeer.EmitData(overlay.DataChunk{Seq: int64(seq), Payload: payload})
+	}
+
+	// Drain: wait until deliveries stop arriving (200ms of silence) or
+	// the cap passes.
+	drainCap := time.Now().Add(5 * time.Second)
+	for {
+		before := delivered.Load()
+		time.Sleep(200 * time.Millisecond)
+		if delivered.Load() == before || time.Now().After(drainCap) {
+			break
+		}
+	}
+
+	st := passStats{Mode: mode, Emitted: int64(cfg.Chunks), Delivered: delivered.Load()}
+	// Goodput over the window from first emit to last delivery.
+	dur := time.Duration(lastRecv.Load()) - start.Sub(epoch)
+	if dur <= 0 {
+		dur = time.Since(start)
+	}
+	st.DurationSec = dur.Seconds()
+
+	var hopLats []float64
+	var bytes int64
+	for _, rc := range recvs {
+		rc.mu.Lock()
+		depth := rc.depth
+		if depth < 1 {
+			depth = 1
+		}
+		for _, l := range rc.lats {
+			hopLats = append(hopLats, l.Seconds()*1e3/float64(depth))
+		}
+		bytes += rc.bytes
+		rc.mu.Unlock()
+	}
+	st.DeliveryRatio = float64(st.Delivered) / float64(st.Emitted*int64(cfg.Peers))
+	st.GoodputMBps = float64(bytes) / 1e6 / st.DurationSec
+	sort.Float64s(hopLats)
+	st.HopLatencyP50Ms = percentile(hopLats, 0.50)
+	st.HopLatencyP95Ms = percentile(hopLats, 0.95)
+	st.HopLatencyP99Ms = percentile(hopLats, 0.99)
+
+	for _, tr := range trs {
+		dp := tr.Dataplane()
+		st.SendSyscalls += dp.SendSyscalls
+		st.RecvSyscalls += dp.RecvSyscalls
+		st.SentFrames += dp.SentFrames
+		st.RecvFrames += dp.RecvFrames
+		st.QueueDrops += dp.QueueDrops
+		st.FanoutEncodes += dp.FanoutEncodes
+		st.FanoutFrames += dp.FanoutFrames
+		if dp.MaxBatch > st.MaxBatch {
+			st.MaxBatch = dp.MaxBatch
+		}
+		st.DataDrops += tr.Counters().DataDrops.Load()
+		st.BatchIO = st.BatchIO || tr.BatchIO()
+	}
+	if frames := st.SentFrames + st.RecvFrames; frames > 0 {
+		st.SyscallsPerPacket = float64(st.SendSyscalls+st.RecvSyscalls) / float64(frames)
+	}
+	return st, nil
+}
+
+// treeDepth counts hops from p up to the source through the current
+// parent pointers (joiners only; an orphan counts as depth 1).
+func treeDepth(p *live.Peer, peers []*live.Peer) int {
+	byID := make(map[overlay.NodeID]*live.Peer, len(peers))
+	for _, q := range peers {
+		byID[q.ID()] = q
+	}
+	depth, cur := 0, p
+	for cur != nil && depth < len(peers)+1 {
+		parent := cur.View().ParentID()
+		depth++
+		if parent == 0 || parent == overlay.None {
+			break
+		}
+		cur = byID[parent]
+	}
+	return depth
+}
+
+// percentile reads the q-quantile from sorted xs (nearest-rank).
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}

@@ -153,14 +153,37 @@ func main() {
 		return n
 	})
 	peer.SetTracer(obs.NewTracer(sink, "vdm", id, clock))
+	reg.SetHelp("vdm_dataplane_send_syscalls_total", "Socket write syscalls (one sendmmsg moving N datagrams counts once).")
+	reg.SetHelp("vdm_dataplane_recv_syscalls_total", "Socket read syscalls (one recvmmsg moving N datagrams counts once).")
+	reg.SetHelp("vdm_dataplane_sent_frames_total", "Datagrams written to the socket.")
+	reg.SetHelp("vdm_dataplane_recv_frames_total", "Datagrams read from the socket.")
+	reg.SetHelp("vdm_dataplane_flushes_total", "Send-coalescer flushes.")
+	reg.SetHelp("vdm_dataplane_flushed_frames_total", "Data frames moved by coalescer flushes.")
+	reg.SetHelp("vdm_dataplane_flush_wait_seconds_total", "Summed first-enqueue-to-flush latency.")
+	reg.SetHelp("vdm_dataplane_queue_drops_total", "Data frames evicted oldest-first by per-destination queue caps.")
+	reg.SetHelp("vdm_dataplane_fanout_encodes_total", "Single-encode fan-outs (encode once, retarget per child).")
+	reg.SetHelp("vdm_dataplane_fanout_frames_total", "Frames produced by single-encode fan-outs.")
+	reg.SetHelp("vdm_dataplane_max_batch", "Largest datagram count one syscall has moved.")
 	reg.RegisterCollector(func() []obs.Sample {
 		s := tr.Stats()
+		dp := tr.Dataplane()
 		nl := obs.NodeLabel(id)
 		return []obs.Sample{
 			{Name: "vdm_udp_retransmits_sent_total", Labels: []obs.Label{nl}, Value: float64(s.Retransmits)},
 			{Name: "vdm_udp_dedupe_dropped_total", Labels: []obs.Label{nl}, Value: float64(s.DedupeDrops)},
 			{Name: "vdm_udp_acks_received_total", Labels: []obs.Label{nl}, Value: float64(s.AcksReceived)},
 			{Name: "vdm_mailbox_highwater", Labels: []obs.Label{nl}, Value: float64(peer.MailboxHighWater())},
+			{Name: "vdm_dataplane_send_syscalls_total", Labels: []obs.Label{nl}, Value: float64(dp.SendSyscalls)},
+			{Name: "vdm_dataplane_recv_syscalls_total", Labels: []obs.Label{nl}, Value: float64(dp.RecvSyscalls)},
+			{Name: "vdm_dataplane_sent_frames_total", Labels: []obs.Label{nl}, Value: float64(dp.SentFrames)},
+			{Name: "vdm_dataplane_recv_frames_total", Labels: []obs.Label{nl}, Value: float64(dp.RecvFrames)},
+			{Name: "vdm_dataplane_flushes_total", Labels: []obs.Label{nl}, Value: float64(dp.Flushes)},
+			{Name: "vdm_dataplane_flushed_frames_total", Labels: []obs.Label{nl}, Value: float64(dp.FlushedFrames)},
+			{Name: "vdm_dataplane_flush_wait_seconds_total", Labels: []obs.Label{nl}, Value: float64(dp.FlushNanos) / 1e9},
+			{Name: "vdm_dataplane_queue_drops_total", Labels: []obs.Label{nl}, Value: float64(dp.QueueDrops)},
+			{Name: "vdm_dataplane_fanout_encodes_total", Labels: []obs.Label{nl}, Value: float64(dp.FanoutEncodes)},
+			{Name: "vdm_dataplane_fanout_frames_total", Labels: []obs.Label{nl}, Value: float64(dp.FanoutFrames)},
+			{Name: "vdm_dataplane_max_batch", Labels: []obs.Label{nl}, Value: float64(dp.MaxBatch)},
 		}
 	})
 

@@ -1,0 +1,43 @@
+// Package benchio is the small shared I/O layer of the benchmark
+// tooling: identifying the commit a run belongs to and appending runs to
+// the longitudinal history file (BENCH_history.jsonl, one JSON line per
+// run) that lets perf be tracked across PRs rather than only diffed
+// against the latest baseline.
+package benchio
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// GitSHA returns the abbreviated commit hash of the working tree's HEAD,
+// or "unknown" outside a git checkout (or without git on PATH). Benchmark
+// records are keyed by it so history lines can be joined back to commits.
+func GitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	sha := strings.TrimSpace(string(out))
+	if sha == "" {
+		return "unknown"
+	}
+	return sha
+}
+
+// AppendHistory appends rec as one JSON line to the history file at path,
+// creating the file if needed. Each line is self-contained so the file
+// stays valid JSONL under concatenation, truncation, and merges.
+func AppendHistory(path string, rec any) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(f).Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -240,6 +240,12 @@ func (p *Peer) EmitChunk(seq int64) {
 	p.Call(func() { p.proto.Base().EmitChunk(seq) })
 }
 
+// EmitData originates a full chunk (sequence plus payload) from this
+// (source) peer.
+func (p *Peer) EmitData(c overlay.DataChunk) {
+	p.Call(func() { p.proto.Base().EmitData(c) })
+}
+
 // peerBus adapts the real clock and a live transport to the overlay.Bus
 // interface the protocol state machines run against. Time is seconds
 // since the shared session epoch, so protocol timeouts tuned in virtual
@@ -249,12 +255,30 @@ type peerBus struct {
 	epoch time.Time
 }
 
-var _ overlay.Bus = (*peerBus)(nil)
+var (
+	_ overlay.Bus       = (*peerBus)(nil)
+	_ overlay.FanoutBus = (*peerBus)(nil)
+)
 
 func (b *peerBus) Now() float64 { return time.Since(b.epoch).Seconds() }
 
 func (b *peerBus) Send(from, to overlay.NodeID, m overlay.Message) bool {
 	return b.peer.tr.Send(from, to, m)
+}
+
+// SendFanout delivers one message to many destinations, delegating to the
+// transport's batch path (single encode on UDP, single lock acquisition
+// on Mem) when it has one.
+func (b *peerBus) SendFanout(from overlay.NodeID, tos []overlay.NodeID, m overlay.Message, failed []overlay.NodeID) []overlay.NodeID {
+	if bs, ok := b.peer.tr.(transport.BatchSender); ok {
+		return bs.SendBatch(from, tos, m, failed)
+	}
+	for _, to := range tos {
+		if !b.peer.tr.Send(from, to, m) {
+			failed = append(failed, to)
+		}
+	}
+	return failed
 }
 
 // After schedules fn on the peer's mailbox loop d seconds from now. The

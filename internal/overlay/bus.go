@@ -28,3 +28,17 @@ type Bus interface {
 	// fail.
 	Unregister(id NodeID)
 }
+
+// FanoutBus is an optional Bus capability: deliver one message to many
+// destinations at once. Implementations encode the message a single time
+// and retarget the bytes per destination, so a source fanning a DataChunk
+// out to its children pays one marshal instead of one per child. Failed
+// destinations (unknown at send time, mirroring Send returning false) are
+// appended to failed, which callers may pass as a reused scratch slice.
+//
+// The simulator's Network deliberately does not implement FanoutBus:
+// per-destination Send keeps its event stream byte-identical, and the
+// encode cost it would save does not exist there.
+type FanoutBus interface {
+	SendFanout(from NodeID, tos []NodeID, m Message, failed []NodeID) []NodeID
+}

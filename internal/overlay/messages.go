@@ -169,8 +169,14 @@ type LeaveNotify struct{ GrandparentHint NodeID }
 type Reassign struct{ To NodeID }
 
 // DataChunk is one unit of the multicast stream, pushed from parent to
-// children.
-type DataChunk struct{ Seq int64 }
+// children. Payload is the stream content (nil in the simulator, which
+// only accounts chunk counts); the wire codec guarantees a decoded
+// Payload is a private copy, stable no matter how the transport reuses
+// its receive buffers.
+type DataChunk struct {
+	Seq     int64
+	Payload []byte
+}
 
 // StatusReport is the tree-health telemetry a peer periodically sends to
 // the session source: its current tree position (parent, children, depth,

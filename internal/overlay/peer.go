@@ -139,6 +139,16 @@ type Peer struct {
 
 	// serveObs observes answered join-protocol requests (see status.go).
 	serveObs func(ServeEvent)
+
+	// chunkObs observes every first-time chunk delivery (after dedupe),
+	// before forwarding — the measurement tap cmd/benchpump hangs its
+	// latency probes on. Nil for normal peers.
+	chunkObs func(DataChunk)
+
+	// fanoutIDs / fanoutFail are reused scratch slices for the FanoutBus
+	// fast path, so a forward allocates nothing in steady state.
+	fanoutIDs  []NodeID
+	fanoutFail []NodeID
 }
 
 // staleChunkThreshold is how many chunks a non-parent must push before
@@ -492,16 +502,29 @@ func (p *Peer) handleLeaveNotify(from NodeID, m LeaveNotify) {
 	p.hooks.OnOrphaned(from, m.GrandparentHint)
 }
 
+// SetChunkObserver installs a callback invoked on every first-time chunk
+// delivery (duplicates are filtered first), before the chunk is forwarded
+// to children. The observer runs on the peer's serialized execution
+// context. Nil disables.
+func (p *Peer) SetChunkObserver(fn func(DataChunk)) { p.chunkObs = fn }
+
 func (p *Peer) handleChunk(m DataChunk) {
 	if !p.window.add(m.Seq) {
 		p.stats.Dups++
 		return
 	}
 	p.stats.Received++
+	if p.chunkObs != nil {
+		p.chunkObs(m)
+	}
 	p.forwardChunk(m)
 }
 
 func (p *Peer) forwardChunk(m DataChunk) {
+	if fb, ok := p.net.(FanoutBus); ok {
+		p.forwardChunkFanout(fb, m)
+		return
+	}
 	for _, c := range p.ChildIDs() {
 		if p.net.Send(p.id, c, m) {
 			p.stats.Forwarded++
@@ -520,14 +543,52 @@ func (p *Peer) forwardChunk(m DataChunk) {
 	}
 }
 
+// forwardChunkFanout is the batch forward: one SendFanout call covers
+// children and fosters, so a transport that encodes per send marshals the
+// chunk once for the whole fan-out. Accounting matches the per-child
+// loop: every successful destination counts one Forwarded, every failed
+// one loses its tree slot.
+func (p *Peer) forwardChunkFanout(fb FanoutBus, m DataChunk) {
+	ids := p.fanoutIDs[:0]
+	for c := range p.children {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	nc := len(ids)
+	for c := range p.fosters {
+		ids = append(ids, c)
+	}
+	fosters := ids[nc:]
+	sort.Slice(fosters, func(i, j int) bool { return fosters[i] < fosters[j] })
+	p.fanoutIDs = ids
+	if len(ids) == 0 {
+		return
+	}
+	p.fanoutFail = fb.SendFanout(p.id, ids, m, p.fanoutFail[:0])
+	p.stats.Forwarded += int64(len(ids) - len(p.fanoutFail))
+	for _, c := range p.fanoutFail {
+		delete(p.children, c)
+		delete(p.fosters, c)
+	}
+}
+
 // EmitChunk originates chunk seq at the source and pushes it down the
 // tree.
 func (p *Peer) EmitChunk(seq int64) {
+	p.EmitData(DataChunk{Seq: seq})
+}
+
+// EmitData originates a full chunk (sequence plus payload) at the source
+// and pushes it down the tree.
+func (p *Peer) EmitData(c DataChunk) {
 	if !p.isSource {
 		panic("overlay: EmitChunk on non-source peer")
 	}
-	if p.window.add(seq) {
-		p.forwardChunk(DataChunk{Seq: seq})
+	if p.window.add(c.Seq) {
+		if p.chunkObs != nil {
+			p.chunkObs(c)
+		}
+		p.forwardChunk(c)
 	}
 }
 

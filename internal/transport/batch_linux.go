@@ -1,0 +1,228 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+
+	"vdm/internal/wire"
+)
+
+// This file is the platform half of the batched data plane: recvmmsg and
+// sendmmsg through the raw socket descriptor, integrated with the Go
+// runtime poller via syscall.RawConn so blocking behavior and shutdown
+// (close unblocks the read) match the portable path exactly. The layouts
+// below are the 64-bit Linux kernel ABI; the build tag restricts this
+// file to the architectures where syscall.Msghdr matches it.
+
+// mmsghdr mirrors struct mmsghdr: one msghdr plus the per-packet byte
+// count the kernel fills in (padded to 8-byte alignment on 64-bit).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// addrKey identifies one remote socket address for the receive-side
+// address cache (so steady-state receives allocate no net.UDPAddr).
+type addrKey struct {
+	v6   bool
+	ip   [16]byte
+	port uint16
+}
+
+// mmsgIO owns the pooled receive ring and the send scratch arrays for
+// one socket. readBatch is called from the single receive goroutine and
+// writeBatch under the coalescer's flush lock, so neither needs locking.
+type mmsgIO struct {
+	rc syscall.RawConn
+
+	rbufs  [][]byte
+	rhdrs  []mmsghdr
+	riovs  []syscall.Iovec
+	rnames []syscall.RawSockaddrAny
+	addrs  map[addrKey]*net.UDPAddr
+
+	whdrs  []mmsghdr
+	wiovs  []syscall.Iovec
+	wnames []syscall.RawSockaddrInet6 // large enough for v4 too
+}
+
+// addrCacheMax bounds the receive address cache; a cache this full is a
+// rotating-peers pathology and resetting it is cheaper than an eviction
+// policy.
+const addrCacheMax = 4096
+
+func newMmsgIO(conn *net.UDPConn, maxBatch int) *mmsgIO {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	m := &mmsgIO{
+		rc:     rc,
+		rbufs:  make([][]byte, maxBatch),
+		rhdrs:  make([]mmsghdr, maxBatch),
+		riovs:  make([]syscall.Iovec, maxBatch),
+		rnames: make([]syscall.RawSockaddrAny, maxBatch),
+		addrs:  make(map[addrKey]*net.UDPAddr),
+		whdrs:  make([]mmsghdr, maxBatch),
+		wiovs:  make([]syscall.Iovec, maxBatch),
+		wnames: make([]syscall.RawSockaddrInet6, maxBatch),
+	}
+	for i := range m.rbufs {
+		m.rbufs[i] = make([]byte, wire.MaxPayload+1024)
+	}
+	return m
+}
+
+// readBatch blocks until the socket is readable, drains up to the ring
+// size of datagrams with one recvmmsg, and delivers each. It returns a
+// non-nil error only when the socket is closed (or irrecoverable); a
+// zero-count nil return means "retry".
+func (m *mmsgIO) readBatch(deliver func([]byte, *net.UDPAddr)) (int, error) {
+	for i := range m.rhdrs {
+		m.riovs[i].Base = &m.rbufs[i][0]
+		m.riovs[i].SetLen(len(m.rbufs[i]))
+		m.rhdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&m.rnames[i]))
+		m.rhdrs[i].hdr.Namelen = uint32(syscall.SizeofSockaddrAny)
+		m.rhdrs[i].hdr.Iov = &m.riovs[i]
+		m.rhdrs[i].hdr.Iovlen = 1
+		m.rhdrs[i].n = 0
+	}
+	var n int
+	var rerr syscall.Errno
+	err := m.rc.Read(func(fd uintptr) bool {
+		r1, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&m.rhdrs[0])), uintptr(len(m.rhdrs)),
+			uintptr(syscall.MSG_DONTWAIT), 0, 0)
+		if errno == syscall.EAGAIN || errno == syscall.EWOULDBLOCK {
+			return false // wait for readability
+		}
+		if errno != 0 {
+			rerr = errno
+			return true
+		}
+		n = int(r1)
+		return true
+	})
+	if err != nil {
+		return 0, err // socket closed
+	}
+	if rerr != 0 {
+		if rerr == syscall.EINTR {
+			return 0, nil
+		}
+		return 0, rerr
+	}
+	for i := 0; i < n; i++ {
+		deliver(m.rbufs[i][:m.rhdrs[i].n], m.udpAddr(&m.rnames[i]))
+	}
+	return n, nil
+}
+
+// writeBatch transmits pkts (at most the ring size, enforced by the
+// caller) and reports how many sendmmsg calls it took. Partial sends
+// continue from the first unsent packet once the socket is writable
+// again.
+func (m *mmsgIO) writeBatch(pkts []outPkt) (int, error) {
+	for i := range pkts {
+		b := pkts[i].fb.b
+		m.wiovs[i].Base = &b[0]
+		m.wiovs[i].SetLen(len(b))
+		m.whdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&m.wnames[i]))
+		m.whdrs[i].hdr.Namelen = m.putSockaddr(i, pkts[i].addr)
+		m.whdrs[i].hdr.Iov = &m.wiovs[i]
+		m.whdrs[i].hdr.Iovlen = 1
+		m.whdrs[i].n = 0
+	}
+	calls, off := 0, 0
+	var werr syscall.Errno
+	err := m.rc.Write(func(fd uintptr) bool {
+		for off < len(pkts) {
+			r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&m.whdrs[off])), uintptr(len(pkts)-off),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			if errno == syscall.EAGAIN || errno == syscall.EWOULDBLOCK {
+				return false // wait for writability, then resume at off
+			}
+			if errno == syscall.EINTR {
+				continue
+			}
+			calls++
+			if errno != 0 {
+				werr = errno
+				return true
+			}
+			off += int(r1)
+		}
+		return true
+	})
+	if err != nil {
+		return calls, err
+	}
+	if werr != 0 {
+		return calls, werr
+	}
+	return calls, nil
+}
+
+// putSockaddr renders addr into the i-th send sockaddr slot and returns
+// its length.
+func (m *mmsgIO) putSockaddr(i int, addr *net.UDPAddr) uint32 {
+	if ip4 := addr.IP.To4(); ip4 != nil {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&m.wnames[i]))
+		sa.Family = syscall.AF_INET
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		p[0], p[1] = byte(addr.Port>>8), byte(addr.Port)
+		copy(sa.Addr[:], ip4)
+		return syscall.SizeofSockaddrInet4
+	}
+	sa := &m.wnames[i]
+	*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+	p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+	p[0], p[1] = byte(addr.Port>>8), byte(addr.Port)
+	copy(sa.Addr[:], addr.IP.To16())
+	return syscall.SizeofSockaddrInet6
+}
+
+// udpAddr converts a kernel-written sockaddr into a cached *net.UDPAddr.
+// The cached address is shared (the route table may retain it) and must
+// never be mutated.
+func (m *mmsgIO) udpAddr(rsa *syscall.RawSockaddrAny) *net.UDPAddr {
+	var k addrKey
+	switch rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		copy(k.ip[:4], sa.Addr[:])
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		k.port = uint16(p[0])<<8 | uint16(p[1])
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+		k.v6 = true
+		copy(k.ip[:], sa.Addr[:])
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		k.port = uint16(p[0])<<8 | uint16(p[1])
+	default:
+		return &net.UDPAddr{}
+	}
+	if a, ok := m.addrs[k]; ok {
+		return a
+	}
+	if len(m.addrs) >= addrCacheMax {
+		m.addrs = make(map[addrKey]*net.UDPAddr)
+	}
+	var a *net.UDPAddr
+	if k.v6 {
+		ip := make(net.IP, 16)
+		copy(ip, k.ip[:])
+		a = &net.UDPAddr{IP: ip, Port: int(k.port)}
+	} else {
+		ip := make(net.IP, 4)
+		copy(ip, k.ip[:4])
+		a = &net.UDPAddr{IP: ip, Port: int(k.port)}
+	}
+	m.addrs[k] = a
+	return a
+}

@@ -1,0 +1,10 @@
+//go:build linux
+
+package transport
+
+// recvmmsg/sendmmsg syscall numbers for linux/amd64. The stdlib syscall
+// table predates sendmmsg, so the numbers are pinned here.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux
+
+package transport
+
+// recvmmsg/sendmmsg syscall numbers for linux/arm64.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

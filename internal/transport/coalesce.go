@@ -1,0 +1,232 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"vdm/internal/overlay"
+	"vdm/internal/wire"
+)
+
+// frameBuf is one queued, already-encoded datagram. Buffers cycle
+// through a pool so the steady-state coalescer allocates nothing.
+type frameBuf struct {
+	b []byte
+}
+
+var frameBufPool = sync.Pool{
+	New: func() any { return &frameBuf{b: make([]byte, 0, 1536)} },
+}
+
+// outPkt pairs an encoded datagram with its destination for one batched
+// write.
+type outPkt struct {
+	addr *net.UDPAddr
+	fb   *frameBuf
+}
+
+// coalescer is the send-side half of the batched data plane: best-effort
+// data frames destined for the wire are queued per destination and
+// flushed together — by frame-count threshold or by the flush-interval
+// timer, whichever fires first — through one sendmmsg call (or a tight
+// write loop on platforms without it). Acked control frames never enter
+// the coalescer: their retransmit timers assume the first transmission
+// happens before the ack clock starts, so they go straight to the socket.
+//
+// Backpressure is drop-oldest per destination: when a destination's queue
+// is at DestQueueCap the oldest queued frame is evicted (and counted),
+// on the reasoning that for streaming data the newest frames are the
+// valuable ones and a slow receiver should shed its stalest backlog.
+type coalescer struct {
+	t        *UDP
+	maxBatch int
+	flushInt time.Duration
+	queueCap int
+
+	mu      sync.Mutex
+	queues  map[overlay.NodeID]*destQueue
+	order   []overlay.NodeID // destinations with queued frames, arrival order
+	pending int
+	timer   *time.Timer
+	armed   bool
+	firstAt time.Time // first enqueue since the last flush
+	closed  bool
+
+	// flushMu serializes flushers (timer vs threshold vs shutdown) so the
+	// packet scratch slice can be reused safely.
+	flushMu sync.Mutex
+	scratch []outPkt
+}
+
+type destQueue struct {
+	addr   *net.UDPAddr
+	frames []*frameBuf
+}
+
+func newCoalescer(t *UDP, cfg BatchConfig) *coalescer {
+	c := &coalescer{
+		t:        t,
+		maxBatch: cfg.MaxBatch,
+		flushInt: cfg.FlushInterval,
+		queueCap: cfg.DestQueueCap,
+		queues:   make(map[overlay.NodeID]*destQueue),
+	}
+	c.timer = time.AfterFunc(time.Hour, c.flush)
+	c.timer.Stop()
+	return c
+}
+
+// enqueueFrame encodes f and queues it for to. The loss-injection filter
+// is consulted here (not at flush time) so drop accounting stays on the
+// send path, matching the direct-write path.
+func (c *coalescer) enqueueFrame(to overlay.NodeID, addr *net.UDPAddr, f wire.Frame) {
+	c.t.mu.Lock()
+	filter := c.t.sendFilter
+	c.t.mu.Unlock()
+	if filter != nil && filter(to, f, 0) {
+		c.t.ctrs.DataDrops.Add(1)
+		return
+	}
+	eb := wire.GetEncodeBuffer()
+	b, err := eb.Encode(f)
+	if err != nil {
+		eb.Release()
+		c.t.ctrs.DataDrops.Add(1)
+		return
+	}
+	c.enqueueBytes(to, addr, b)
+	eb.Release()
+}
+
+// enqueueBytes queues an already-encoded frame for to, retargeting the
+// copy's To field — the fan-out fast path encodes once and calls this per
+// child. b is copied; the caller keeps ownership.
+func (c *coalescer) enqueueBytes(to overlay.NodeID, addr *net.UDPAddr, b []byte) {
+	fb := frameBufPool.Get().(*frameBuf)
+	fb.b = append(fb.b[:0], b...)
+	wire.PatchTo(fb.b, to)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		frameBufPool.Put(fb)
+		c.t.dp.queueDrops.Add(1)
+		c.t.ctrs.DataDrops.Add(1)
+		return
+	}
+	q := c.queues[to]
+	if q == nil {
+		q = &destQueue{}
+		c.queues[to] = q
+	}
+	if len(q.frames) == 0 {
+		c.order = append(c.order, to)
+	}
+	q.addr = addr
+	if len(q.frames) >= c.queueCap {
+		// Drop-oldest backpressure: evict the stalest queued frame for
+		// this destination to make room.
+		old := q.frames[0]
+		copy(q.frames, q.frames[1:])
+		q.frames = q.frames[:len(q.frames)-1]
+		c.pending--
+		frameBufPool.Put(old)
+		c.t.dp.queueDrops.Add(1)
+		c.t.ctrs.DataDrops.Add(1)
+	}
+	q.frames = append(q.frames, fb)
+	if c.pending == 0 {
+		c.firstAt = time.Now()
+	}
+	c.pending++
+	full := c.pending >= c.maxBatch
+	if !full && !c.armed {
+		c.armed = true
+		c.timer.Reset(c.flushInt)
+	}
+	c.mu.Unlock()
+	if full {
+		c.flush()
+	}
+}
+
+// flush drains every destination queue and writes the batch. Runs on the
+// flush timer goroutine, inline on the sender that filled the batch, and
+// once more at shutdown.
+func (c *coalescer) flush() {
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+
+	c.mu.Lock()
+	if c.armed {
+		c.timer.Stop()
+		c.armed = false
+	}
+	if c.pending == 0 {
+		c.mu.Unlock()
+		return
+	}
+	pkts := c.scratch[:0]
+	for _, to := range c.order {
+		q := c.queues[to]
+		for _, fb := range q.frames {
+			pkts = append(pkts, outPkt{addr: q.addr, fb: fb})
+		}
+		q.frames = q.frames[:0]
+	}
+	c.order = c.order[:0]
+	c.pending = 0
+	wait := time.Since(c.firstAt)
+	c.mu.Unlock()
+
+	c.t.writePackets(pkts)
+	c.t.dp.flushes.Add(1)
+	c.t.dp.flushedFrames.Add(int64(len(pkts)))
+	c.t.dp.flushNanos.Add(int64(wait))
+	for i := range pkts {
+		frameBufPool.Put(pkts[i].fb)
+		pkts[i].fb = nil
+	}
+	c.scratch = pkts[:0]
+}
+
+// shutdown flushes whatever is queued and rejects further enqueues.
+func (c *coalescer) shutdown() {
+	c.flush()
+	c.mu.Lock()
+	c.closed = true
+	c.timer.Stop()
+	c.mu.Unlock()
+}
+
+// writePackets transmits one drained batch: chunks of up to MaxBatch
+// datagrams per sendmmsg when the mmsg engine is active, else one write
+// syscall per datagram (coalescing still bounds wakeups and preserves
+// queueing semantics).
+func (t *UDP) writePackets(pkts []outPkt) {
+	if len(pkts) == 0 {
+		return
+	}
+	t.dp.sentFrames.Add(int64(len(pkts)))
+	if t.mmsg != nil {
+		for len(pkts) > 0 {
+			n := len(pkts)
+			if n > t.cfg.Batch.MaxBatch {
+				n = t.cfg.Batch.MaxBatch
+			}
+			calls, err := t.mmsg.writeBatch(pkts[:n])
+			t.dp.sendSyscalls.Add(int64(calls))
+			if err != nil {
+				return // socket closed mid-flush; frames are best-effort
+			}
+			t.dp.noteBatch(int64(n))
+			pkts = pkts[n:]
+		}
+		return
+	}
+	for _, p := range pkts {
+		t.dp.sendSyscalls.Add(1)
+		t.conn.WriteToUDP(p.fb.b, p.addr)
+	}
+}

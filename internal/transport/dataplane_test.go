@@ -1,0 +1,410 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"vdm/internal/overlay"
+)
+
+// TestUDPBatchedDataDelivery pushes a burst of data chunks through the
+// default batched path and checks both correctness (everything arrives,
+// in order) and that batching actually did its job: far fewer send
+// syscalls than frames when the mmsg engine is active.
+func TestUDPBatchedDataDelivery(t *testing.T) {
+	// A long flush interval keeps the test deterministic: only the
+	// MaxBatch threshold flushes mid-burst, plus one trailing timer
+	// flush for the remainder.
+	cfg := UDPConfig{Batch: BatchConfig{MaxBatch: 32, FlushInterval: 50 * time.Millisecond}}
+	a, b := newUDPPair(t, cfg)
+	var c collector
+	b.Register(2, c.handler())
+	if err := a.SetRoute(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if !a.Send(1, 2, overlay.DataChunk{Seq: int64(i)}) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	if !waitFor(t, 5*time.Second, func() bool { return c.count() == n }) {
+		t.Fatalf("delivered %d of %d", c.count(), n)
+	}
+	for i, m := range c.snapshot() {
+		if m.(overlay.DataChunk).Seq != int64(i) {
+			t.Fatalf("out of order at %d: %v", i, m)
+		}
+	}
+
+	dp := a.Dataplane()
+	if dp.SentFrames != n {
+		t.Fatalf("SentFrames = %d, want %d", dp.SentFrames, n)
+	}
+	if dp.FlushedFrames != n {
+		t.Fatalf("FlushedFrames = %d, want %d", dp.FlushedFrames, n)
+	}
+	if dp.Flushes == 0 {
+		t.Fatal("no coalescer flushes recorded")
+	}
+	if a.BatchIO() {
+		// 200 frames at MaxBatch 32 is 7 batches; allow slack for an
+		// early timer fire but demand a real reduction.
+		if dp.SendSyscalls >= n/2 {
+			t.Fatalf("SendSyscalls = %d for %d frames; batching ineffective", dp.SendSyscalls, n)
+		}
+		if dp.MaxBatch < 2 {
+			t.Fatalf("MaxBatch = %d, want >= 2", dp.MaxBatch)
+		}
+	}
+	rdp := b.Dataplane()
+	if rdp.RecvFrames != n {
+		t.Fatalf("RecvFrames = %d, want %d", rdp.RecvFrames, n)
+	}
+	if b.BatchIO() && rdp.RecvSyscalls > rdp.RecvFrames {
+		t.Fatalf("RecvSyscalls = %d > RecvFrames = %d", rdp.RecvSyscalls, rdp.RecvFrames)
+	}
+}
+
+// TestUDPPayloadStableAcrossReads is the receive-buffer aliasing guard: a
+// handler that retains DataChunk.Payload past its own return must see
+// stable bytes even though the batched receive ring reuses its buffers
+// for every subsequent datagram. The codec guarantees this by copying
+// payloads out of the read buffer at decode time.
+func TestUDPPayloadStableAcrossReads(t *testing.T) {
+	a, b := newUDPPair(t, UDPConfig{})
+	var c collector
+	b.Register(2, c.handler())
+	if err := a.SetRoute(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	first := bytes.Repeat([]byte{0xA5}, 512)
+	if !a.Send(1, 2, overlay.DataChunk{Seq: 0, Payload: first}) {
+		t.Fatal("send failed")
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return c.count() == 1 }) {
+		t.Fatal("first chunk not delivered")
+	}
+	retained := c.snapshot()[0].(overlay.DataChunk).Payload
+
+	// Hammer the same ring buffers with different bytes.
+	const n = 100
+	for i := 1; i <= n; i++ {
+		pl := bytes.Repeat([]byte{byte(i)}, 512)
+		if !a.Send(1, 2, overlay.DataChunk{Seq: int64(i), Payload: pl}) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	if !waitFor(t, 5*time.Second, func() bool { return c.count() == n+1 }) {
+		t.Fatalf("delivered %d of %d", c.count(), n+1)
+	}
+	if !bytes.Equal(retained, first) {
+		t.Fatal("retained payload mutated by later reads (receive-buffer aliasing)")
+	}
+}
+
+// TestUDPSendBatchFanout exercises the encode-once fan-out fast path:
+// one SendBatch call reaches every routed destination and reports the
+// unroutable one, with exactly one encode on the books.
+func TestUDPSendBatchFanout(t *testing.T) {
+	a, b := newUDPPair(t, UDPConfig{})
+	c3, err := NewUDP("127.0.0.1:0", UDPConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c3.Close() })
+
+	var cb, cc collector
+	b.Register(2, cb.handler())
+	c3.Register(3, cc.handler())
+	if err := a.SetRoute(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetRoute(3, c3.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte("fanout-payload")
+	failed := a.SendBatch(1, []overlay.NodeID{2, 3, 99}, overlay.DataChunk{Seq: 7, Payload: payload}, nil)
+	if len(failed) != 1 || failed[0] != 99 {
+		t.Fatalf("failed = %v, want [99]", failed)
+	}
+	ok := waitFor(t, 2*time.Second, func() bool { return cb.count() == 1 && cc.count() == 1 })
+	if !ok {
+		t.Fatalf("fanout delivered %d/%d of 1/1", cb.count(), cc.count())
+	}
+	for _, col := range []*collector{&cb, &cc} {
+		got := col.snapshot()[0].(overlay.DataChunk)
+		if got.Seq != 7 || !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("fanout chunk = %+v", got)
+		}
+	}
+
+	dp := a.Dataplane()
+	if dp.FanoutEncodes != 1 {
+		t.Fatalf("FanoutEncodes = %d, want 1", dp.FanoutEncodes)
+	}
+	if dp.FanoutFrames != 2 {
+		t.Fatalf("FanoutFrames = %d, want 2", dp.FanoutFrames)
+	}
+	if got := a.Counters().Undeliver.Load(); got != 1 {
+		t.Fatalf("Undeliver = %d, want 1", got)
+	}
+}
+
+// TestUDPCoalescerDropOldest fills one destination's coalescer queue past
+// its cap before any flush can run and checks drop-oldest backpressure:
+// the newest frames survive, the stalest are evicted and counted.
+func TestUDPCoalescerDropOldest(t *testing.T) {
+	cfg := UDPConfig{Batch: BatchConfig{
+		MaxBatch:      64, // > burst size: no threshold flush mid-burst
+		FlushInterval: 80 * time.Millisecond,
+		DestQueueCap:  4,
+	}}
+	a, b := newUDPPair(t, cfg)
+	var c collector
+	b.Register(2, c.handler())
+	if err := a.SetRoute(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if !a.Send(1, 2, overlay.DataChunk{Seq: int64(i)}) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return c.count() == 4 }) {
+		t.Fatalf("delivered %d, want 4", c.count())
+	}
+	// Same surviving window the Mem mirror guarantees: the last cap seqs.
+	for i, m := range c.snapshot() {
+		if want := int64(n - 4 + i); m.(overlay.DataChunk).Seq != want {
+			t.Fatalf("survivor %d = %v, want seq %d", i, m, want)
+		}
+	}
+	dp := a.Dataplane()
+	if dp.QueueDrops != n-4 {
+		t.Fatalf("QueueDrops = %d, want %d", dp.QueueDrops, n-4)
+	}
+	if got := a.Counters().DataDrops.Load(); got != n-4 {
+		t.Fatalf("DataDrops = %d, want %d", got, n-4)
+	}
+}
+
+// TestUDPControlBypassesCoalescer verifies acked control frames never
+// wait out the coalescing window: with an hour-long flush interval a
+// control message still arrives immediately, while a data chunk sits in
+// the queue.
+func TestUDPControlBypassesCoalescer(t *testing.T) {
+	cfg := UDPConfig{Batch: BatchConfig{MaxBatch: 64, FlushInterval: time.Hour}}
+	a, b := newUDPPair(t, cfg)
+	var c collector
+	b.Register(2, c.handler())
+	if err := a.SetRoute(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+
+	if !a.Send(1, 2, overlay.DataChunk{Seq: 1}) {
+		t.Fatal("data send failed")
+	}
+	if !a.Send(1, 2, overlay.InfoRequest{Token: 9}) {
+		t.Fatal("control send failed")
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return c.count() >= 1 }) {
+		t.Fatal("control frame did not bypass the coalescer")
+	}
+	if _, ok := c.snapshot()[0].(overlay.InfoRequest); !ok {
+		t.Fatalf("first delivery = %T, want InfoRequest (data should still be queued)", c.snapshot()[0])
+	}
+	// The data chunk is only released by Close's shutdown flush.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return c.count() == 2 }) {
+		t.Fatalf("queued data chunk not flushed on close; delivered %d", c.count())
+	}
+}
+
+// TestMemSendBatchParity checks the loopback mirror of the fan-out path:
+// one SendBatch equals N sequential Sends — same delivery order, same
+// failure reporting — with the batch counters ticking.
+func TestMemSendBatchParity(t *testing.T) {
+	tr := NewMem()
+	defer tr.Close()
+	var c1, c2 collector
+	tr.Register(1, c1.handler())
+	tr.Register(2, c2.handler())
+
+	failed := tr.SendBatch(0, []overlay.NodeID{1, 2, 99}, overlay.DataChunk{Seq: 5}, nil)
+	if len(failed) != 1 || failed[0] != 99 {
+		t.Fatalf("failed = %v, want [99]", failed)
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return c1.count() == 1 && c2.count() == 1 }) {
+		t.Fatalf("batch delivered %d/%d of 1/1", c1.count(), c2.count())
+	}
+	dp := tr.Dataplane()
+	if dp.FanoutBatches != 1 || dp.FanoutFrames != 3 {
+		t.Fatalf("fanout counters = %+v, want 1 batch / 3 frames", dp)
+	}
+	if got := tr.Counters().Undeliver.Load(); got != 1 {
+		t.Fatalf("Undeliver = %d, want 1", got)
+	}
+}
+
+// TestMemSendBatchOrdering interleaves SendBatch with plain Sends and
+// checks global FIFO order is exactly that of the equivalent sequential
+// sends.
+func TestMemSendBatchOrdering(t *testing.T) {
+	tr := NewMem()
+	defer tr.Close()
+	var c collector
+	tr.Register(1, c.handler())
+
+	tr.Send(0, 1, overlay.DataChunk{Seq: 0})
+	tr.SendBatch(0, []overlay.NodeID{1, 1, 1}, overlay.DataChunk{Seq: 1}, nil)
+	tr.Send(0, 1, overlay.DataChunk{Seq: 2})
+	if !waitFor(t, 2*time.Second, func() bool { return c.count() == 5 }) {
+		t.Fatalf("delivered %d of 5", c.count())
+	}
+	want := []int64{0, 1, 1, 1, 2}
+	for i, m := range c.snapshot() {
+		if m.(overlay.DataChunk).Seq != want[i] {
+			t.Fatalf("order at %d: got seq %d, want %d", i, m.(overlay.DataChunk).Seq, want[i])
+		}
+	}
+}
+
+// TestMemDataQueueCapDropOldest drives the loopback drop-oldest
+// backpressure deterministically: holding the transport lock keeps the
+// dispatcher out while a burst overfills one destination's data queue, so
+// the surviving window is exactly the newest DataQueueCap chunks — the
+// same survivors the UDP coalescer test observes.
+func TestMemDataQueueCapDropOldest(t *testing.T) {
+	tr := NewMem()
+	defer tr.Close()
+	tr.DataQueueCap = 4
+	var c collector
+	tr.Register(1, c.handler())
+
+	const n = 10
+	tr.mu.Lock()
+	for i := 0; i < n; i++ {
+		if !tr.sendLocked(0, 1, overlay.DataChunk{Seq: int64(i)}) {
+			tr.mu.Unlock()
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	tr.mu.Unlock()
+
+	if !waitFor(t, 2*time.Second, func() bool { return c.count() == 4 }) {
+		t.Fatalf("delivered %d, want 4", c.count())
+	}
+	for i, m := range c.snapshot() {
+		if want := int64(n - 4 + i); m.(overlay.DataChunk).Seq != want {
+			t.Fatalf("survivor %d = %v, want seq %d", i, m, want)
+		}
+	}
+	dp := tr.Dataplane()
+	if dp.QueueDrops != n-4 {
+		t.Fatalf("QueueDrops = %d, want %d", dp.QueueDrops, n-4)
+	}
+	if got := tr.Counters().DataDrops.Load(); got != n-4 {
+		t.Fatalf("DataDrops = %d, want %d", got, n-4)
+	}
+}
+
+// TestDedupeSeqWraparound walks the control-seq dedupe window across the
+// uint32 wraparound boundary. Transport seqs are value-identified (the
+// window is a set over the last dedupeWindow values, not an ordered
+// horizon), so 0 following ^uint32(0) is just another fresh value — this
+// pins that property.
+func TestDedupeSeqWraparound(t *testing.T) {
+	d := newDedupe()
+	start := ^uint32(0) - 5
+	var seqs []uint32
+	for i := uint32(0); i < 12; i++ {
+		seqs = append(seqs, start+i) // wraps past ^uint32(0) to 0,1,...
+	}
+	for _, s := range seqs {
+		if d.seen(s) {
+			t.Fatalf("seq %d flagged duplicate on first sight", s)
+		}
+	}
+	for _, s := range seqs {
+		if !d.seen(s) {
+			t.Fatalf("seq %d not flagged duplicate on second sight", s)
+		}
+	}
+}
+
+// TestDedupeWindowEviction fills the window past capacity and checks the
+// oldest entry is forgotten (and therefore accepted again).
+func TestDedupeWindowEviction(t *testing.T) {
+	d := newDedupe()
+	for i := 0; i <= dedupeWindow; i++ {
+		if d.seen(uint32(i)) {
+			t.Fatalf("seq %d flagged duplicate on first sight", i)
+		}
+	}
+	if d.seen(0) {
+		t.Fatal("seq 0 should have been evicted from the window")
+	}
+	if d.seen(uint32(dedupeWindow)) != true {
+		t.Fatal("newest seq lost from the window")
+	}
+}
+
+// TestUDPBatchDisableFallback checks the Batch.Disable escape hatch: the
+// unbatched path still delivers, with one syscall per sent frame.
+func TestUDPBatchDisableFallback(t *testing.T) {
+	cfg := UDPConfig{Batch: BatchConfig{Disable: true}}
+	a, b := newUDPPair(t, cfg)
+	if a.BatchIO() {
+		t.Fatal("BatchIO active despite Disable")
+	}
+	var c collector
+	b.Register(2, c.handler())
+	if err := a.SetRoute(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if !a.Send(1, 2, overlay.DataChunk{Seq: int64(i)}) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return c.count() == n }) {
+		t.Fatalf("delivered %d of %d", c.count(), n)
+	}
+	dp := a.Dataplane()
+	if dp.SendSyscalls != dp.SentFrames {
+		t.Fatalf("disabled batching: SendSyscalls = %d, SentFrames = %d", dp.SendSyscalls, dp.SentFrames)
+	}
+}
+
+// benchFanout measures SendBatch vs sequential Sends on the loopback
+// transport, the allocation-sensitive half of the fan-out fast path.
+func BenchmarkMemSendBatchFanout(b *testing.B) {
+	tr := NewMem()
+	defer tr.Close()
+	tos := make([]overlay.NodeID, 16)
+	for i := range tos {
+		tos[i] = overlay.NodeID(i + 1)
+		tr.Register(tos[i], func(overlay.NodeID, overlay.Message) {})
+	}
+	m := overlay.DataChunk{Seq: 1, Payload: []byte("0123456789abcdef")}
+	failed := make([]overlay.NodeID, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		failed = tr.SendBatch(0, tos, m, failed[:0])
+		if len(failed) != 0 {
+			b.Fatal(fmt.Sprintf("failed = %v", failed))
+		}
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vdm/internal/overlay"
@@ -22,13 +23,48 @@ type Mem struct {
 	// Set before first use.
 	DropFn func(from, to overlay.NodeID, m overlay.Message) bool
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []memItem
-	handlers map[overlay.NodeID]Handler
-	ctrs     overlay.Counters
-	closed   bool
-	done     chan struct{}
+	// DataQueueCap mirrors the UDP coalescer's per-destination queue
+	// bound: when more than this many data chunks are queued for one
+	// destination, the oldest of them is dropped (drop-oldest
+	// backpressure, counted as a data drop). Zero means unbounded — the
+	// historical lossless behavior the deterministic tests rely on. Set
+	// before first use.
+	DataQueueCap int
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []memItem
+	handlers   map[overlay.NodeID]Handler
+	ctrs       overlay.Counters
+	queuedData map[overlay.NodeID]int // queued data chunks per destination
+	closed     bool
+	done       chan struct{}
+
+	// Data-plane accounting kept semantically aligned with UDP's (there
+	// are no syscalls here; batch sends and queue drops still count).
+	fanoutBatches atomic.Int64
+	fanoutFrames  atomic.Int64
+	queueDrops    atomic.Int64
+}
+
+// MemDataplaneStats is the loopback transport's slice of the data-plane
+// accounting — what of UDP's DataplaneStats is meaningful in process.
+type MemDataplaneStats struct {
+	// FanoutBatches counts SendBatch calls that enqueued under one lock
+	// acquisition; FanoutFrames the messages they covered.
+	FanoutBatches int64
+	FanoutFrames  int64
+	// QueueDrops counts data chunks evicted oldest-first by DataQueueCap.
+	QueueDrops int64
+}
+
+// Dataplane reads the data-plane counters once.
+func (t *Mem) Dataplane() MemDataplaneStats {
+	return MemDataplaneStats{
+		FanoutBatches: t.fanoutBatches.Load(),
+		FanoutFrames:  t.fanoutFrames.Load(),
+		QueueDrops:    t.queueDrops.Load(),
+	}
 }
 
 type memItem struct {
@@ -42,8 +78,9 @@ var _ Transport = (*Mem)(nil)
 // NewMem builds a loopback transport and starts its dispatcher.
 func NewMem() *Mem {
 	t := &Mem{
-		handlers: make(map[overlay.NodeID]Handler),
-		done:     make(chan struct{}),
+		handlers:   make(map[overlay.NodeID]Handler),
+		queuedData: make(map[overlay.NodeID]int),
+		done:       make(chan struct{}),
 	}
 	t.cond = sync.NewCond(&t.mu)
 	go t.dispatch()
@@ -74,10 +111,37 @@ func (t *Mem) Counters() *overlay.Counters { return &t.ctrs }
 func (t *Mem) Send(from, to overlay.NodeID, m overlay.Message) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.sendLocked(from, to, m)
+}
+
+// SendBatch delivers m to every destination in tos under one lock
+// acquisition — the loopback mirror of the UDP fan-out fast path. The
+// per-destination semantics (counters, DropFn, unknown destinations,
+// queue-cap backpressure) are exactly those of len(tos) sequential Sends,
+// and so is the delivery order, so sim-aligned tests see no behavioral
+// difference — only fewer lock round-trips.
+func (t *Mem) SendBatch(from overlay.NodeID, tos []overlay.NodeID, m overlay.Message, failed []overlay.NodeID) []overlay.NodeID {
+	t.fanoutBatches.Add(1)
+	t.fanoutFrames.Add(int64(len(tos)))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, to := range tos {
+		if !t.sendLocked(from, to, m) {
+			failed = append(failed, to)
+		}
+	}
+	return failed
+}
+
+var _ BatchSender = (*Mem)(nil)
+
+// sendLocked is the single-destination enqueue; caller holds t.mu.
+func (t *Mem) sendLocked(from, to overlay.NodeID, m overlay.Message) bool {
 	if t.closed {
 		return false
 	}
-	if _, data := m.(overlay.DataChunk); data {
+	_, data := m.(overlay.DataChunk)
+	if data {
 		t.ctrs.Data.Add(1)
 		if t.DropFn != nil && t.DropFn(from, to, m) {
 			t.ctrs.DataDrops.Add(1)
@@ -94,9 +158,34 @@ func (t *Mem) Send(from, to overlay.NodeID, m overlay.Message) bool {
 		t.ctrs.Undeliver.Add(1)
 		return false
 	}
+	if data && t.DataQueueCap > 0 && t.queuedData[to] >= t.DataQueueCap {
+		t.dropOldestDataLocked(to)
+	}
 	t.queue = append(t.queue, memItem{from: from, to: to, m: m, due: time.Now().Add(t.Delay)})
+	if data {
+		t.queuedData[to]++
+	}
 	t.cond.Signal()
 	return true
+}
+
+// dropOldestDataLocked evicts the oldest queued data chunk destined for
+// to — the same drop-oldest backpressure the UDP coalescer applies when a
+// destination's queue overflows. Caller holds t.mu.
+func (t *Mem) dropOldestDataLocked(to overlay.NodeID) {
+	for i, it := range t.queue {
+		if it.to != to {
+			continue
+		}
+		if _, data := it.m.(overlay.DataChunk); !data {
+			continue
+		}
+		t.queue = append(t.queue[:i], t.queue[i+1:]...)
+		t.queuedData[to]--
+		t.ctrs.DataDrops.Add(1)
+		t.queueDrops.Add(1)
+		return
+	}
 }
 
 // dispatch delivers queued messages in order, waiting out each item's due
@@ -114,6 +203,9 @@ func (t *Mem) dispatch() {
 		}
 		it := t.queue[0]
 		t.queue = t.queue[1:]
+		if _, data := it.m.(overlay.DataChunk); data {
+			t.queuedData[it.to]--
+		}
 		t.mu.Unlock()
 
 		if d := time.Until(it.due); d > 0 {

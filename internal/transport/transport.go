@@ -34,3 +34,13 @@ type Transport interface {
 	// Close shuts the transport down and releases its resources.
 	Close() error
 }
+
+// BatchSender is an optional Transport capability: deliver one message to
+// many destinations in one call. Implementations encode the message once
+// and retarget the bytes per destination (UDP) or enqueue the whole
+// fan-out under one lock acquisition (Mem). Destinations that would make
+// Send return false are appended to failed, which callers may pass as a
+// reused scratch slice. internal/live bridges this to overlay.FanoutBus.
+type BatchSender interface {
+	SendBatch(from overlay.NodeID, tos []overlay.NodeID, m overlay.Message, failed []overlay.NodeID) []overlay.NodeID
+}

@@ -32,6 +32,51 @@ const (
 	resolveTTL = 3 * time.Second
 )
 
+// Data-plane batching defaults (see BatchConfig).
+const (
+	// DefaultMaxBatch is how many datagrams one recvmmsg/sendmmsg call
+	// moves at most.
+	DefaultMaxBatch = 32
+	// DefaultFlushInterval bounds how long a coalesced data frame may sit
+	// in the send queue before it is forced onto the wire.
+	DefaultFlushInterval = 500 * time.Microsecond
+	// DefaultDestQueueCap bounds the frames coalesced per destination;
+	// beyond it the oldest queued frame is dropped (best-effort data
+	// backpressure).
+	DefaultDestQueueCap = 256
+)
+
+// BatchConfig tunes the batched data plane. The zero value enables
+// batching with the defaults above; set Disable to fall back to the
+// one-syscall-per-packet path (the pre-batching behavior, kept for
+// benchmarking baselines and debugging).
+type BatchConfig struct {
+	// Disable turns the send coalescer and the recvmmsg receive ring off.
+	Disable bool
+	// MaxBatch is the per-syscall datagram budget; zero selects
+	// DefaultMaxBatch.
+	MaxBatch int
+	// FlushInterval is the coalescing window; zero selects
+	// DefaultFlushInterval.
+	FlushInterval time.Duration
+	// DestQueueCap is the per-destination coalescer queue bound; zero
+	// selects DefaultDestQueueCap.
+	DestQueueCap int
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = DefaultFlushInterval
+	}
+	if c.DestQueueCap <= 0 {
+		c.DestQueueCap = DefaultDestQueueCap
+	}
+	return c
+}
+
 // UDPConfig tunes a UDP transport.
 type UDPConfig struct {
 	// RetryBase is the initial control-retransmit delay (doubles each
@@ -40,6 +85,9 @@ type UDPConfig struct {
 	// RetryAttempts is the total transmissions of one control message
 	// before giving up; zero selects DefaultRetryAttempts.
 	RetryAttempts int
+	// Batch tunes the batched data plane (zero value = enabled with
+	// defaults).
+	Batch BatchConfig
 }
 
 func (c UDPConfig) withDefaults() UDPConfig {
@@ -49,6 +97,7 @@ func (c UDPConfig) withDefaults() UDPConfig {
 	if c.RetryAttempts <= 0 {
 		c.RetryAttempts = DefaultRetryAttempts
 	}
+	c.Batch = c.Batch.withDefaults()
 	return c
 }
 
@@ -92,6 +141,83 @@ type UDP struct {
 	dedupeDrops atomic.Int64
 	acksRecv    atomic.Int64
 	wg          sync.WaitGroup
+
+	// Batched data plane: the send-side coalescer (nil when disabled) and
+	// the platform mmsg engine (nil when disabled or unsupported — the
+	// transport then falls back to one syscall per datagram but keeps the
+	// coalescer's queueing semantics).
+	co   *coalescer
+	mmsg *mmsgIO
+	dp   dataplane
+}
+
+// dataplane is the batched data path's accounting, all atomics so the
+// receive loop, the coalescer and Send callers never contend.
+type dataplane struct {
+	sendSyscalls  atomic.Int64
+	recvSyscalls  atomic.Int64
+	sentFrames    atomic.Int64
+	recvFrames    atomic.Int64
+	flushes       atomic.Int64
+	flushedFrames atomic.Int64
+	queueDrops    atomic.Int64
+	fanoutEncodes atomic.Int64
+	fanoutFrames  atomic.Int64
+	flushNanos    atomic.Int64
+	maxBatch      atomic.Int64
+}
+
+// DataplaneStats is a snapshot of the batched data plane's accounting.
+type DataplaneStats struct {
+	// SendSyscalls / RecvSyscalls count socket write and read system
+	// calls (a sendmmsg/recvmmsg moving N datagrams counts once).
+	SendSyscalls int64
+	RecvSyscalls int64
+	// SentFrames / RecvFrames count datagrams actually written/read.
+	SentFrames int64
+	RecvFrames int64
+	// Flushes counts coalescer flushes; FlushedFrames the data frames
+	// they moved; FlushNanos the summed first-enqueue→flush latency.
+	Flushes       int64
+	FlushedFrames int64
+	FlushNanos    int64
+	// QueueDrops counts data frames evicted oldest-first when a
+	// destination's coalescer queue overflowed.
+	QueueDrops int64
+	// FanoutEncodes counts single-encode fan-outs; FanoutFrames the
+	// frames those fan-outs produced (the saving is the difference).
+	FanoutEncodes int64
+	FanoutFrames  int64
+	// MaxBatch is the largest datagram count one syscall has moved.
+	MaxBatch int64
+}
+
+// Dataplane reads the data-plane counters once.
+func (t *UDP) Dataplane() DataplaneStats {
+	return DataplaneStats{
+		SendSyscalls:  t.dp.sendSyscalls.Load(),
+		RecvSyscalls:  t.dp.recvSyscalls.Load(),
+		SentFrames:    t.dp.sentFrames.Load(),
+		RecvFrames:    t.dp.recvFrames.Load(),
+		Flushes:       t.dp.flushes.Load(),
+		FlushedFrames: t.dp.flushedFrames.Load(),
+		FlushNanos:    t.dp.flushNanos.Load(),
+		QueueDrops:    t.dp.queueDrops.Load(),
+		FanoutEncodes: t.dp.fanoutEncodes.Load(),
+		FanoutFrames:  t.dp.fanoutFrames.Load(),
+		MaxBatch:      t.dp.maxBatch.Load(),
+	}
+}
+
+// noteBatch records a syscall that moved n datagrams in dir (send or
+// recv), keeping the high-water batch size.
+func (d *dataplane) noteBatch(n int64) {
+	for {
+		old := d.maxBatch.Load()
+		if old >= n || d.maxBatch.CompareAndSwap(old, n) {
+			return
+		}
+	}
 }
 
 // UDPStats is a snapshot of the UDP reliability machinery's accounting.
@@ -182,7 +308,14 @@ type parkedItem struct {
 	at   time.Time
 }
 
-// dedupe remembers the last dedupeWindow control seqs from one sender.
+// dedupe remembers the last dedupeWindow (512) control seqs from one
+// sender, as a set over values plus an eviction ring — membership is by
+// value, not by ordered horizon, so the tracker is indifferent to the
+// uint32 seq counter wrapping past ^uint32(0). The window only needs to
+// outlast one frame's retransmit schedule (RetryAttempts doublings of
+// RetryBase, ~1.6s at the defaults): 512 entries covers that with a wide
+// margin even at data-plane control rates, while staying small enough to
+// keep per-sender.
 type dedupe struct {
 	ring []uint32
 	set  map[uint32]struct{}
@@ -229,10 +362,20 @@ func NewUDP(listenAddr string, cfg UDPConfig) (*UDP, error) {
 		parked:   make(map[overlay.NodeID]*parkedQueue),
 		recent:   make(map[overlay.NodeID]*dedupe),
 	}
+	if !t.cfg.Batch.Disable {
+		t.mmsg = newMmsgIO(conn, t.cfg.Batch.MaxBatch) // nil on unsupported platforms
+		t.co = newCoalescer(t, t.cfg.Batch)
+	}
 	t.wg.Add(1)
 	go t.readLoop()
 	return t, nil
 }
+
+// BatchIO reports whether the platform mmsg engine is active (recvmmsg/
+// sendmmsg). False means the portable one-syscall-per-packet fallback is
+// in use; the coalescer's queueing semantics apply either way unless
+// batching is disabled outright.
+func (t *UDP) BatchIO() bool { return t.mmsg != nil }
 
 // LocalAddr returns the bound socket address.
 func (t *UDP) LocalAddr() string { return t.conn.LocalAddr().String() }
@@ -339,8 +482,13 @@ func (t *UDP) deliver(from, to overlay.NodeID, m overlay.Message) bool {
 	}
 	f := wire.Frame{Kind: wire.KindMsg, From: from, To: to, Msg: m}
 	if !ctrl {
+		co := t.co
 		t.mu.Unlock()
-		t.write(to, addr, f, 0)
+		if co != nil {
+			co.enqueueFrame(to, addr, f)
+		} else {
+			t.write(to, addr, f, 0)
+		}
 		return true
 	}
 	t.seq++
@@ -440,6 +588,8 @@ func (t *UDP) write(to overlay.NodeID, addr *net.UDPAddr, f wire.Frame, attempt 
 		}
 		return
 	}
+	t.dp.sendSyscalls.Add(1)
+	t.dp.sentFrames.Add(1)
 	t.conn.WriteToUDP(b, addr)
 }
 
@@ -452,53 +602,80 @@ func (t *UDP) SendFrame(addr *net.UDPAddr, f wire.Frame) error {
 	if err != nil {
 		return err
 	}
+	t.dp.sendSyscalls.Add(1)
+	t.dp.sentFrames.Add(1)
 	_, err = t.conn.WriteToUDP(b, addr)
 	return err
 }
 
 // readLoop receives, decodes and dispatches frames until the socket
-// closes. Malformed datagrams are counted and dropped — wire.DecodeFrame
-// guarantees they cannot do anything worse.
+// closes. With the mmsg engine active it drains up to MaxBatch datagrams
+// per recvmmsg syscall out of a pooled ring of receive buffers; otherwise
+// it reads one datagram per syscall. Either way the buffers are reused
+// across reads — wire.DecodeFrame copies everything a handler may retain
+// (DataChunk payloads, strings), so reuse is invisible above the codec.
 func (t *UDP) readLoop() {
 	defer t.wg.Done()
+	if t.mmsg != nil {
+		for {
+			n, err := t.mmsg.readBatch(t.dispatchDatagram)
+			if err != nil {
+				return // socket closed
+			}
+			if n > 0 {
+				t.dp.recvSyscalls.Add(1)
+				t.dp.recvFrames.Add(int64(n))
+				t.dp.noteBatch(int64(n))
+			}
+		}
+	}
 	buf := make([]byte, wire.MaxPayload+1024)
 	for {
 		n, raddr, err := t.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // socket closed
 		}
-		f, _, err := wire.DecodeFrame(buf[:n])
-		if err != nil {
-			t.ctrs.Undeliver.Add(1)
-			continue
+		t.dp.recvSyscalls.Add(1)
+		t.dp.recvFrames.Add(1)
+		t.dispatchDatagram(buf[:n], raddr)
+	}
+}
+
+// dispatchDatagram decodes and dispatches one received datagram.
+// Malformed datagrams are counted and dropped — wire.DecodeFrame
+// guarantees they cannot do anything worse.
+func (t *UDP) dispatchDatagram(b []byte, raddr *net.UDPAddr) {
+	f, _, err := wire.DecodeFrame(b)
+	if err != nil {
+		t.ctrs.Undeliver.Add(1)
+		return
+	}
+	switch f.Kind {
+	case wire.KindMsg:
+		t.handleMsg(f, raddr)
+	case wire.KindAck:
+		t.mu.Lock()
+		inf, ok := t.pending[f.Seq]
+		if ok {
+			inf.timer.Stop()
+			delete(t.pending, f.Seq)
 		}
-		switch f.Kind {
-		case wire.KindMsg:
-			t.handleMsg(f, raddr)
-		case wire.KindAck:
-			t.mu.Lock()
-			inf, ok := t.pending[f.Seq]
-			if ok {
-				inf.timer.Stop()
-				delete(t.pending, f.Seq)
-			}
-			tr := t.tracer
-			t.mu.Unlock()
-			if ok {
-				t.acksRecv.Add(1)
-				tr.Emit(obs.EvUDPAck, obs.Event{
-					Target: int64(inf.to),
-					Step:   inf.attempts + 1,
-					Value:  float64(time.Since(inf.sentAt)) / float64(time.Millisecond),
-				})
-			}
-		default:
-			t.mu.Lock()
-			h := t.sessionHandler
-			t.mu.Unlock()
-			if h != nil {
-				h(raddr, f)
-			}
+		tr := t.tracer
+		t.mu.Unlock()
+		if ok {
+			t.acksRecv.Add(1)
+			tr.Emit(obs.EvUDPAck, obs.Event{
+				Target: int64(inf.to),
+				Step:   inf.attempts + 1,
+				Value:  float64(time.Since(inf.sentAt)) / float64(time.Millisecond),
+			})
+		}
+	default:
+		t.mu.Lock()
+		h := t.sessionHandler
+		t.mu.Unlock()
+		if h != nil {
+			h(raddr, f)
 		}
 	}
 }
@@ -537,6 +714,8 @@ func (t *UDP) handleMsg(f wire.Frame, raddr *net.UDPAddr) {
 }
 
 // Close shuts the socket down and cancels every pending retransmission.
+// Coalesced data frames still queued are flushed first, so a graceful
+// shutdown does not eat the tail of the stream.
 func (t *UDP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -549,7 +728,76 @@ func (t *UDP) Close() error {
 		delete(t.pending, seq)
 	}
 	t.mu.Unlock()
+	if t.co != nil {
+		t.co.shutdown()
+	}
 	err := t.conn.Close()
 	t.wg.Wait()
 	return err
+}
+
+// SendBatch delivers one message to many destinations. Data chunks take
+// the fan-out fast path: the frame is encoded once and the bytes are
+// retargeted per child on their way into the coalescer. Control messages
+// keep their per-destination reliability machinery (each needs its own
+// retransmit token), so they fall back to sequential Sends. Destinations
+// that fail the way Send would return false are appended to failed.
+func (t *UDP) SendBatch(from overlay.NodeID, tos []overlay.NodeID, m overlay.Message, failed []overlay.NodeID) []overlay.NodeID {
+	if wire.IsControl(m) || t.co == nil {
+		for _, to := range tos {
+			if !t.Send(from, to, m) {
+				failed = append(failed, to)
+			}
+		}
+		return failed
+	}
+	t.ctrs.Data.Add(int64(len(tos)))
+	eb := wire.GetEncodeBuffer()
+	defer eb.Release()
+	f := wire.Frame{Kind: wire.KindMsg, From: from, To: overlay.None, Msg: m}
+	b, err := eb.Encode(f)
+	if err != nil {
+		t.ctrs.DataDrops.Add(int64(len(tos)))
+		return failed
+	}
+	t.dp.fanoutEncodes.Add(1)
+	t.mu.Lock()
+	filter := t.sendFilter
+	if t.closed {
+		t.mu.Unlock()
+		return append(failed, tos...)
+	}
+	type target struct {
+		to   overlay.NodeID
+		addr *net.UDPAddr
+	}
+	// Resolve all routes under one lock acquisition; park the unknowns
+	// exactly as a sequential Send would.
+	targets := make([]target, 0, len(tos))
+	for _, to := range tos {
+		addr, ok := t.routes[to]
+		if !ok {
+			if t.resolveFn == nil {
+				t.ctrs.Undeliver.Add(1)
+				failed = append(failed, to)
+				continue
+			}
+			t.parkLocked(from, to, m)
+			continue
+		}
+		targets = append(targets, target{to: to, addr: addr})
+	}
+	t.mu.Unlock()
+	for _, tg := range targets {
+		if filter != nil {
+			f.To = tg.to
+			if filter(tg.to, f, 0) {
+				t.ctrs.DataDrops.Add(1)
+				continue
+			}
+		}
+		t.dp.fanoutFrames.Add(1)
+		t.co.enqueueBytes(tg.to, tg.addr, b)
+	}
+	return failed
 }

@@ -27,9 +27,11 @@ import (
 
 // Version is the current wire format version, the first byte of every
 // frame. Version 2 added the join correlation id to InfoRequest and
-// ConnRequest and the StatusReport telemetry message; decoding is strict,
-// so version-1 frames are rejected rather than half-understood.
-const Version = 2
+// ConnRequest and the StatusReport telemetry message; version 3 added the
+// DataChunk payload (the stream content the data plane actually moves).
+// Decoding is strict, so older-version frames are rejected rather than
+// half-understood.
+const Version = 3
 
 // headerLen is the fixed frame header size.
 const headerLen = 1 + 1 + 4 + 4 + 4 + 4
@@ -44,6 +46,10 @@ const (
 	MaxList = 4096
 	// MaxString bounds encoded strings (transport addresses).
 	MaxString = 255
+	// MaxChunkPayload bounds one DataChunk's payload. It is chosen so a
+	// data frame always fits one UDP datagram with room for the header
+	// and future per-chunk metadata.
+	MaxChunkPayload = 32 * 1024
 )
 
 // Kind discriminates what a frame carries.
@@ -395,8 +401,13 @@ func AppendMessage(dst []byte, m overlay.Message) ([]byte, error) {
 		dst = append(dst, typeReassign)
 		return appendID(dst, v.To), nil
 	case overlay.DataChunk:
+		if len(v.Payload) > MaxChunkPayload {
+			return nil, fmt.Errorf("%w: chunk payload %d > %d", ErrTooLarge, len(v.Payload), MaxChunkPayload)
+		}
 		dst = append(dst, typeDataChunk)
-		return appendU64(dst, uint64(v.Seq)), nil
+		dst = appendU64(dst, uint64(v.Seq))
+		dst = appendU16(dst, uint16(len(v.Payload)))
+		return append(dst, v.Payload...), nil
 	case overlay.StatusReport:
 		dst = append(dst, typeStatusReport)
 		dst = appendU32(dst, v.Seq)
@@ -555,7 +566,27 @@ func decodeMessage(r *reader) (overlay.Message, error) {
 		return overlay.Reassign{To: to}, err
 	case typeDataChunk:
 		seq, err := r.u64()
-		return overlay.DataChunk{Seq: int64(seq)}, err
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > MaxChunkPayload {
+			return nil, fmt.Errorf("%w: chunk payload %d > %d", ErrTooLarge, n, MaxChunkPayload)
+		}
+		if err := r.need(int(n)); err != nil {
+			return nil, err
+		}
+		m := overlay.DataChunk{Seq: int64(seq)}
+		if n > 0 {
+			// Copy: transports decode out of reused receive buffers, and a
+			// handler may legitimately retain the payload past this read.
+			m.Payload = append([]byte(nil), r.b[r.off:r.off+int(n)]...)
+			r.off += int(n)
+		}
+		return m, nil
 	case typeStatusReport:
 		var m overlay.StatusReport
 		var err error
@@ -670,6 +701,14 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 
 // EncodeFrame encodes f into a fresh buffer.
 func EncodeFrame(f Frame) ([]byte, error) { return AppendFrame(nil, f) }
+
+// PatchTo overwrites the To field of an already-encoded frame in place.
+// The fan-out fast path encodes a data frame once, then retargets the
+// bytes queued for each child instead of re-encoding the whole frame.
+// frame must start at a frame boundary (as produced by AppendFrame).
+func PatchTo(frame []byte, to overlay.NodeID) {
+	binary.BigEndian.PutUint32(frame[10:14], uint32(int32(to)))
+}
 
 // encodeBufPool recycles frame-encode scratch buffers: the live
 // transports encode one frame per datagram on their hot paths, and the

@@ -55,6 +55,8 @@ func everyMessage() []overlay.Message {
 		overlay.Reassign{To: 99},
 		overlay.DataChunk{Seq: 1234567890123},
 		overlay.DataChunk{Seq: 0},
+		overlay.DataChunk{Seq: 77, Payload: []byte{0x00, 0x01, 0xfe, 0xff}},
+		overlay.DataChunk{Seq: 78, Payload: bytes.Repeat([]byte{0x5a}, MaxChunkPayload)},
 		overlay.StatusReport{
 			Seq: 31, Parent: 2, ParentDist: 18.5, SrcDist: 42.25,
 			Depth: 3, MaxDegree: 4, Free: 1, Connected: true,
@@ -179,6 +181,54 @@ func TestEncodeRejectsOversizedLists(t *testing.T) {
 	}
 	if _, err := EncodeFrame(Frame{Kind: KindHello, Addr: string(make([]byte, MaxString+1))}); err == nil {
 		t.Fatal("oversized address encoded")
+	}
+	huge := make([]byte, MaxChunkPayload+1)
+	if _, err := EncodeFrame(Frame{Kind: KindMsg, Msg: overlay.DataChunk{Seq: 1, Payload: huge}}); err == nil {
+		t.Fatal("oversized chunk payload encoded")
+	}
+}
+
+// TestChunkPayloadDecodeCopies pins the aliasing contract the batched
+// receive path depends on: a decoded DataChunk.Payload must not alias the
+// input buffer, because transports reuse receive buffers for the next
+// datagram while handlers may retain the payload.
+func TestChunkPayloadDecodeCopies(t *testing.T) {
+	b, err := EncodeFrame(Frame{Kind: KindMsg, From: 1, To: 2, Seq: 3,
+		Msg: overlay.DataChunk{Seq: 9, Payload: []byte{1, 2, 3, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Msg.(overlay.DataChunk).Payload
+	for i := range b {
+		b[i] = 0xee
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("decoded payload aliases the input buffer: %v", got)
+	}
+}
+
+// TestPatchTo checks the in-place frame retargeting the fan-out fast path
+// uses instead of re-encoding per child.
+func TestPatchTo(t *testing.T) {
+	b, err := EncodeFrame(Frame{Kind: KindMsg, From: 4, To: overlay.None, Seq: 11,
+		Msg: overlay.DataChunk{Seq: 5, Payload: []byte("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	PatchTo(b, 42)
+	f, n, err := DecodeFrame(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("decode after patch: n=%d err=%v", n, err)
+	}
+	if f.To != 42 || f.From != 4 || f.Seq != 11 {
+		t.Fatalf("patched frame = %+v", f)
+	}
+	if c := f.Msg.(overlay.DataChunk); c.Seq != 5 || string(c.Payload) != "x" {
+		t.Fatalf("payload disturbed by patch: %+v", c)
 	}
 }
 
