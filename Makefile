@@ -23,13 +23,20 @@ fuzz:
 # the data-plane goodput harness, and archives JSON summaries
 # (BENCH_wire.json, BENCH_dataplane.json) so the perf trajectory is
 # tracked PR to PR; every run also appends one line per summary to
-# BENCH_history.jsonl.
+# BENCH_history.jsonl. The data-plane passes are paced (-rate) so both
+# modes face the same offered load and their delivery ratios compare
+# (plus two unpaced passes for the capacity ceiling), -payload 256 puts
+# the run in the packet-rate-bound regime batching targets, and
+# -linkkill appends the repair-path recovery metric to the history;
+# benchgate then fails the target if batched delivery regressed below
+# baseline.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/wire/ ./internal/eventq/ ./internal/core/ | tee bench.out
 	$(GO) run ./cmd/benchjson -history BENCH_history.jsonl < bench.out > BENCH_wire.json
 	@rm -f bench.out
-	$(GO) run ./cmd/benchpump -peers 16 -chunks 1000 -payload 1024 \
+	$(GO) run ./cmd/benchpump -peers 16 -chunks 6000 -payload 256 -rate 8000 -linkkill \
 		-out BENCH_dataplane.json -history BENCH_history.jsonl
+	$(GO) run ./cmd/benchgate -in BENCH_dataplane.json
 	@echo "wrote BENCH_wire.json BENCH_dataplane.json"
 
 # bench-compare re-runs the benchmarks and fails if any regressed more

@@ -1,0 +1,139 @@
+// Command benchgate turns the data-plane bench from report-only into a
+// pass/fail CI gate. It reads a BENCH_dataplane.json written by
+// cmd/benchpump and exits non-zero when the batched data plane delivers
+// a smaller fraction of the offered stream than the unbatched baseline —
+// the one regression the batching + reliability work must never cause.
+//
+// The comparison is only meaningful when both passes faced the same
+// offered load, so the gate insists the bench ran paced (config.rate > 0)
+// and that the two passes' measured offered loads agree; a run where the
+// source's emit loop throttled differently per pass proves nothing and
+// fails as invalid rather than passing silently.
+//
+// A missing report is a skip, not a failure: fresh checkouts gate on the
+// committed report, while CI regenerates it in the step before this one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type passStats struct {
+	Mode              string  `json:"mode"`
+	OfferedLoadMBps   float64 `json:"offered_load_mbps"`
+	DeliveryRatio     float64 `json:"delivery_ratio"`
+	GoodputMBps       float64 `json:"goodput_mbps"`
+	SyscallsPerPacket float64 `json:"syscalls_per_packet"`
+}
+
+type linkKillStats struct {
+	RecoveryMs          float64 `json:"recovery_ms"`
+	VictimDeliveryRatio float64 `json:"victim_delivery_ratio"`
+	ParentChanged       bool    `json:"parent_changed"`
+}
+
+type report struct {
+	Config struct {
+		Rate int `json:"rate"`
+	} `json:"config"`
+	Baseline passStats `json:"baseline"`
+	Batched  passStats `json:"batched"`
+	Capacity *struct {
+		GoodputRatio           float64 `json:"goodput_ratio"`
+		SyscallsPerPacketRatio float64 `json:"syscalls_per_packet_ratio"`
+	} `json:"capacity,omitempty"`
+	LinkKill *linkKillStats `json:"link_kill,omitempty"`
+}
+
+func main() {
+	in := flag.String("in", "BENCH_dataplane.json", "benchpump report to gate on")
+	slack := flag.Float64("slack", 0.02, "absolute delivery-ratio noise floor: fail only if batched < baseline - slack")
+	loadTol := flag.Float64("loadtol", 0.2, "max relative offered-load mismatch between passes before the run is invalid")
+	flag.Parse()
+
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchgate: %s missing; nothing to gate (run `make bench` first)\n", *in)
+			return
+		}
+		fatal("read %s: %v", *in, err)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		fatal("parse %s: %v", *in, err)
+	}
+
+	if r.Config.Rate <= 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s was an unpaced run (rate=0); delivery ratios are not load-matched, skipping\n", *in)
+		return
+	}
+	base, batch := r.Baseline, r.Batched
+	if base.OfferedLoadMBps <= 0 || batch.OfferedLoadMBps <= 0 {
+		fatal("%s predates offered-load accounting; regenerate it", *in)
+	}
+	if mismatch := relDiff(base.OfferedLoadMBps, batch.OfferedLoadMBps); mismatch > *loadTol {
+		fatal("offered load diverged between passes (baseline %.2f vs batched %.2f MB/s, %.0f%% apart); run invalid",
+			base.OfferedLoadMBps, batch.OfferedLoadMBps, 100*mismatch)
+	}
+
+	fmt.Printf("benchgate: offered %.2f MB/s | delivery baseline %.4f vs batched %.4f | goodput %.2fx | syscalls %.2fx\n",
+		base.OfferedLoadMBps, base.DeliveryRatio, batch.DeliveryRatio,
+		ratio(batch.GoodputMBps, base.GoodputMBps), ratio(batch.SyscallsPerPacket, base.SyscallsPerPacket))
+
+	failed := false
+	if batch.DeliveryRatio < base.DeliveryRatio-*slack {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL batched delivery %.4f < baseline %.4f (slack %.2f) at equal offered load\n",
+			batch.DeliveryRatio, base.DeliveryRatio, *slack)
+		failed = true
+	}
+	if cs := r.Capacity; cs != nil {
+		// Capacity (unpaced ceiling) stays report-only: absolute
+		// throughput on shared CI runners is too noisy to gate, while
+		// delivery at equal offered load is a correctness property.
+		fmt.Printf("benchgate: capacity %.2fx goodput, %.2fx syscalls/packet (report-only)\n",
+			cs.GoodputRatio, cs.SyscallsPerPacketRatio)
+	}
+	if lk := r.LinkKill; lk != nil {
+		fmt.Printf("benchgate: linkkill recovery %.0f ms, victim delivery %.4f, reparented=%v\n",
+			lk.RecoveryMs, lk.VictimDeliveryRatio, lk.ParentChanged)
+		if lk.ParentChanged {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL link-kill recovery re-parented the victim; repair must not touch the tree")
+			failed = true
+		}
+		if lk.VictimDeliveryRatio < 0.95 {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL victim recovered only %.4f of the stream after link kill\n", lk.VictimDeliveryRatio)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if a < b {
+		a = b
+	}
+	return d / a
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

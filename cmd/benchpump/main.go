@@ -6,9 +6,11 @@
 // with the batched data plane disabled (the pre-batching baseline),
 // then enabled — so the emitted BENCH_dataplane.json carries its own
 // baseline and the batched/baseline goodput and syscalls-per-packet
-// ratios PR gates can key on.
+// ratios PR gates can key on. Paced runs (-rate) add two unpaced
+// capacity passes (throughput ceiling per plane) and can append the
+// -linkkill repair scenario.
 //
-//	benchpump -peers 16 -chunks 1000 -payload 1024 -out BENCH_dataplane.json
+//	benchpump -peers 16 -chunks 6000 -payload 256 -rate 8000 -linkkill -out BENCH_dataplane.json
 package main
 
 import (
@@ -25,9 +27,11 @@ import (
 
 	"vdm/internal/benchio"
 	"vdm/internal/core"
+	"vdm/internal/flow"
 	"vdm/internal/live"
 	"vdm/internal/overlay"
 	"vdm/internal/transport"
+	"vdm/internal/wire"
 )
 
 type config struct {
@@ -37,6 +41,13 @@ type config struct {
 	Rate    int   `json:"rate"`    // chunks/sec; 0 = unpaced (max throughput)
 	Degree  int   `json:"degree"`  // max children per peer; 0 = flat fan-out (== peers)
 	Seed    int64 `json:"seed"`
+	// Flow enables the reliable data plane (paced flow control + FEC/NACK
+	// repair) on every peer in both comparison passes.
+	Flow bool `json:"flow"`
+	// SettleMs is the post-send quiet window: the delivery ratio is only
+	// computed once no new chunk has arrived for this long, so in-flight
+	// and repair-in-progress chunks aren't miscounted as lost.
+	SettleMs int `json:"settle_ms"`
 }
 
 // passStats is one measured pass through the cluster.
@@ -45,8 +56,15 @@ type passStats struct {
 	DurationSec float64 `json:"duration_sec"`
 	Emitted     int64   `json:"emitted"`
 	Delivered   int64   `json:"delivered"`
+	// OfferedLoadMBps is the source's actual emission rate in MB/s of
+	// payload — the equal-load axis the baseline/batched comparison is
+	// valid on. With -rate both passes offer the same load; unpaced
+	// passes emit as fast as the stack accepts and the offered loads
+	// diverge, making the delivery ratios incomparable.
+	OfferedLoadMBps float64 `json:"offered_load_mbps"`
 	// DeliveryRatio is delivered / (emitted × peers): the fraction of
-	// chunk copies that survived backpressure and socket-buffer loss.
+	// chunk copies that survived backpressure and socket-buffer loss,
+	// measured after the settle window so in-flight chunks count.
 	DeliveryRatio float64 `json:"delivery_ratio"`
 	// GoodputMBps is delivered payload bytes per second, summed across
 	// all receivers, in MB/s (1e6 bytes).
@@ -87,6 +105,44 @@ type report struct {
 	// (lower is better).
 	GoodputRatio           float64 `json:"goodput_ratio"`
 	SyscallsPerPacketRatio float64 `json:"syscalls_per_packet_ratio"`
+	// Capacity is present when the comparison passes were paced (-rate).
+	// At equal offered load both planes deliver what they're given, so
+	// the paced goodput ratio measures reliability, not headroom; these
+	// two extra unpaced passes measure each plane's raw throughput
+	// ceiling on the same machine.
+	Capacity *capacityStats `json:"capacity,omitempty"`
+	// LinkKill is present when -linkkill ran the repair scenario.
+	LinkKill *linkKillStats `json:"link_kill,omitempty"`
+}
+
+// capacityStats pairs the unpaced throughput-ceiling passes.
+type capacityStats struct {
+	Baseline               passStats `json:"baseline"`
+	Batched                passStats `json:"batched"`
+	GoodputRatio           float64   `json:"goodput_ratio"`
+	SyscallsPerPacketRatio float64   `json:"syscalls_per_packet_ratio"`
+}
+
+// linkKillStats measures the repair scenario: mid-stream, all stream data
+// on one interior tree link is silently dropped; the victim must recover
+// through its repair path (NACK pull from grandparent/neighbor) without a
+// tree re-join.
+type linkKillStats struct {
+	// KillAtSec is when the link died, seconds after the first emit.
+	KillAtSec float64 `json:"kill_at_sec"`
+	// RecoveryMs is the longest delivery outage the victim saw from the
+	// kill onward — the time the repair path took to resume the stream.
+	RecoveryMs float64 `json:"recovery_ms"`
+	// VictimDeliveryRatio is the victim's delivered/emitted over the whole
+	// pass; 1.0 means the repair path recovered every chunk.
+	VictimDeliveryRatio float64 `json:"victim_delivery_ratio"`
+	VictimDelivered     int64   `json:"victim_delivered"`
+	StallPulls          int64   `json:"stall_pulls"`
+	RetransmitsServed   int64   `json:"retransmits_served"`
+	FECRepairs          int64   `json:"fec_repairs"`
+	// ParentChanged reports whether the victim re-parented — the repair
+	// subsystem's whole point is that it should not have to.
+	ParentChanged bool `json:"parent_changed"`
 }
 
 // receiver accumulates one joiner's deliveries; the chunk observer runs
@@ -95,6 +151,7 @@ type report struct {
 type receiver struct {
 	mu    sync.Mutex
 	lats  []time.Duration
+	times []time.Duration // arrival times since epoch, for outage analysis
 	bytes int64
 	depth int64 // set once the tree has formed, before the stream starts
 }
@@ -107,8 +164,11 @@ func main() {
 	flag.IntVar(&cfg.Rate, "rate", 0, "chunks per second (0 = unpaced)")
 	flag.IntVar(&cfg.Degree, "degree", 0, "max children per peer (0 = flat fan-out)")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "refinement jitter seed")
+	flag.BoolVar(&cfg.Flow, "flow", false, "enable the reliable data plane (paced flow control + FEC/NACK repair) in both passes")
+	flag.IntVar(&cfg.SettleMs, "settle", 600, "post-send quiet window (ms) before the delivery ratio is read")
 	out := flag.String("out", "BENCH_dataplane.json", "report file")
 	history := flag.String("history", "", "append a one-line run record to this JSONL file")
+	linkkill := flag.Bool("linkkill", false, "after the comparison passes, run the link-kill repair scenario (forces flow on for that pass)")
 	flag.Parse()
 	if cfg.Payload < 8 {
 		cfg.Payload = 8
@@ -116,13 +176,16 @@ func main() {
 	if cfg.Degree <= 0 {
 		cfg.Degree = cfg.Peers
 	}
+	if cfg.SettleMs <= 0 {
+		cfg.SettleMs = 600
+	}
 
-	baseline, err := runPass(cfg, "baseline", true)
+	baseline, err := runPass(cfg, passOpts{mode: "baseline", disableBatch: true, flow: cfg.Flow})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchpump: baseline pass:", err)
 		os.Exit(1)
 	}
-	batched, err := runPass(cfg, "batched", false)
+	batched, err := runPass(cfg, passOpts{mode: "batched", flow: cfg.Flow})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchpump: batched pass:", err)
 		os.Exit(1)
@@ -142,6 +205,36 @@ func main() {
 	}
 	if baseline.SyscallsPerPacket > 0 {
 		rep.SyscallsPerPacketRatio = batched.SyscallsPerPacket / baseline.SyscallsPerPacket
+	}
+	if cfg.Rate > 0 {
+		capCfg := cfg
+		capCfg.Rate = 0
+		capBase, err := runPass(capCfg, passOpts{mode: "capacity-baseline", disableBatch: true, flow: cfg.Flow})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchpump: capacity baseline pass:", err)
+			os.Exit(1)
+		}
+		capBatch, err := runPass(capCfg, passOpts{mode: "capacity-batched", flow: cfg.Flow})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchpump: capacity batched pass:", err)
+			os.Exit(1)
+		}
+		cs := &capacityStats{Baseline: capBase, Batched: capBatch}
+		if capBase.GoodputMBps > 0 {
+			cs.GoodputRatio = capBatch.GoodputMBps / capBase.GoodputMBps
+		}
+		if capBase.SyscallsPerPacket > 0 {
+			cs.SyscallsPerPacketRatio = capBatch.SyscallsPerPacket / capBase.SyscallsPerPacket
+		}
+		rep.Capacity = cs
+	}
+	if *linkkill {
+		lk, err := runLinkKill(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchpump: linkkill pass:", err)
+			os.Exit(1)
+		}
+		rep.LinkKill = &lk
 	}
 
 	b, err := json.MarshalIndent(rep, "", "  ")
@@ -166,6 +259,9 @@ func main() {
 			BaselineSyscallsPerPkt float64 `json:"baseline_syscalls_per_packet"`
 			BatchedSyscallsPerPkt  float64 `json:"batched_syscalls_per_packet"`
 			SyscallsPerPacketRatio float64 `json:"syscalls_per_packet_ratio"`
+			BaselineDelivery       float64 `json:"baseline_delivery_ratio"`
+			BatchedDelivery        float64 `json:"batched_delivery_ratio"`
+			CapacityGoodputRatio   float64 `json:"capacity_goodput_ratio,omitempty"`
 		}{
 			Kind: "dataplane", GitSHA: rep.GitSHA, GeneratedAt: rep.GeneratedAt,
 			Peers:                  cfg.Peers,
@@ -175,111 +271,206 @@ func main() {
 			BaselineSyscallsPerPkt: baseline.SyscallsPerPacket,
 			BatchedSyscallsPerPkt:  batched.SyscallsPerPacket,
 			SyscallsPerPacketRatio: rep.SyscallsPerPacketRatio,
+			BaselineDelivery:       baseline.DeliveryRatio,
+			BatchedDelivery:        batched.DeliveryRatio,
+		}
+		if rep.Capacity != nil {
+			rec.CapacityGoodputRatio = rep.Capacity.GoodputRatio
 		}
 		if err := benchio.AppendHistory(*history, rec); err != nil {
 			fmt.Fprintln(os.Stderr, "benchpump: history:", err)
 			os.Exit(1)
 		}
+		if rep.LinkKill != nil {
+			lkRec := struct {
+				Kind                string  `json:"kind"`
+				GitSHA              string  `json:"git_sha"`
+				GeneratedAt         string  `json:"generated_at"`
+				Peers               int     `json:"peers"`
+				RecoveryMs          float64 `json:"recovery_ms"`
+				VictimDeliveryRatio float64 `json:"victim_delivery_ratio"`
+				StallPulls          int64   `json:"stall_pulls"`
+				RetransmitsServed   int64   `json:"retransmits_served"`
+				ParentChanged       bool    `json:"parent_changed"`
+			}{
+				Kind: "linkkill", GitSHA: rep.GitSHA, GeneratedAt: rep.GeneratedAt,
+				Peers:               cfg.Peers,
+				RecoveryMs:          rep.LinkKill.RecoveryMs,
+				VictimDeliveryRatio: rep.LinkKill.VictimDeliveryRatio,
+				StallPulls:          rep.LinkKill.StallPulls,
+				RetransmitsServed:   rep.LinkKill.RetransmitsServed,
+				ParentChanged:       rep.LinkKill.ParentChanged,
+			}
+			if err := benchio.AppendHistory(*history, lkRec); err != nil {
+				fmt.Fprintln(os.Stderr, "benchpump: history:", err)
+				os.Exit(1)
+			}
+		}
 	}
 	fmt.Printf("benchpump: %d peers, %d chunks × %d B\n", cfg.Peers, cfg.Chunks, cfg.Payload)
-	fmt.Printf("  baseline: %7.2f MB/s goodput, %5.2f syscalls/pkt, p50 hop %.3f ms\n",
-		baseline.GoodputMBps, baseline.SyscallsPerPacket, baseline.HopLatencyP50Ms)
-	fmt.Printf("  batched:  %7.2f MB/s goodput, %5.2f syscalls/pkt, p50 hop %.3f ms\n",
-		batched.GoodputMBps, batched.SyscallsPerPacket, batched.HopLatencyP50Ms)
+	fmt.Printf("  baseline: %7.2f MB/s goodput, %5.2f syscalls/pkt, %.4f delivery @ %.2f MB/s offered\n",
+		baseline.GoodputMBps, baseline.SyscallsPerPacket, baseline.DeliveryRatio, baseline.OfferedLoadMBps)
+	fmt.Printf("  batched:  %7.2f MB/s goodput, %5.2f syscalls/pkt, %.4f delivery @ %.2f MB/s offered\n",
+		batched.GoodputMBps, batched.SyscallsPerPacket, batched.DeliveryRatio, batched.OfferedLoadMBps)
 	fmt.Printf("  ratios:   %.2fx goodput, %.2fx syscalls/packet\n",
 		rep.GoodputRatio, rep.SyscallsPerPacketRatio)
+	if cs := rep.Capacity; cs != nil {
+		fmt.Printf("  capacity: %7.2f MB/s baseline vs %7.2f MB/s batched unpaced — %.2fx goodput, %.2fx syscalls/packet\n",
+			cs.Baseline.GoodputMBps, cs.Batched.GoodputMBps, cs.GoodputRatio, cs.SyscallsPerPacketRatio)
+	}
+	if rep.LinkKill != nil {
+		fmt.Printf("  linkkill: %.0f ms recovery, %.4f victim delivery, %d pulls, %d retransmits, reparented=%v\n",
+			rep.LinkKill.RecoveryMs, rep.LinkKill.VictimDeliveryRatio,
+			rep.LinkKill.StallPulls, rep.LinkKill.RetransmitsServed, rep.LinkKill.ParentChanged)
+	}
 	fmt.Printf("wrote %s\n", *out)
 }
 
-// runPass boots a fresh UDP cluster, streams the configured load through
-// it, and tears it down.
-func runPass(cfg config, mode string, disableBatch bool) (passStats, error) {
-	udpCfg := transport.UDPConfig{Batch: transport.BatchConfig{Disable: disableBatch}}
-	epoch := time.Now()
+// passOpts selects one measured pass's shape.
+type passOpts struct {
+	mode         string
+	disableBatch bool
+	flow         bool
+}
 
+// benchFlowConfig is the bench's reliable-data-plane tuning: per-child
+// pacing is left unbounded so the pass measures the transport, not the
+// pacer ceiling — the ack-clocked window and pushback still provide
+// backpressure, and FEC/NACK repair runs at defaults.
+func benchFlowConfig() *flow.Config {
+	return &flow.Config{RateChunksPerS: -1}
+}
+
+// cluster is one booted UDP test cluster: source plus cfg.Peers joiners,
+// each on its own socket, with per-receiver delivery accounting.
+type cluster struct {
+	cfg       config
+	epoch     time.Time
+	srcPeer   *live.Peer
+	trs       []*transport.UDP // [0] is the source's
+	peers     []*live.Peer     // joiners only
+	recvs     []*receiver      // parallel to peers
+	delivered atomic.Int64
+	lastRecv  atomic.Int64 // ns since epoch of the latest delivery
+	closers   []func()
+}
+
+func (cl *cluster) close() {
+	for i := len(cl.closers) - 1; i >= 0; i-- {
+		cl.closers[i]()
+	}
+}
+
+// bootCluster starts the source and all joiners and begins their joins;
+// call waitConnected before streaming.
+func bootCluster(cfg config, opts passOpts) (*cluster, error) {
+	udpCfg := transport.UDPConfig{Batch: transport.BatchConfig{Disable: opts.disableBatch}}
+	cl := &cluster{cfg: cfg, epoch: time.Now()}
+
+	var flowCfg *flow.Config
+	if opts.flow {
+		flowCfg = benchFlowConfig()
+	}
 	newNode := func(bus overlay.Bus, id overlay.NodeID) *core.Node {
 		return core.New(bus, overlay.PeerConfig{
-			ID: id, Source: 0, MaxDegree: cfg.Degree, IsSource: id == 0,
+			ID: id, Source: 0, MaxDegree: cfg.Degree, IsSource: id == 0, Flow: flowCfg,
 		}, core.Config{}, nil)
 	}
 
 	srcTr, err := transport.NewUDP("127.0.0.1:0", udpCfg)
 	if err != nil {
-		return passStats{}, err
+		return nil, err
 	}
-	defer srcTr.Close()
+	cl.closers = append(cl.closers, func() { srcTr.Close() })
+	cl.trs = append(cl.trs, srcTr)
 	live.NewSourceSession(srcTr)
-	srcPeer := live.NewPeer(srcTr, epoch, func(bus overlay.Bus) overlay.Protocol {
+	cl.srcPeer = live.NewPeer(srcTr, cl.epoch, func(bus overlay.Bus) overlay.Protocol {
 		return newNode(bus, 0)
 	})
-	defer srcPeer.Stop()
+	cl.closers = append(cl.closers, cl.srcPeer.Stop)
 
-	var (
-		peers     []*live.Peer
-		trs       = []*transport.UDP{srcTr}
-		recvs     []*receiver
-		delivered atomic.Int64
-		lastRecv  atomic.Int64 // ns since epoch of the latest delivery
-	)
 	for i := 0; i < cfg.Peers; i++ {
 		tr, err := transport.NewUDP("127.0.0.1:0", udpCfg)
 		if err != nil {
-			return passStats{}, err
+			cl.close()
+			return nil, err
 		}
-		defer tr.Close()
-		trs = append(trs, tr)
+		cl.closers = append(cl.closers, func() { tr.Close() })
+		cl.trs = append(cl.trs, tr)
 		sess, err := live.JoinSession(tr, srcTr.LocalAddr(), 10*time.Second)
 		if err != nil {
-			return passStats{}, fmt.Errorf("peer %d: %w", i, err)
+			cl.close()
+			return nil, fmt.Errorf("peer %d: %w", i, err)
 		}
 		id := sess.ID()
 		rc := &receiver{}
-		recvs = append(recvs, rc)
-		p := live.NewPeer(tr, epoch, func(bus overlay.Bus) overlay.Protocol {
+		cl.recvs = append(cl.recvs, rc)
+		p := live.NewPeer(tr, cl.epoch, func(bus overlay.Bus) overlay.Protocol {
 			n := newNode(bus, id)
 			n.Base().SetChunkObserver(func(c overlay.DataChunk) {
 				if len(c.Payload) < 8 {
 					return
 				}
 				sent := time.Duration(binary.BigEndian.Uint64(c.Payload))
-				now := time.Since(epoch)
+				now := time.Since(cl.epoch)
 				rc.mu.Lock()
 				rc.lats = append(rc.lats, now-sent)
+				rc.times = append(rc.times, now)
 				rc.bytes += int64(len(c.Payload))
 				rc.mu.Unlock()
-				delivered.Add(1)
-				lastRecv.Store(int64(now))
+				cl.delivered.Add(1)
+				cl.lastRecv.Store(int64(now))
 			})
 			return n
 		})
-		defer p.Stop()
+		cl.closers = append(cl.closers, p.Stop)
 		p.StartJoin()
-		peers = append(peers, p)
+		cl.peers = append(cl.peers, p)
 	}
+	return cl, nil
+}
 
+func (cl *cluster) waitConnected() error {
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		all := true
-		for _, p := range peers {
+		for _, p := range cl.peers {
 			if !p.Connected() {
 				all = false
 				break
 			}
 		}
 		if all {
-			break
+			for i, p := range cl.peers {
+				cl.recvs[i].depth = int64(treeDepth(p, cl.peers))
+			}
+			return nil
 		}
 		if time.Now().After(deadline) {
-			return passStats{}, fmt.Errorf("%s: peers did not all connect", mode)
+			return fmt.Errorf("peers did not all connect")
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	for i, p := range peers {
-		recvs[i].depth = int64(treeDepth(p, peers))
-	}
+}
 
-	// Stream. The payload buffer is reused: the UDP path copies it into
-	// the encode buffer before EmitData returns.
+// settle blocks until no new delivery has arrived for one quiet window
+// (or cap passes) — the post-send phase that lets in-flight and
+// repair-in-progress chunks land before the delivery ratio is read.
+func (cl *cluster) settle(quiet, cap time.Duration) {
+	deadline := time.Now().Add(cap)
+	for {
+		before := cl.delivered.Load()
+		time.Sleep(quiet)
+		if cl.delivered.Load() == before || time.Now().After(deadline) {
+			return
+		}
+	}
+}
+
+// stream emits the configured chunk load, invoking onSeq (when non-nil)
+// before each emission. It returns the emit-phase duration.
+func (cl *cluster) stream(onSeq func(seq int)) time.Duration {
+	cfg := cl.cfg
 	payload := make([]byte, cfg.Payload)
 	start := time.Now()
 	var interval time.Duration
@@ -292,24 +483,35 @@ func runPass(cfg config, mode string, disableBatch bool) (passStats, error) {
 				time.Sleep(time.Until(next))
 			}
 		}
-		binary.BigEndian.PutUint64(payload, uint64(time.Since(epoch)))
-		srcPeer.EmitData(overlay.DataChunk{Seq: int64(seq), Payload: payload})
-	}
-
-	// Drain: wait until deliveries stop arriving (200ms of silence) or
-	// the cap passes.
-	drainCap := time.Now().Add(5 * time.Second)
-	for {
-		before := delivered.Load()
-		time.Sleep(200 * time.Millisecond)
-		if delivered.Load() == before || time.Now().After(drainCap) {
-			break
+		if onSeq != nil {
+			onSeq(seq)
 		}
+		binary.BigEndian.PutUint64(payload, uint64(time.Since(cl.epoch)))
+		cl.srcPeer.EmitData(overlay.DataChunk{Seq: int64(seq), Payload: payload})
+	}
+	return time.Since(start)
+}
+
+// runPass boots a fresh UDP cluster, streams the configured load through
+// it, and tears it down.
+func runPass(cfg config, opts passOpts) (passStats, error) {
+	cl, err := bootCluster(cfg, opts)
+	if err != nil {
+		return passStats{}, err
+	}
+	defer cl.close()
+	if err := cl.waitConnected(); err != nil {
+		return passStats{}, fmt.Errorf("%s: %w", opts.mode, err)
 	}
 
-	st := passStats{Mode: mode, Emitted: int64(cfg.Chunks), Delivered: delivered.Load()}
+	start := time.Now()
+	emitDur := cl.stream(nil)
+	cl.settle(time.Duration(cfg.SettleMs)*time.Millisecond, 15*time.Second)
+
+	st := passStats{Mode: opts.mode, Emitted: int64(cfg.Chunks), Delivered: cl.delivered.Load()}
+	st.OfferedLoadMBps = float64(int64(cfg.Chunks)*int64(cfg.Payload)) / 1e6 / emitDur.Seconds()
 	// Goodput over the window from first emit to last delivery.
-	dur := time.Duration(lastRecv.Load()) - start.Sub(epoch)
+	dur := time.Duration(cl.lastRecv.Load()) - start.Sub(cl.epoch)
 	if dur <= 0 {
 		dur = time.Since(start)
 	}
@@ -317,7 +519,7 @@ func runPass(cfg config, mode string, disableBatch bool) (passStats, error) {
 
 	var hopLats []float64
 	var bytes int64
-	for _, rc := range recvs {
+	for _, rc := range cl.recvs {
 		rc.mu.Lock()
 		depth := rc.depth
 		if depth < 1 {
@@ -336,7 +538,7 @@ func runPass(cfg config, mode string, disableBatch bool) (passStats, error) {
 	st.HopLatencyP95Ms = percentile(hopLats, 0.95)
 	st.HopLatencyP99Ms = percentile(hopLats, 0.99)
 
-	for _, tr := range trs {
+	for _, tr := range cl.trs {
 		dp := tr.Dataplane()
 		st.SendSyscalls += dp.SendSyscalls
 		st.RecvSyscalls += dp.RecvSyscalls
@@ -354,6 +556,113 @@ func runPass(cfg config, mode string, disableBatch bool) (passStats, error) {
 	if frames := st.SentFrames + st.RecvFrames; frames > 0 {
 		st.SyscallsPerPacket = float64(st.SendSyscalls+st.RecvSyscalls) / float64(frames)
 	}
+	return st, nil
+}
+
+// runLinkKill boots a flow-enabled batched cluster, kills one interior
+// tree link halfway through the stream (stream data only — control stays
+// up, so the tree has no reason to re-join), and measures how fast the
+// victim's repair path resumed delivery.
+func runLinkKill(cfg config) (linkKillStats, error) {
+	// The scenario needs an interior link: cap the degree so the tree has
+	// depth ≥ 2.
+	if cfg.Degree >= cfg.Peers {
+		cfg.Degree = 4
+	}
+	cl, err := bootCluster(cfg, passOpts{mode: "linkkill", flow: true})
+	if err != nil {
+		return linkKillStats{}, err
+	}
+	defer cl.close()
+	if err := cl.waitConnected(); err != nil {
+		return linkKillStats{}, fmt.Errorf("linkkill: %w", err)
+	}
+
+	// Victim: the first joiner parked under another joiner. Its parent's
+	// transport is where the filter goes.
+	victimIdx := -1
+	var parentID overlay.NodeID
+	for i, p := range cl.peers {
+		pa := p.View().ParentID()
+		if pa != 0 && pa != overlay.None {
+			victimIdx, parentID = i, pa
+			break
+		}
+	}
+	if victimIdx < 0 {
+		return linkKillStats{}, fmt.Errorf("linkkill: no depth-2 peer (peers=%d degree=%d)", cfg.Peers, cfg.Degree)
+	}
+	victim := cl.peers[victimIdx]
+	victimID := victim.ID()
+	var parentTr *transport.UDP
+	for i, p := range cl.peers {
+		if p.ID() == parentID {
+			parentTr = cl.trs[i+1]
+		}
+	}
+	if parentTr == nil {
+		return linkKillStats{}, fmt.Errorf("linkkill: no transport for parent %d", parentID)
+	}
+
+	killSeq := cfg.Chunks / 2
+	start := time.Now()
+	var killT time.Duration
+	cl.stream(func(seq int) {
+		if seq != killSeq {
+			return
+		}
+		killT = time.Since(cl.epoch)
+		parentTr.SetSendFilter(func(to overlay.NodeID, f wire.Frame, attempt int) bool {
+			return to == victimID && f.Kind == wire.KindMsg && overlay.IsStreamData(f.Msg)
+		})
+	})
+	cl.settle(time.Duration(cfg.SettleMs)*time.Millisecond, 20*time.Second)
+
+	rc := cl.recvs[victimIdx]
+	rc.mu.Lock()
+	times := append([]time.Duration(nil), rc.times...)
+	rc.mu.Unlock()
+
+	// The recovery metric is the longest delivery outage the victim saw
+	// from the kill onward: the dead link shows up as a silence that ends
+	// when the repair path (stall pull / NACK to the repair neighbor)
+	// resumes the stream.
+	prev := killT
+	var maxGap time.Duration
+	post := 0
+	for _, ts := range times {
+		if ts < killT {
+			continue
+		}
+		if g := ts - prev; g > maxGap {
+			maxGap = g
+		}
+		prev = ts
+		post++
+	}
+	if post == 0 {
+		maxGap = time.Since(cl.epoch) - killT // never recovered
+	}
+
+	fs := victim.FlowStats()
+	st := linkKillStats{
+		KillAtSec:           (killT - start.Sub(cl.epoch)).Seconds(),
+		RecoveryMs:          maxGap.Seconds() * 1e3,
+		VictimDelivered:     int64(len(times)),
+		VictimDeliveryRatio: float64(len(times)) / float64(cfg.Chunks),
+		StallPulls:          fs.StallPulls,
+		RetransmitsServed:   fs.RetransmitsServed,
+		FECRepairs:          fs.FECRepairs,
+		ParentChanged:       victim.View().ParentID() != parentID,
+	}
+	// Retransmits are served by the repair targets, not the victim; sum
+	// them cluster-wide (the victim's own count stays, it may serve its
+	// children).
+	st.RetransmitsServed = 0
+	for _, p := range cl.peers {
+		st.RetransmitsServed += p.FlowStats().RetransmitsServed
+	}
+	st.RetransmitsServed += cl.srcPeer.FlowStats().RetransmitsServed
 	return st, nil
 }
 

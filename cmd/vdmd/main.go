@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"vdm/internal/core"
+	"vdm/internal/flow"
 	"vdm/internal/live"
 	"vdm/internal/obs"
 	"vdm/internal/obs/tree"
@@ -62,6 +63,9 @@ func main() {
 		admin   = flag.String("admin", "", "admin HTTP address serving /metrics, /debug/vars, /debug/pprof (empty = off)")
 		traceTo = flag.String("trace", "", "write protocol trace events as JSONL to this file (empty = off)")
 		logFmt  = flag.String("log", "text", "log format: text | json")
+		flowOn  = flag.Bool("flow", false, "enable the reliable data plane: paced flow control, ack-clocked windows, NACK/FEC repair")
+		pace    = flag.Float64("pace", 0, "with -flow: per-child pacing rate in chunks/s (0 = default, negative = unpaced)")
+		fec     = flag.Int("fec", 0, "with -flow: emit one XOR parity per this many chunks (0 = default, negative = off)")
 	)
 	flag.Parse()
 
@@ -136,12 +140,19 @@ func main() {
 		})
 		agg.RegisterMetrics(reg)
 	}
+	// The reliable data plane is opt-in and session-wide: every member must
+	// run the same -flow setting or paced senders will overrun plain ones.
+	var flowCfg *flow.Config
+	if *flowOn {
+		flowCfg = &flow.Config{RateChunksPerS: *pace, FECGroup: *fec}
+	}
 	peer := live.NewPeer(tr, epoch, func(bus overlay.Bus) overlay.Protocol {
 		n := core.New(bus, overlay.PeerConfig{
 			ID:        id,
 			Source:    0,
 			MaxDegree: *degree,
 			IsSource:  *source,
+			Flow:      flowCfg,
 		}, cfg, rnd)
 		n.SetTracer(obs.NewTracer(sink, "vdm", id, bus.Now))
 		if *report > 0 {
@@ -164,6 +175,20 @@ func main() {
 	reg.SetHelp("vdm_dataplane_fanout_encodes_total", "Single-encode fan-outs (encode once, retarget per child).")
 	reg.SetHelp("vdm_dataplane_fanout_frames_total", "Frames produced by single-encode fan-outs.")
 	reg.SetHelp("vdm_dataplane_max_batch", "Largest datagram count one syscall has moved.")
+	reg.SetHelp("vdm_flow_acks_sent_total", "Cumulative acks sent to the parent (ack clock, receiver side).")
+	reg.SetHelp("vdm_flow_acks_recv_total", "Cumulative acks received from children (ack clock, sender side).")
+	reg.SetHelp("vdm_flow_nacks_sent_total", "NACKs sent (gap repair and stalled-uplink pulls).")
+	reg.SetHelp("vdm_flow_nacks_recv_total", "NACKs received from children or repair clients.")
+	reg.SetHelp("vdm_flow_retransmits_served_total", "Chunks retransmitted from the local cache in answer to NACKs.")
+	reg.SetHelp("vdm_flow_parity_sent_total", "FEC parity frames forwarded downstream.")
+	reg.SetHelp("vdm_flow_parity_recv_total", "FEC parity frames received.")
+	reg.SetHelp("vdm_flow_fec_repairs_total", "Chunks recovered locally from FEC parity (no retransmit needed).")
+	reg.SetHelp("vdm_flow_stall_pulls_total", "Stalled-uplink pulls sent to the repair neighbor.")
+	reg.SetHelp("vdm_flow_skipped_seqs_total", "Sequences written off after NACK retries were exhausted.")
+	reg.SetHelp("vdm_flow_pushbacks_sent_total", "Congestion pushbacks sent to the parent.")
+	reg.SetHelp("vdm_flow_pushbacks_recv_total", "Congestion pushbacks received (child rate halved).")
+	reg.SetHelp("vdm_flow_pace_drops_total", "Chunks evicted oldest-first from per-child pacing queues.")
+	reg.SetHelp("vdm_flow_window_stalls_total", "Ack-clocked windows that stalled past StallS and failed open.")
 	reg.RegisterCollector(func() []obs.Sample {
 		s := tr.Stats()
 		dp := tr.Dataplane()
@@ -186,6 +211,28 @@ func main() {
 			{Name: "vdm_dataplane_max_batch", Labels: []obs.Label{nl}, Value: float64(dp.MaxBatch)},
 		}
 	})
+	if *flowOn {
+		reg.RegisterCollector(func() []obs.Sample {
+			fs := peer.FlowStats()
+			nl := obs.NodeLabel(id)
+			return []obs.Sample{
+				{Name: "vdm_flow_acks_sent_total", Labels: []obs.Label{nl}, Value: float64(fs.AcksSent)},
+				{Name: "vdm_flow_acks_recv_total", Labels: []obs.Label{nl}, Value: float64(fs.AcksRecv)},
+				{Name: "vdm_flow_nacks_sent_total", Labels: []obs.Label{nl}, Value: float64(fs.NacksSent)},
+				{Name: "vdm_flow_nacks_recv_total", Labels: []obs.Label{nl}, Value: float64(fs.NacksRecv)},
+				{Name: "vdm_flow_retransmits_served_total", Labels: []obs.Label{nl}, Value: float64(fs.RetransmitsServed)},
+				{Name: "vdm_flow_parity_sent_total", Labels: []obs.Label{nl}, Value: float64(fs.ParitySent)},
+				{Name: "vdm_flow_parity_recv_total", Labels: []obs.Label{nl}, Value: float64(fs.ParityRecv)},
+				{Name: "vdm_flow_fec_repairs_total", Labels: []obs.Label{nl}, Value: float64(fs.FECRepairs)},
+				{Name: "vdm_flow_stall_pulls_total", Labels: []obs.Label{nl}, Value: float64(fs.StallPulls)},
+				{Name: "vdm_flow_skipped_seqs_total", Labels: []obs.Label{nl}, Value: float64(fs.SkippedSeqs)},
+				{Name: "vdm_flow_pushbacks_sent_total", Labels: []obs.Label{nl}, Value: float64(fs.PushbacksSent)},
+				{Name: "vdm_flow_pushbacks_recv_total", Labels: []obs.Label{nl}, Value: float64(fs.PushbacksRecv)},
+				{Name: "vdm_flow_pace_drops_total", Labels: []obs.Label{nl}, Value: float64(fs.PaceDrops)},
+				{Name: "vdm_flow_window_stalls_total", Labels: []obs.Label{nl}, Value: float64(fs.WindowStalls)},
+			}
+		})
+	}
 
 	if *admin != "" {
 		mux := obs.AdminMux(reg, func() map[string]any {
@@ -306,4 +353,16 @@ func logStatus(log *slog.Logger, p *live.Peer, tr *transport.UDP) {
 		"dedupe_drops", u.DedupeDrops,
 		"mailbox_hw", p.MailboxHighWater(),
 	)
+	if fs := p.FlowStats(); fs.Enabled {
+		log.Info("flow",
+			"acks_recv", fs.AcksRecv,
+			"nacks_recv", fs.NacksRecv,
+			"retrans_served", fs.RetransmitsServed,
+			"fec_repairs", fs.FECRepairs,
+			"stall_pulls", fs.StallPulls,
+			"pushbacks_recv", fs.PushbacksRecv,
+			"pace_drops", fs.PaceDrops,
+			"repair_nbr", int64(fs.RepairNeighbor),
+		)
+	}
 }

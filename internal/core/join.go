@@ -208,6 +208,12 @@ func (n *Node) onInfoResponse(from overlay.NodeID, m overlay.InfoResponse) {
 // current target and advances the state machine: descend on Case III,
 // splice on Case II, attach on Case I.
 func (n *Node) decide(js *joinState, res overlay.ProbeResult) {
+	// Every probed candidate doubles as repair-neighbor material for the
+	// reliable data plane (no-op unless flow is enabled): the join walk
+	// is the one moment a peer holds measured distances to non-parents.
+	for id, d := range res {
+		n.OfferRepairCandidate(id, d)
+	}
 	case3, case2 := js.case3buf[:0], js.case2buf[:0]
 	for _, ci := range js.children {
 		d, ok := res[ci.ID]

@@ -1,0 +1,60 @@
+package flow
+
+// Bucket is a token bucket over the bus clock: it admits up to rate
+// events per second with bursts up to burst. Time is the caller's
+// float64 seconds (virtual in the simulator, wall in the live runtime),
+// so the same pacing logic runs in both worlds. Not safe for concurrent
+// use — each bucket belongs to one peer's serialized flow state.
+type Bucket struct {
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   float64
+	primed bool
+}
+
+// NewBucket builds a bucket admitting rate events/second with the given
+// burst depth. The bucket starts full. rate <= 0 means unlimited.
+func NewBucket(rate float64, burst int) *Bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Bucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// Allow consumes one token if available at time now and reports whether
+// the event may proceed.
+func (b *Bucket) Allow(now float64) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	b.refill(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+func (b *Bucket) refill(now float64) {
+	if !b.primed {
+		b.primed = true
+		b.last = now
+		return
+	}
+	if now <= b.last {
+		return
+	}
+	b.tokens += (now - b.last) * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// Rate returns the current admission rate.
+func (b *Bucket) Rate() float64 { return b.rate }
+
+// SetRate changes the admission rate; accumulated tokens are kept (they
+// stay clamped at burst).
+func (b *Bucket) SetRate(rate float64) { b.rate = rate }

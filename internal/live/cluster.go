@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vdm/internal/core"
+	"vdm/internal/flow"
 	"vdm/internal/metrics"
 	"vdm/internal/obs"
 	"vdm/internal/overlay"
@@ -27,6 +28,10 @@ type ClusterConfig struct {
 	Stagger time.Duration
 	// Core tunes the VDM protocol on every peer.
 	Core core.Config
+	// Flow, when non-nil, enables paced flow control and FEC/NACK repair
+	// on every peer (the same config everywhere, as vdmd deploys it).
+	// Nil keeps the historical fire-and-forget data plane.
+	Flow *flow.Config
 	// Seed drives refinement jitter; zero selects 1.
 	Seed int64
 	// EventSink, when set, receives every peer's protocol trace events —
@@ -87,6 +92,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 				Source:    0,
 				MaxDegree: cfg.MaxDegree,
 				IsSource:  id == 0,
+				Flow:      cfg.Flow,
 			}, cfg.Core, peerRnd)
 			if sink != nil {
 				n.SetTracer(obs.NewTracer(sink, "vdm", id, bus.Now))

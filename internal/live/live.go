@@ -246,6 +246,13 @@ func (p *Peer) EmitData(c overlay.DataChunk) {
 	p.Call(func() { p.proto.Base().EmitData(c) })
 }
 
+// FlowStats reads the peer's flow-control/repair counters. The counters
+// are atomics, so this is safe off the mailbox loop; the zero value is
+// returned when flow control is disabled.
+func (p *Peer) FlowStats() overlay.FlowStats {
+	return p.proto.Base().FlowStats()
+}
+
 // peerBus adapts the real clock and a live transport to the overlay.Bus
 // interface the protocol state machines run against. Time is seconds
 // since the shared session epoch, so protocol timeouts tuned in virtual
@@ -258,7 +265,18 @@ type peerBus struct {
 var (
 	_ overlay.Bus       = (*peerBus)(nil)
 	_ overlay.FanoutBus = (*peerBus)(nil)
+	_ overlay.DepthBus  = (*peerBus)(nil)
 )
+
+// DataQueueDepth reports the transport's unsent data backlog toward to —
+// the congestion signal overlay flow control folds into its ECN-style
+// pushback. Zero when the transport cannot measure it.
+func (b *peerBus) DataQueueDepth(to overlay.NodeID) int {
+	if qd, ok := b.peer.tr.(transport.QueueDepther); ok {
+		return qd.DataQueueDepth(to)
+	}
+	return 0
+}
 
 func (b *peerBus) Now() float64 { return time.Since(b.epoch).Seconds() }
 

@@ -319,7 +319,7 @@ func TestClusterPayloadFanout(t *testing.T) {
 		}
 		rc.mu.Unlock()
 	}
-	if dp := tr.Dataplane(); dp.FanoutBatches == 0 {
+	if dp := tr.Dataplane(); dp.FanoutEncodes == 0 {
 		t.Fatal("no SendBatch fan-outs recorded; fast path not engaged")
 	}
 }

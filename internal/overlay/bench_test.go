@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"vdm/internal/eventq"
+	"vdm/internal/flow"
 	"vdm/internal/rng"
 	"vdm/internal/underlay"
 )
@@ -44,9 +45,9 @@ func (nopHooks) HandleProtocol(NodeID, Message) {}
 func (nopHooks) OnOrphaned(NodeID, NodeID)      {}
 
 func BenchmarkSeqWindowSequential(b *testing.B) {
-	w := newSeqWindow()
+	w := flow.NewWindow(flow.DefaultWindowBits, flow.DefaultBackfill)
 	for i := 0; i < b.N; i++ {
-		w.add(int64(i))
+		w.Add(int64(i))
 	}
 }
 

@@ -42,3 +42,14 @@ type Bus interface {
 type FanoutBus interface {
 	SendFanout(from NodeID, tos []NodeID, m Message, failed []NodeID) []NodeID
 }
+
+// DepthBus is an optional Bus capability: report how many stream frames
+// the underlying transport has queued toward one destination (the UDP
+// coalescer's per-destination queue, the Mem transport's in-flight data
+// count). The flow state machine folds this into its pushback decision
+// so congestion building below the pacing layer is still visible to the
+// parent. Buses without transport-level queues (the simulator) simply
+// don't implement it and report an effective depth of zero.
+type DepthBus interface {
+	DataQueueDepth(to NodeID) int
+}

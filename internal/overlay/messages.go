@@ -213,6 +213,61 @@ type StatusReport struct {
 	DupDelta  int64
 }
 
+// SeqRange is an inclusive interval of data sequence numbers [Lo, Hi],
+// the unit of loss reporting in DataNack.
+type SeqRange struct {
+	Lo, Hi int64
+}
+
+// DataAck is the reliable data plane's cumulative acknowledgement: every
+// chunk with sequence number <= Seq has been received (or written off).
+// A child sends it to its parent on the flow tick and every few fresh
+// chunks; the parent's ack-clocked sender window advances on it.
+type DataAck struct {
+	Seq int64
+}
+
+// DataNack reports missing chunk ranges and asks the receiver to
+// retransmit them from its cache. Sent to the parent first, then to the
+// repair neighbor after NackRetries attempts — and speculatively to the
+// repair neighbor when the uplink has gone silent (the stall pull that
+// recovers a killed link without waiting for tree repair).
+type DataNack struct {
+	Ranges []SeqRange
+}
+
+// Parity is one FEC parity chunk covering group [Group, Group+K): the
+// XOR of the K payloads padded to the longest plus the XOR of their
+// lengths. It rides the data plane like a chunk and lets a receiver
+// repair any single loss per group locally.
+type Parity struct {
+	Group  int64
+	K      int
+	XorLen uint32
+	Data   []byte
+}
+
+// Pushback is the ECN-style congestion signal a peer sends its parent
+// when its own forwarding queues (pacing plus transport coalescer) pass
+// the high-water mark; the parent halves this child's pacing rate and
+// recovers it additively — so a slow subtree throttles its inflow
+// instead of overflowing drop-oldest queues.
+type Pushback struct {
+	Depth int
+}
+
+// IsStreamData reports whether m rides the one-way data plane as stream
+// content (chunks and parity) — the traffic subject to pacing queues and
+// queue-cap eviction. Acks, NACKs and pushback are small data-plane
+// signals but never evicted by backpressure.
+func IsStreamData(m Message) bool {
+	switch m.(type) {
+	case DataChunk, Parity:
+		return true
+	}
+	return false
+}
+
 func (Ping) msg()            {}
 func (Pong) msg()            {}
 func (InfoRequest) msg()     {}
@@ -227,3 +282,7 @@ func (Reassign) msg()        {}
 func (LeaveNotify) msg()     {}
 func (DataChunk) msg()       {}
 func (StatusReport) msg()    {}
+func (DataAck) msg()         {}
+func (DataNack) msg()        {}
+func (Parity) msg()          {}
+func (Pushback) msg()        {}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"vdm/internal/eventq"
+	"vdm/internal/flow"
 	"vdm/internal/rng"
 	"vdm/internal/underlay"
 )
@@ -460,7 +461,7 @@ func TestDataForwardingAndDedup(t *testing.T) {
 		s.EmitChunk(seq)
 	}
 	// A duplicate re-emission must not double-count downstream.
-	s.Peer.window = newSeqWindow()
+	s.Peer.window = flow.NewWindow(flow.DefaultWindowBits, flow.DefaultBackfill)
 	s.EmitChunk(3)
 	r.sim.Run(5)
 

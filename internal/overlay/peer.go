@@ -3,6 +3,7 @@ package overlay
 import (
 	"sort"
 
+	"vdm/internal/flow"
 	"vdm/internal/vdist"
 )
 
@@ -54,6 +55,12 @@ type PeerConfig struct {
 	InfoTimeoutS  float64
 	ProbeTimeoutS float64
 	ConnTimeoutS  float64
+	// Flow enables the reliable data plane (pacing, ack-clocked windows,
+	// FEC parity, NACK retransmit, repair neighbor, pushback) with the
+	// given tuning; see internal/flow. Nil keeps the historical
+	// fire-and-forget forwarding — which the simulator's byte-identical
+	// event traces require, so the sim never sets it.
+	Flow *flow.Config
 }
 
 // Default protocol timeouts (seconds of virtual time). Wide-area RTTs stay
@@ -117,9 +124,13 @@ type Peer struct {
 	ConnTimeoutS  float64
 
 	prober *Prober
-	window *seqWindow
+	window *flow.Window
 	stats  Stats
 	hooks  Hooks
+
+	// flow is the reliable data plane, nil unless PeerConfig.Flow was
+	// set (see flow.go).
+	flow *flowState
 
 	// staleFrom counts consecutive chunks received from non-parents,
 	// per sender, for stale-edge pruning.
@@ -179,7 +190,7 @@ func NewPeer(net Bus, cfg PeerConfig) *Peer {
 		InfoTimeoutS:  cfg.InfoTimeoutS,
 		ProbeTimeoutS: cfg.ProbeTimeoutS,
 		ConnTimeoutS:  cfg.ConnTimeoutS,
-		window:        newSeqWindow(),
+		window:        flow.NewWindow(flow.DefaultWindowBits, flow.DefaultBackfill),
 		stats:         Stats{Startup: -1, orphanedAt: -1, LeftAt: -1},
 		staleFrom:     make(map[NodeID]int),
 	}
@@ -193,6 +204,9 @@ func NewPeer(net Bus, cfg PeerConfig) *Peer {
 		p.ConnTimeoutS = DefaultConnTimeoutS
 	}
 	p.prober = newProber(p)
+	if cfg.Flow != nil {
+		p.flow = newFlowState(p, *cfg.Flow)
+	}
 	return p
 }
 
@@ -362,21 +376,46 @@ func (p *Peer) HandleMessage(from NodeID, m Message) {
 	case LeaveNotify:
 		p.handleLeaveNotify(from, msg)
 	case DataChunk:
+		if p.flow != nil {
+			p.flow.noteChunkFrom(from)
+		}
 		if from != p.parent && !p.isSource {
-			// Some node still believes we are its child (e.g. an ack
-			// was lost mid-switch). Take the data — the window dedupes
-			// — and prune the stale edge once the pattern repeats
-			// (single occurrences are just in-flight reordering around
-			// a parent change).
-			p.staleFrom[from]++
-			if p.staleFrom[from] >= staleChunkThreshold {
+			if p.flow != nil && p.flow.expectingRepair(from) {
+				// Solicited repair traffic from the repair neighbor —
+				// expected, not a stale edge.
 				delete(p.staleFrom, from)
-				p.net.Send(p.id, from, Detach{})
+			} else {
+				// Some node still believes we are its child (e.g. an ack
+				// was lost mid-switch). Take the data — the window dedupes
+				// — and prune the stale edge once the pattern repeats
+				// (single occurrences are just in-flight reordering around
+				// a parent change).
+				p.staleFrom[from]++
+				if p.staleFrom[from] >= staleChunkThreshold {
+					delete(p.staleFrom, from)
+					p.net.Send(p.id, from, Detach{})
+				}
 			}
 		} else {
 			delete(p.staleFrom, from)
 		}
 		p.handleChunk(msg)
+	case DataAck:
+		if p.flow != nil {
+			p.flow.onAck(from, msg)
+		}
+	case DataNack:
+		if p.flow != nil {
+			p.flow.onNack(from, msg)
+		}
+	case Parity:
+		if p.flow != nil {
+			p.flow.onParity(from, msg)
+		}
+	case Pushback:
+		if p.flow != nil {
+			p.flow.onPushback(from, msg)
+		}
 	default:
 		p.hooks.HandleProtocol(from, m)
 	}
@@ -509,13 +548,17 @@ func (p *Peer) handleLeaveNotify(from NodeID, m LeaveNotify) {
 func (p *Peer) SetChunkObserver(fn func(DataChunk)) { p.chunkObs = fn }
 
 func (p *Peer) handleChunk(m DataChunk) {
-	if !p.window.add(m.Seq) {
+	if !p.window.Add(m.Seq) {
 		p.stats.Dups++
 		return
 	}
 	p.stats.Received++
 	if p.chunkObs != nil {
 		p.chunkObs(m)
+	}
+	if p.flow != nil {
+		p.flow.onChunk(m)
+		return
 	}
 	p.forwardChunk(m)
 }
@@ -584,9 +627,13 @@ func (p *Peer) EmitData(c DataChunk) {
 	if !p.isSource {
 		panic("overlay: EmitChunk on non-source peer")
 	}
-	if p.window.add(c.Seq) {
+	if p.window.Add(c.Seq) {
 		if p.chunkObs != nil {
 			p.chunkObs(c)
+		}
+		if p.flow != nil {
+			p.flow.onSourceChunk(c)
+			return
 		}
 		p.forwardChunk(c)
 	}

@@ -191,6 +191,17 @@ func (c *coalescer) flush() {
 	c.scratch = pkts[:0]
 }
 
+// depth reports how many frames are queued for to right now.
+func (c *coalescer) depth(to overlay.NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q := c.queues[to]
+	if q == nil {
+		return 0
+	}
+	return len(q.frames)
+}
+
 // shutdown flushes whatever is queued and rejects further enqueues.
 func (c *coalescer) shutdown() {
 	c.flush()

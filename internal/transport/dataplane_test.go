@@ -248,8 +248,8 @@ func TestMemSendBatchParity(t *testing.T) {
 		t.Fatalf("batch delivered %d/%d of 1/1", c1.count(), c2.count())
 	}
 	dp := tr.Dataplane()
-	if dp.FanoutBatches != 1 || dp.FanoutFrames != 3 {
-		t.Fatalf("fanout counters = %+v, want 1 batch / 3 frames", dp)
+	if dp.FanoutEncodes != 1 || dp.FanoutFrames != 2 {
+		t.Fatalf("fanout counters = %+v, want 1 encode / 2 enqueued frames", dp)
 	}
 	if got := tr.Counters().Undeliver.Load(); got != 1 {
 		t.Fatalf("Undeliver = %d, want 1", got)

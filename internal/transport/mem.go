@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vdm/internal/overlay"
+	"vdm/internal/wire"
 )
 
 // Mem is the in-process loopback transport: every peer of a live cluster
@@ -20,15 +21,16 @@ type Mem struct {
 
 	// DropFn, when set, is consulted on every send; returning true drops
 	// the message (counted like a link loss). Fault injection for tests.
-	// Set before first use.
+	// Set before first use, or install mid-run via SetDropFn.
 	DropFn func(from, to overlay.NodeID, m overlay.Message) bool
 
 	// DataQueueCap mirrors the UDP coalescer's per-destination queue
-	// bound: when more than this many data chunks are queued for one
-	// destination, the oldest of them is dropped (drop-oldest
-	// backpressure, counted as a data drop). Zero means unbounded — the
-	// historical lossless behavior the deterministic tests rely on. Set
-	// before first use.
+	// bound: when more than this many stream-data frames (chunks and FEC
+	// parity — never acks or nacks, which are the repair signal itself)
+	// are queued for one destination, the oldest of them is dropped
+	// (drop-oldest backpressure, counted as a data drop). Zero means
+	// unbounded — the historical lossless behavior the deterministic
+	// tests rely on. Set before first use.
 	DataQueueCap int
 
 	mu         sync.Mutex
@@ -36,34 +38,28 @@ type Mem struct {
 	queue      []memItem
 	handlers   map[overlay.NodeID]Handler
 	ctrs       overlay.Counters
-	queuedData map[overlay.NodeID]int // queued data chunks per destination
+	queuedData map[overlay.NodeID]int // queued stream-data frames per destination
 	closed     bool
 	done       chan struct{}
 
 	// Data-plane accounting kept semantically aligned with UDP's (there
-	// are no syscalls here; batch sends and queue drops still count).
-	fanoutBatches atomic.Int64
+	// are no syscalls here; batch sends and queue drops still count, and
+	// are reported through the same DataplaneStats shape).
+	fanoutEncodes atomic.Int64
 	fanoutFrames  atomic.Int64
 	queueDrops    atomic.Int64
 }
 
-// MemDataplaneStats is the loopback transport's slice of the data-plane
-// accounting — what of UDP's DataplaneStats is meaningful in process.
-type MemDataplaneStats struct {
-	// FanoutBatches counts SendBatch calls that enqueued under one lock
-	// acquisition; FanoutFrames the messages they covered.
-	FanoutBatches int64
-	FanoutFrames  int64
-	// QueueDrops counts data chunks evicted oldest-first by DataQueueCap.
-	QueueDrops int64
-}
-
-// Dataplane reads the data-plane counters once.
-func (t *Mem) Dataplane() MemDataplaneStats {
-	return MemDataplaneStats{
-		FanoutBatches: t.fanoutBatches.Load(),
-		FanoutFrames:  t.fanoutFrames.Load(),
+// Dataplane reads the data-plane counters once. Mem reports the shared
+// DataplaneStats shape so callers (and the transport conformance tests)
+// treat both transports uniformly: the syscall/flush fields stay zero —
+// there is no wire here — while the fan-out and queue-drop fields carry
+// exactly the semantics of UDP's.
+func (t *Mem) Dataplane() DataplaneStats {
+	return DataplaneStats{
 		QueueDrops:    t.queueDrops.Load(),
+		FanoutEncodes: t.fanoutEncodes.Load(),
+		FanoutFrames:  t.fanoutFrames.Load(),
 	}
 }
 
@@ -105,6 +101,25 @@ func (t *Mem) Unregister(id overlay.NodeID) {
 // Counters returns the shared traffic counters.
 func (t *Mem) Counters() *overlay.Counters { return &t.ctrs }
 
+// SetDropFn installs (or clears) the loss-injection hook mid-run,
+// synchronized against in-flight sends — the link-kill tests flip it
+// while traffic is flowing.
+func (t *Mem) SetDropFn(fn func(from, to overlay.NodeID, m overlay.Message) bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.DropFn = fn
+}
+
+// DataQueueDepth reports how many stream-data frames are queued (accepted
+// but not yet handed to the destination's handler) toward to.
+func (t *Mem) DataQueueDepth(to overlay.NodeID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queuedData[to]
+}
+
+var _ QueueDepther = (*Mem)(nil)
+
 // Send enqueues m for FIFO delivery. It mirrors overlay.Network.Send
 // semantics: a dropped message still reports true; only an unknown
 // destination reports false.
@@ -119,15 +134,20 @@ func (t *Mem) Send(from, to overlay.NodeID, m overlay.Message) bool {
 // per-destination semantics (counters, DropFn, unknown destinations,
 // queue-cap backpressure) are exactly those of len(tos) sequential Sends,
 // and so is the delivery order, so sim-aligned tests see no behavioral
-// difference — only fewer lock round-trips.
+// difference — only fewer lock round-trips. FanoutFrames counts frames
+// actually enqueued, matching UDP (dropped or unroutable destinations
+// don't tick it).
 func (t *Mem) SendBatch(from overlay.NodeID, tos []overlay.NodeID, m overlay.Message, failed []overlay.NodeID) []overlay.NodeID {
-	t.fanoutBatches.Add(1)
-	t.fanoutFrames.Add(int64(len(tos)))
+	t.fanoutEncodes.Add(1)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, to := range tos {
-		if !t.sendLocked(from, to, m) {
+		ok, queued := t.sendLockedEx(from, to, m)
+		if !ok {
 			failed = append(failed, to)
+		}
+		if queued {
+			t.fanoutFrames.Add(1)
 		}
 	}
 	return failed
@@ -137,47 +157,57 @@ var _ BatchSender = (*Mem)(nil)
 
 // sendLocked is the single-destination enqueue; caller holds t.mu.
 func (t *Mem) sendLocked(from, to overlay.NodeID, m overlay.Message) bool {
+	ok, _ := t.sendLockedEx(from, to, m)
+	return ok
+}
+
+// sendLockedEx reports both the Send contract result (ok) and whether the
+// message actually entered the delivery queue (queued) — false when it
+// was dropped or the destination is unknown. Caller holds t.mu.
+func (t *Mem) sendLockedEx(from, to overlay.NodeID, m overlay.Message) (ok, queued bool) {
 	if t.closed {
-		return false
+		return false, false
 	}
-	_, data := m.(overlay.DataChunk)
-	if data {
-		t.ctrs.Data.Add(1)
-		if t.DropFn != nil && t.DropFn(from, to, m) {
-			t.ctrs.DataDrops.Add(1)
-			return true
-		}
-	} else {
+	// Classify exactly as the UDP send path does: wire.IsControl splits
+	// acked control traffic from best-effort data (chunks, parity, acks,
+	// nacks), so drop accounting lands in the same counters.
+	if wire.IsControl(m) {
 		t.ctrs.Ctrl.Add(1)
 		if t.DropFn != nil && t.DropFn(from, to, m) {
 			t.ctrs.CtrlDrops.Add(1)
-			return true
+			return true, false
+		}
+	} else {
+		t.ctrs.Data.Add(1)
+		if t.DropFn != nil && t.DropFn(from, to, m) {
+			t.ctrs.DataDrops.Add(1)
+			return true, false
 		}
 	}
-	if _, ok := t.handlers[to]; !ok {
+	if _, known := t.handlers[to]; !known {
 		t.ctrs.Undeliver.Add(1)
-		return false
+		return false, false
 	}
-	if data && t.DataQueueCap > 0 && t.queuedData[to] >= t.DataQueueCap {
+	stream := overlay.IsStreamData(m)
+	if stream && t.DataQueueCap > 0 && t.queuedData[to] >= t.DataQueueCap {
 		t.dropOldestDataLocked(to)
 	}
 	t.queue = append(t.queue, memItem{from: from, to: to, m: m, due: time.Now().Add(t.Delay)})
-	if data {
+	if stream {
 		t.queuedData[to]++
 	}
 	t.cond.Signal()
-	return true
+	return true, true
 }
 
-// dropOldestDataLocked evicts the oldest queued data chunk destined for
-// to — the same drop-oldest backpressure the UDP coalescer applies when a
-// destination's queue overflows. Caller holds t.mu.
+// dropOldestDataLocked evicts the oldest queued stream-data frame
+// destined for to — the same drop-oldest backpressure the UDP coalescer
+// applies when a destination's queue overflows. Acks and nacks are never
+// victims: they are tiny and carry the loss-repair signal. Caller holds
+// t.mu.
 func (t *Mem) dropOldestDataLocked(to overlay.NodeID) {
 	for i, it := range t.queue {
-		if it.to != to {
-			continue
-		}
-		if _, data := it.m.(overlay.DataChunk); !data {
+		if it.to != to || !overlay.IsStreamData(it.m) {
 			continue
 		}
 		t.queue = append(t.queue[:i], t.queue[i+1:]...)
@@ -203,7 +233,7 @@ func (t *Mem) dispatch() {
 		}
 		it := t.queue[0]
 		t.queue = t.queue[1:]
-		if _, data := it.m.(overlay.DataChunk); data {
+		if overlay.IsStreamData(it.m) {
 			t.queuedData[it.to]--
 		}
 		t.mu.Unlock()

@@ -44,3 +44,15 @@ type Transport interface {
 type BatchSender interface {
 	SendBatch(from overlay.NodeID, tos []overlay.NodeID, m overlay.Message, failed []overlay.NodeID) []overlay.NodeID
 }
+
+// QueueDepther is an optional Transport capability: report how many
+// best-effort data frames are currently queued (unsent) toward one
+// destination. The flow controller reads this as its earliest congestion
+// signal — a deep transport queue means the pacer is outrunning the wire
+// — and internal/live bridges it to overlay.DepthBus for ECN-style
+// pushback. Both built-in transports implement it: UDP from the send
+// coalescer's per-destination queue, Mem from its in-flight dispatcher
+// queue.
+type QueueDepther interface {
+	DataQueueDepth(to overlay.NodeID) int
+}

@@ -44,6 +44,13 @@ const (
 	// beyond it the oldest queued frame is dropped (best-effort data
 	// backpressure).
 	DefaultDestQueueCap = 256
+	// DefaultSocketBuffer is the SO_RCVBUF/SO_SNDBUF request. The batched
+	// plane lands whole sendmmsg trains (MaxBatch frames back to back) on
+	// the receiver, so the kernel-default ~208 KB receive buffer — sized
+	// for one-packet-at-a-time senders — overflows under bursts the
+	// one-syscall-per-packet path never produces. The kernel clamps the
+	// request to net.core.{r,w}mem_max.
+	DefaultSocketBuffer = 4 << 20
 )
 
 // BatchConfig tunes the batched data plane. The zero value enables
@@ -88,6 +95,10 @@ type UDPConfig struct {
 	// Batch tunes the batched data plane (zero value = enabled with
 	// defaults).
 	Batch BatchConfig
+	// SocketBuffer is the SO_RCVBUF/SO_SNDBUF size requested from the
+	// kernel (best effort — clamped to net.core.{r,w}mem_max). Zero
+	// selects DefaultSocketBuffer; negative keeps the kernel default.
+	SocketBuffer int
 }
 
 func (c UDPConfig) withDefaults() UDPConfig {
@@ -208,6 +219,18 @@ func (t *UDP) Dataplane() DataplaneStats {
 		MaxBatch:      t.dp.maxBatch.Load(),
 	}
 }
+
+// DataQueueDepth reports how many coalesced data frames are queued
+// (encoded but unsent) toward to. Zero when batching is disabled — the
+// unbatched path writes synchronously and never queues.
+func (t *UDP) DataQueueDepth(to overlay.NodeID) int {
+	if t.co == nil {
+		return 0
+	}
+	return t.co.depth(to)
+}
+
+var _ QueueDepther = (*UDP)(nil)
 
 // noteBatch records a syscall that moved n datagrams in dir (send or
 // recv), keeping the high-water batch size.
@@ -353,6 +376,15 @@ func NewUDP(listenAddr string, cfg UDPConfig) (*UDP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", listenAddr, err)
 	}
+	if sb := cfg.SocketBuffer; sb >= 0 {
+		if sb == 0 {
+			sb = DefaultSocketBuffer
+		}
+		// Best effort: an unprivileged process gets whatever the kernel
+		// caps allow, which still beats the default.
+		_ = conn.SetReadBuffer(sb)
+		_ = conn.SetWriteBuffer(sb)
+	}
 	t := &UDP{
 		cfg:      cfg.withDefaults(),
 		conn:     conn,
@@ -484,7 +516,11 @@ func (t *UDP) deliver(from, to overlay.NodeID, m overlay.Message) bool {
 	if !ctrl {
 		co := t.co
 		t.mu.Unlock()
-		if co != nil {
+		// Acks and nacks are best-effort like chunks but clock the flow
+		// window, so they skip the coalescing delay (and its drop-oldest
+		// eviction) and go straight to the socket — the same immediacy
+		// Mem gives them.
+		if co != nil && overlay.IsStreamData(m) {
 			co.enqueueFrame(to, addr, f)
 		} else {
 			t.write(to, addr, f, 0)

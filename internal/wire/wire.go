@@ -28,10 +28,11 @@ import (
 // Version is the current wire format version, the first byte of every
 // frame. Version 2 added the join correlation id to InfoRequest and
 // ConnRequest and the StatusReport telemetry message; version 3 added the
-// DataChunk payload (the stream content the data plane actually moves).
-// Decoding is strict, so older-version frames are rejected rather than
-// half-understood.
-const Version = 3
+// DataChunk payload (the stream content the data plane actually moves);
+// version 4 added the reliable data plane's vocabulary (DataAck,
+// DataNack, Parity, Pushback). Decoding is strict, so older-version
+// frames are rejected rather than half-understood.
+const Version = 4
 
 // headerLen is the fixed frame header size.
 const headerLen = 1 + 1 + 4 + 4 + 4 + 4
@@ -111,7 +112,15 @@ const (
 	typeReassign        = 12
 	typeDataChunk       = 13
 	typeStatusReport    = 14
+	typeDataAck         = 15
+	typeDataNack        = 16
+	typeParity          = 17
+	typePushback        = 18
 )
+
+// MaxNackRanges bounds the ranges of one DataNack — far above what the
+// flow layer emits per tick, far below anything that could amplify.
+const MaxNackRanges = 64
 
 // The codec error classes. Decode errors wrap one of these, so transports
 // can classify failures without string matching.
@@ -425,6 +434,36 @@ func AppendMessage(dst []byte, m overlay.Message) ([]byte, error) {
 		dst = appendU64(dst, uint64(v.RecvDelta))
 		dst = appendU64(dst, uint64(v.FwdDelta))
 		return appendU64(dst, uint64(v.DupDelta)), nil
+	case overlay.DataAck:
+		dst = append(dst, typeDataAck)
+		return appendU64(dst, uint64(v.Seq)), nil
+	case overlay.DataNack:
+		if len(v.Ranges) > MaxNackRanges {
+			return nil, fmt.Errorf("%w: nack ranges %d > %d", ErrTooLarge, len(v.Ranges), MaxNackRanges)
+		}
+		dst = append(dst, typeDataNack)
+		dst = appendU16(dst, uint16(len(v.Ranges)))
+		for _, r := range v.Ranges {
+			dst = appendU64(dst, uint64(r.Lo))
+			dst = appendU64(dst, uint64(r.Hi))
+		}
+		return dst, nil
+	case overlay.Parity:
+		if len(v.Data) > MaxChunkPayload {
+			return nil, fmt.Errorf("%w: parity payload %d > %d", ErrTooLarge, len(v.Data), MaxChunkPayload)
+		}
+		if v.K < 0 || v.K > 255 {
+			return nil, fmt.Errorf("%w: parity k %d", ErrTooLarge, v.K)
+		}
+		dst = append(dst, typeParity)
+		dst = appendU64(dst, uint64(v.Group))
+		dst = append(dst, byte(v.K))
+		dst = appendU32(dst, v.XorLen)
+		dst = appendU16(dst, uint16(len(v.Data)))
+		return append(dst, v.Data...), nil
+	case overlay.Pushback:
+		dst = append(dst, typePushback)
+		return appendI32(dst, int32(v.Depth)), nil
 	default:
 		return nil, fmt.Errorf("%w: %T", ErrUnknownType, m)
 	}
@@ -639,6 +678,65 @@ func decodeMessage(r *reader) (overlay.Message, error) {
 		}
 		m.DupDelta = int64(dup)
 		return m, nil
+	case typeDataAck:
+		seq, err := r.u64()
+		return overlay.DataAck{Seq: int64(seq)}, err
+	case typeDataNack:
+		n, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > MaxNackRanges {
+			return nil, fmt.Errorf("%w: nack ranges %d > %d", ErrTooLarge, n, MaxNackRanges)
+		}
+		if err := r.need(16 * int(n)); err != nil {
+			return nil, err
+		}
+		var m overlay.DataNack
+		if n > 0 {
+			m.Ranges = make([]overlay.SeqRange, n)
+			for i := range m.Ranges {
+				lo, _ := r.u64()
+				hi, _ := r.u64()
+				m.Ranges[i] = overlay.SeqRange{Lo: int64(lo), Hi: int64(hi)}
+			}
+		}
+		return m, nil
+	case typeParity:
+		var m overlay.Parity
+		group, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.Group = int64(group)
+		k, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		m.K = int(k)
+		if m.XorLen, err = r.u32(); err != nil {
+			return nil, err
+		}
+		n, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > MaxChunkPayload {
+			return nil, fmt.Errorf("%w: parity payload %d > %d", ErrTooLarge, n, MaxChunkPayload)
+		}
+		if err := r.need(int(n)); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			// Copy for the same reason as DataChunk: decoded payloads may
+			// outlive the transport's receive buffer.
+			m.Data = append([]byte(nil), r.b[r.off:r.off+int(n)]...)
+			r.off += int(n)
+		}
+		return m, nil
+	case typePushback:
+		depth, err := r.i32()
+		return overlay.Pushback{Depth: int(depth)}, err
 	default:
 		return nil, fmt.Errorf("%w: message type %d", ErrUnknownType, t)
 	}
@@ -818,10 +916,17 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 	return f, total, nil
 }
 
-// IsControl reports whether m travels on the reliable control path (true
-// for everything but data chunks) — shared by the simulated network's and
-// the transports' accounting.
+// IsControl reports whether m travels on the reliable control path —
+// shared by the simulated network's and the transports' accounting. The
+// reliable data plane's vocabulary (chunks, parity, acks, NACKs) is all
+// best-effort: retransmitting an ack or NACK at the transport layer
+// would fight the flow layer's own repair machinery. Pushback stays on
+// the control path — it is rare, small, and losing it costs real
+// congestion response.
 func IsControl(m overlay.Message) bool {
-	_, data := m.(overlay.DataChunk)
-	return !data
+	switch m.(type) {
+	case overlay.DataChunk, overlay.Parity, overlay.DataAck, overlay.DataNack:
+		return false
+	}
+	return true
 }

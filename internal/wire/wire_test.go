@@ -64,6 +64,18 @@ func everyMessage() []overlay.Message {
 			RecvDelta: 120, FwdDelta: 240, DupDelta: 3,
 		},
 		overlay.StatusReport{Seq: 1, Parent: overlay.None},
+		overlay.DataAck{Seq: 0},
+		overlay.DataAck{Seq: 1 << 40}, // past uint32: the ack clock must not truncate
+		overlay.DataNack{},
+		overlay.DataNack{Ranges: []overlay.SeqRange{{Lo: 5, Hi: 5}}},
+		overlay.DataNack{Ranges: []overlay.SeqRange{
+			{Lo: 100, Hi: 163},
+			{Lo: (1 << 32) - 2, Hi: (1 << 32) + 1}, // straddles the uint32 edge
+		}},
+		overlay.Parity{Group: 48, K: 16, XorLen: 1024},
+		overlay.Parity{Group: 0, K: 2, XorLen: 3, Data: []byte{0x0f, 0xf0, 0xaa}},
+		overlay.Pushback{Depth: 0},
+		overlay.Pushback{Depth: 4096},
 	}
 }
 
@@ -185,6 +197,41 @@ func TestEncodeRejectsOversizedLists(t *testing.T) {
 	huge := make([]byte, MaxChunkPayload+1)
 	if _, err := EncodeFrame(Frame{Kind: KindMsg, Msg: overlay.DataChunk{Seq: 1, Payload: huge}}); err == nil {
 		t.Fatal("oversized chunk payload encoded")
+	}
+	if _, err := EncodeFrame(Frame{Kind: KindMsg, Msg: overlay.Parity{Group: 0, K: 4, Data: huge}}); err == nil {
+		t.Fatal("oversized parity payload encoded")
+	}
+	manyRanges := make([]overlay.SeqRange, MaxNackRanges+1)
+	if _, err := EncodeFrame(Frame{Kind: KindMsg, Msg: overlay.DataNack{Ranges: manyRanges}}); err == nil {
+		t.Fatal("oversized nack range list encoded")
+	}
+}
+
+// TestIsControl pins the control/data split the transports key their
+// reliability and batching decisions on: everything new in wire v4
+// except Pushback rides the best-effort data plane.
+func TestIsControl(t *testing.T) {
+	data := []overlay.Message{
+		overlay.DataChunk{Seq: 1},
+		overlay.Parity{Group: 0, K: 2},
+		overlay.DataAck{Seq: 1},
+		overlay.DataNack{},
+	}
+	for _, m := range data {
+		if IsControl(m) {
+			t.Errorf("%T classified as control", m)
+		}
+	}
+	ctrl := []overlay.Message{
+		overlay.Pushback{Depth: 1},
+		overlay.Ping{Token: 1},
+		overlay.Detach{},
+		overlay.StatusReport{},
+	}
+	for _, m := range ctrl {
+		if !IsControl(m) {
+			t.Errorf("%T classified as data", m)
+		}
 	}
 }
 
