@@ -10,6 +10,12 @@
 // capacity passes (throughput ceiling per plane) and can append the
 // -linkkill repair scenario.
 //
+// The batched pass can additionally be instrumented like a deployment:
+// -tracesample N tags every Nth chunk with the in-band trace (chunk_path
+// events land in the -traceout JSONL, replayable through vdmtop -chunks),
+// and -edgesout captures the run's final per-edge flow-health snapshot —
+// the same JSON the /edges admin route serves.
+//
 //	benchpump -peers 16 -chunks 6000 -payload 256 -rate 8000 -linkkill -out BENCH_dataplane.json
 package main
 
@@ -29,6 +35,8 @@ import (
 	"vdm/internal/core"
 	"vdm/internal/flow"
 	"vdm/internal/live"
+	"vdm/internal/obs"
+	"vdm/internal/obs/tree"
 	"vdm/internal/overlay"
 	"vdm/internal/transport"
 	"vdm/internal/wire"
@@ -169,6 +177,9 @@ func main() {
 	out := flag.String("out", "BENCH_dataplane.json", "report file")
 	history := flag.String("history", "", "append a one-line run record to this JSONL file")
 	linkkill := flag.Bool("linkkill", false, "after the comparison passes, run the link-kill repair scenario (forces flow on for that pass)")
+	tsample := flag.Int("tracesample", 0, "on the batched pass: the source tags every Nth chunk with an in-band trace (0 = off)")
+	traceout := flag.String("traceout", "", "write the batched pass's protocol trace events as JSONL to this file")
+	edgesout := flag.String("edgesout", "", "write the batched pass's final edge-health snapshot (the /edges payload) as JSON to this file")
 	flag.Parse()
 	if cfg.Payload < 8 {
 		cfg.Payload = 8
@@ -185,10 +196,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchpump: baseline pass:", err)
 		os.Exit(1)
 	}
-	batched, err := runPass(cfg, passOpts{mode: "batched", flow: cfg.Flow})
+	// The batched pass is the deployed plane, so the deployment-shaped
+	// observability rides on it: in-band chunk tracing, the JSONL event
+	// stream, and the telemetry-fed edge-health attributor.
+	batchOpts := passOpts{mode: "batched", flow: cfg.Flow, traceSample: *tsample}
+	var traceFile *os.File
+	if *traceout != "" {
+		traceFile, err = os.Create(*traceout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchpump: traceout:", err)
+			os.Exit(1)
+		}
+		batchOpts.sink = obs.NewJSONLSink(traceFile)
+	}
+	if *edgesout != "" {
+		// Nil Now: the final snapshot judges staleness against the newest
+		// report, so a finished run doesn't read as uniformly dead.
+		batchOpts.agg = tree.New(tree.Config{Source: 0, StaleAfterS: 2})
+		batchOpts.statusPeriod = 100 * time.Millisecond
+	}
+	batched, err := runPass(cfg, batchOpts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchpump: batched pass:", err)
 		os.Exit(1)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchpump: traceout:", err)
+			os.Exit(1)
+		}
+	}
+	if *edgesout != "" {
+		es, err := json.MarshalIndent(batchOpts.agg.Edges(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchpump: edgesout:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*edgesout, append(es, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchpump: edgesout:", err)
+			os.Exit(1)
+		}
 	}
 
 	rep := report{
@@ -324,6 +371,12 @@ func main() {
 			rep.LinkKill.StallPulls, rep.LinkKill.RetransmitsServed, rep.LinkKill.ParentChanged)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	if *traceout != "" {
+		fmt.Printf("wrote %s\n", *traceout)
+	}
+	if *edgesout != "" {
+		fmt.Printf("wrote %s\n", *edgesout)
+	}
 }
 
 // passOpts selects one measured pass's shape.
@@ -331,6 +384,15 @@ type passOpts struct {
 	mode         string
 	disableBatch bool
 	flow         bool
+	// traceSample > 0 makes the source tag every Nth chunk with the
+	// in-band trace; sink (when set) receives every peer's protocol
+	// events, chunk_path included.
+	traceSample int
+	sink        obs.Sink
+	// agg, when set, aggregates StatusReports at the source for the
+	// edge-health snapshot; statusPeriod paces the reports.
+	agg          *tree.Aggregator
+	statusPeriod time.Duration
 }
 
 // benchFlowConfig is the bench's reliable-data-plane tuning: per-child
@@ -372,9 +434,22 @@ func bootCluster(cfg config, opts passOpts) (*cluster, error) {
 		flowCfg = benchFlowConfig()
 	}
 	newNode := func(bus overlay.Bus, id overlay.NodeID) *core.Node {
-		return core.New(bus, overlay.PeerConfig{
+		n := core.New(bus, overlay.PeerConfig{
 			ID: id, Source: 0, MaxDegree: cfg.Degree, IsSource: id == 0, Flow: flowCfg,
 		}, core.Config{}, nil)
+		if opts.sink != nil {
+			n.SetTracer(obs.NewTracer(opts.sink, "vdm", id, bus.Now))
+		}
+		if opts.agg != nil {
+			if id == 0 {
+				n.Base().SetStatusHandler(opts.agg.Handler())
+			}
+			n.Base().EnableStatusReports(opts.statusPeriod.Seconds())
+		}
+		if id == 0 {
+			n.Base().SetTraceSampling(opts.traceSample)
+		}
+		return n
 	}
 
 	srcTr, err := transport.NewUDP("127.0.0.1:0", udpCfg)
@@ -383,7 +458,7 @@ func bootCluster(cfg config, opts passOpts) (*cluster, error) {
 	}
 	cl.closers = append(cl.closers, func() { srcTr.Close() })
 	cl.trs = append(cl.trs, srcTr)
-	live.NewSourceSession(srcTr)
+	live.NewSourceSession(srcTr, cl.epoch)
 	cl.srcPeer = live.NewPeer(srcTr, cl.epoch, func(bus overlay.Bus) overlay.Protocol {
 		return newNode(bus, 0)
 	})

@@ -16,9 +16,12 @@
 // (JSON snapshot of the tree view and counters) and /debug/pprof; on the
 // source it additionally serves /tree (the live tree reconstructed from
 // the peers' StatusReports, with per-peer health and online quality
-// metrics) and /health (200 while every peer is fresh and attached, 503
+// metrics), /edges (per-edge flow health attributed from both endpoints'
+// telemetry) and /health (200 while every peer is fresh and attached, 503
 // otherwise). -report tunes how often peers send those StatusReports;
-// -trace writes the structured protocol event stream as JSONL.
+// -trace writes the structured protocol event stream as JSONL, and
+// -tracesample N makes the source tag every Nth chunk with an in-band
+// trace so chunk_path events record per-edge latency and hop depth.
 //
 // Ctrl-C leaves the session gracefully (children are pointed at their
 // grandparent before the process exits) and logs a final status and
@@ -66,6 +69,7 @@ func main() {
 		flowOn  = flag.Bool("flow", false, "enable the reliable data plane: paced flow control, ack-clocked windows, NACK/FEC repair")
 		pace    = flag.Float64("pace", 0, "with -flow: per-child pacing rate in chunks/s (0 = default, negative = unpaced)")
 		fec     = flag.Int("fec", 0, "with -flow: emit one XOR parity per this many chunks (0 = default, negative = off)")
+		tsample = flag.Int("tracesample", 0, "on the source: attach an in-band trace tag to every Nth chunk (0 = off)")
 	)
 	flag.Parse()
 
@@ -99,12 +103,16 @@ func main() {
 		sink = obs.TeeSink(sink, obs.NewJSONLSink(traceFile))
 	}
 
+	// The session epoch is the shared clock zero: the source mints it and
+	// every Welcome carries it, so a joiner's trace timestamps — and the
+	// in-band chunk-trace origins behind the per-edge latency numbers —
+	// line up with the source's.
 	epoch := time.Now()
 	clock := func() float64 { return time.Since(epoch).Seconds() }
 
 	var id overlay.NodeID
 	if *source {
-		sess := live.NewSourceSession(tr)
+		sess := live.NewSourceSession(tr, epoch)
 		id = sess.ID()
 		log.Info("source up", "addr", tr.LocalAddr(), "node", int64(id))
 	} else {
@@ -114,6 +122,7 @@ func main() {
 			os.Exit(1)
 		}
 		id = sess.ID()
+		epoch = sess.Epoch()
 		log.Info("joined session", "source", *join, "node", int64(id), "addr", tr.LocalAddr())
 	}
 	log = log.With("node", int64(id))
@@ -161,34 +170,18 @@ func main() {
 			}
 			n.Base().EnableStatusReports(report.Seconds())
 		}
+		if *source {
+			n.Base().SetTraceSampling(*tsample)
+		}
 		return n
 	})
 	peer.SetTracer(obs.NewTracer(sink, "vdm", id, clock))
-	reg.SetHelp("vdm_dataplane_send_syscalls_total", "Socket write syscalls (one sendmmsg moving N datagrams counts once).")
-	reg.SetHelp("vdm_dataplane_recv_syscalls_total", "Socket read syscalls (one recvmmsg moving N datagrams counts once).")
-	reg.SetHelp("vdm_dataplane_sent_frames_total", "Datagrams written to the socket.")
-	reg.SetHelp("vdm_dataplane_recv_frames_total", "Datagrams read from the socket.")
-	reg.SetHelp("vdm_dataplane_flushes_total", "Send-coalescer flushes.")
-	reg.SetHelp("vdm_dataplane_flushed_frames_total", "Data frames moved by coalescer flushes.")
-	reg.SetHelp("vdm_dataplane_flush_wait_seconds_total", "Summed first-enqueue-to-flush latency.")
-	reg.SetHelp("vdm_dataplane_queue_drops_total", "Data frames evicted oldest-first by per-destination queue caps.")
-	reg.SetHelp("vdm_dataplane_fanout_encodes_total", "Single-encode fan-outs (encode once, retarget per child).")
-	reg.SetHelp("vdm_dataplane_fanout_frames_total", "Frames produced by single-encode fan-outs.")
-	reg.SetHelp("vdm_dataplane_max_batch", "Largest datagram count one syscall has moved.")
-	reg.SetHelp("vdm_flow_acks_sent_total", "Cumulative acks sent to the parent (ack clock, receiver side).")
-	reg.SetHelp("vdm_flow_acks_recv_total", "Cumulative acks received from children (ack clock, sender side).")
-	reg.SetHelp("vdm_flow_nacks_sent_total", "NACKs sent (gap repair and stalled-uplink pulls).")
-	reg.SetHelp("vdm_flow_nacks_recv_total", "NACKs received from children or repair clients.")
-	reg.SetHelp("vdm_flow_retransmits_served_total", "Chunks retransmitted from the local cache in answer to NACKs.")
-	reg.SetHelp("vdm_flow_parity_sent_total", "FEC parity frames forwarded downstream.")
-	reg.SetHelp("vdm_flow_parity_recv_total", "FEC parity frames received.")
-	reg.SetHelp("vdm_flow_fec_repairs_total", "Chunks recovered locally from FEC parity (no retransmit needed).")
-	reg.SetHelp("vdm_flow_stall_pulls_total", "Stalled-uplink pulls sent to the repair neighbor.")
-	reg.SetHelp("vdm_flow_skipped_seqs_total", "Sequences written off after NACK retries were exhausted.")
-	reg.SetHelp("vdm_flow_pushbacks_sent_total", "Congestion pushbacks sent to the parent.")
-	reg.SetHelp("vdm_flow_pushbacks_recv_total", "Congestion pushbacks received (child rate halved).")
-	reg.SetHelp("vdm_flow_pace_drops_total", "Chunks evicted oldest-first from per-child pacing queues.")
-	reg.SetHelp("vdm_flow_window_stalls_total", "Ack-clocked windows that stalled past StallS and failed open.")
+	// The standard families' HELP text lives in internal/obs so every
+	// binary exposing them documents them identically; the help-lint test
+	// fails `make check` if a family is missing from those maps.
+	obs.RegisterStandardHelp(reg)
+	obs.RegisterDataplaneHelp(reg)
+	obs.RegisterFlowHelp(reg)
 	reg.RegisterCollector(func() []obs.Sample {
 		s := tr.Stats()
 		dp := tr.Dataplane()

@@ -7,6 +7,12 @@
 //	vdmtop -admin 127.0.0.1:8080            # one snapshot
 //	vdmtop -admin 127.0.0.1:8080 -watch 2s  # refresh every 2 s
 //
+// With -edges the topology is colored by per-edge flow health from the
+// source's /edges route: lossy edges red, throttled yellow, pulling
+// magenta, dead inverse-red — the injected-fault hunt at a glance:
+//
+//	vdmtop -admin 127.0.0.1:8080 -edges
+//
 // Trace mode merges per-peer JSONL trace files (vdmd -trace output, or
 // the per-peer sinks of a lab cluster) on the shared session clock and
 // reconstructs every join procedure's descent path across the peers it
@@ -14,6 +20,12 @@
 //
 //	vdmtop -traces source.jsonl,peer1.jsonl,peer2.jsonl
 //	vdmtop -traces source.jsonl,peer1.jsonl -join 3:1
+//
+// With -chunks it instead reconstructs the dissemination path of every
+// trace-tagged chunk (vdmd -tracesample) across the merged traces:
+//
+//	vdmtop -traces source.jsonl,peer1.jsonl -chunks
+//	vdmtop -traces source.jsonl,peer1.jsonl -chunks -chunk 4200
 package main
 
 import (
@@ -32,10 +44,14 @@ import (
 
 func main() {
 	var (
-		admin  = flag.String("admin", "", "source admin address (host:port or URL) to fetch /tree from")
-		watch  = flag.Duration("watch", 0, "with -admin: refresh interval (0 = print once)")
-		traces = flag.String("traces", "", "comma-separated per-peer JSONL trace files to merge")
-		joinID = flag.String("join", "", "with -traces: show only this join_id (e.g. 3:1)")
+		admin   = flag.String("admin", "", "source admin address (host:port or URL) to fetch /tree from")
+		watch   = flag.Duration("watch", 0, "with -admin: refresh interval (0 = print once)")
+		edges   = flag.Bool("edges", false, "with -admin: fetch /edges too and color the tree by edge flow health")
+		nocolor = flag.Bool("nocolor", false, "disable ANSI colors in the edge-health view")
+		traces  = flag.String("traces", "", "comma-separated per-peer JSONL trace files to merge")
+		joinID  = flag.String("join", "", "with -traces: show only this join_id (e.g. 3:1)")
+		chunks  = flag.Bool("chunks", false, "with -traces: show trace-tagged chunk dissemination paths instead of joins")
+		chunkN  = flag.Int64("chunk", -1, "with -chunks: show only this chunk sequence")
 	)
 	flag.Parse()
 
@@ -45,14 +61,18 @@ func main() {
 	}
 
 	if *traces != "" {
-		if err := showJoins(strings.Split(*traces, ","), *joinID); err != nil {
+		show := showJoins
+		if *chunks {
+			show = func(files []string, _ string) error { return showChunks(files, *chunkN) }
+		}
+		if err := show(strings.Split(*traces, ","), *joinID); err != nil {
 			fmt.Fprintln(os.Stderr, "vdmtop:", err)
 			os.Exit(1)
 		}
 	}
 	if *admin != "" {
 		for {
-			if err := showTree(*admin); err != nil {
+			if err := showTree(*admin, *edges, !*nocolor); err != nil {
 				fmt.Fprintln(os.Stderr, "vdmtop:", err)
 				if *watch == 0 {
 					os.Exit(1)
@@ -66,29 +86,56 @@ func main() {
 	}
 }
 
-// showTree fetches one /tree snapshot and renders it.
-func showTree(addr string) error {
+// fetchJSON decodes one admin route into out.
+func fetchJSON(addr, route string, out any) error {
 	url := addr
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
 	}
-	url = strings.TrimSuffix(url, "/") + "/tree"
+	url = strings.TrimSuffix(url, "/") + route
 	resp, err := http.Get(url)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	var snap tree.Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("decode %s: %w", url, err)
 	}
-	RenderTree(os.Stdout, &snap)
 	return nil
 }
 
+// showTree fetches one /tree snapshot (plus /edges when asked) and
+// renders it.
+func showTree(addr string, withEdges, color bool) error {
+	var snap tree.Snapshot
+	if err := fetchJSON(addr, "/tree", &snap); err != nil {
+		return err
+	}
+	var es *tree.EdgesSnapshot
+	if withEdges {
+		es = &tree.EdgesSnapshot{}
+		if err := fetchJSON(addr, "/edges", es); err != nil {
+			return err
+		}
+	}
+	RenderTree(os.Stdout, &snap, es, color)
+	return nil
+}
+
+// edgeColors picks the ANSI escape per edge-health status. Dead renders
+// inverse so a severed uplink jumps out even in a deep tree.
+var edgeColors = map[string]string{
+	tree.EdgeThrottled: "\x1b[33m", // yellow
+	tree.EdgeLossy:     "\x1b[31m", // red
+	tree.EdgePulling:   "\x1b[35m", // magenta
+	tree.EdgeDead:      "\x1b[7;31m",
+}
+
 // RenderTree prints the snapshot as an indented topology plus a summary
-// line per health dimension.
-func RenderTree(w *os.File, snap *tree.Snapshot) {
+// line per health dimension. A non-nil edges snapshot annotates every
+// non-source node with its uplink edge's flow health (colored unless
+// disabled) and appends the edge summary.
+func RenderTree(w *os.File, snap *tree.Snapshot, es *tree.EdgesSnapshot, color bool) {
 	s := snap.Summary
 	fmt.Fprintf(w, "tree @ %.1fs  members=%d reachable=%d stale=%d partitioned=%d orphans=%d\n",
 		snap.AtS, s.Members, s.Reachable, s.Stale, s.Partitioned, s.Orphans)
@@ -97,6 +144,15 @@ func RenderTree(w *os.File, snap *tree.Snapshot) {
 	if snap.Exact != nil {
 		fmt.Fprintf(w, "exact: stress=%.2f stretch=%.2f hopcount=%.2f usage=%.1fms\n",
 			snap.Exact.Stress, snap.Exact.Stretch, snap.Exact.Hopcount, snap.Exact.UsageMS)
+	}
+	uplink := map[int64]tree.EdgeHealth{}
+	if es != nil {
+		e := es.Summary
+		fmt.Fprintf(w, "edges: total=%d ok=%d throttled=%d lossy=%d pulling=%d dead=%d\n",
+			e.Total, e.OK, e.Throttled, e.Lossy, e.Pulling, e.Dead)
+		for _, eh := range es.Edges {
+			uplink[eh.Child] = eh
+		}
 	}
 
 	byID := make(map[int64]tree.PeerHealth, len(snap.Peers))
@@ -123,7 +179,28 @@ func RenderTree(w *os.File, snap *tree.Snapshot) {
 				label += "  PARTITIONED"
 			}
 		}
-		fmt.Fprintln(w, label)
+		esc := ""
+		if eh, ok := uplink[id]; ok && eh.Status != tree.EdgeOK {
+			label += fmt.Sprintf("  [%s score=%.2f", eh.Status, eh.Score)
+			if eh.NacksSent > 0 || eh.NacksFromChild > 0 {
+				label += fmt.Sprintf(" nacks=%d/%d", eh.NacksSent, eh.NacksFromChild)
+			}
+			if eh.StallPulls > 0 {
+				label += fmt.Sprintf(" pulls=%d", eh.StallPulls)
+			}
+			if eh.BaseRate > 0 && eh.RateChunksPerS < eh.BaseRate {
+				label += fmt.Sprintf(" rate=%.0f/%.0f", eh.RateChunksPerS, eh.BaseRate)
+			}
+			label += "]"
+			if color {
+				esc = edgeColors[eh.Status]
+			}
+		}
+		if esc != "" {
+			fmt.Fprintf(w, "%s%s\x1b[0m\n", esc, label)
+		} else {
+			fmt.Fprintln(w, label)
+		}
 		for _, c := range kids[id] {
 			render(c, indent+"  ")
 		}
@@ -147,8 +224,9 @@ func RenderTree(w *os.File, snap *tree.Snapshot) {
 	}
 }
 
-// showJoins merges the trace files and prints every join's descent path.
-func showJoins(files []string, only string) error {
+// mergeTraceFiles reads the JSONL files and merges them on the shared
+// session clock.
+func mergeTraceFiles(files []string) ([]obs.Event, error) {
 	var traces [][]obs.Event
 	for _, f := range files {
 		f = strings.TrimSpace(f)
@@ -157,16 +235,25 @@ func showJoins(files []string, only string) error {
 		}
 		fh, err := os.Open(f)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		evs, err := obs.ReadJSONL(fh)
 		fh.Close()
 		if err != nil {
-			return fmt.Errorf("%s: %w", f, err)
+			return nil, fmt.Errorf("%s: %w", f, err)
 		}
 		traces = append(traces, evs)
 	}
-	joins := obs.ReconstructJoins(obs.MergeTraces(traces...))
+	return obs.MergeTraces(traces...), nil
+}
+
+// showJoins merges the trace files and prints every join's descent path.
+func showJoins(files []string, only string) error {
+	merged, err := mergeTraceFiles(files)
+	if err != nil {
+		return err
+	}
+	joins := obs.ReconstructJoins(merged)
 	ids := make([]string, 0, len(joins))
 	for id := range joins {
 		if only != "" && id != only {
@@ -207,4 +294,35 @@ func printJoin(j *obs.JoinPath) {
 		}
 		fmt.Println()
 	}
+}
+
+// showChunks merges the trace files and prints every trace-tagged chunk's
+// dissemination path, hop by hop. only < 0 shows every traced chunk.
+func showChunks(files []string, only int64) error {
+	merged, err := mergeTraceFiles(files)
+	if err != nil {
+		return err
+	}
+	paths := obs.ReconstructChunkPaths(merged)
+	seqs := make([]int64, 0, len(paths))
+	for seq := range paths {
+		if only >= 0 && seq != only {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	if only >= 0 && len(seqs) == 0 {
+		return fmt.Errorf("chunk %d not traced in %d files", only, len(files))
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		cp := paths[seq]
+		fmt.Printf("chunk %d  hops=%d  max depth=%d  max latency=%.2fms\n",
+			cp.Seq, len(cp.Hops), cp.MaxDepth, cp.MaxLatencyMS)
+		for _, h := range cp.Hops {
+			fmt.Printf("  depth %-2d  %4d → %-4d  %.2fms  @%.3fs\n",
+				h.Depth, h.From, h.Node, h.LatencyMS, h.T)
+		}
+	}
+	return nil
 }

@@ -106,11 +106,13 @@ func (n *Node) emit(typ string, e obs.Event) {
 // trace stream: when this node answers another peer's InfoRequest or
 // ConnRequest, an info_served/conn_served event carrying the requester's
 // join id lands in this node's trace — the cross-peer half of a join
-// trace.
+// trace. Trace-tagged chunk arrivals bridge the same way, as chunk_path
+// events keyed by the chunk sequence — the data-plane half.
 func (n *Node) SetTracer(t *obs.Tracer) {
 	n.tracer = t
 	if t == nil {
 		n.Peer.SetServeObserver(nil)
+		n.Peer.SetChunkTraceObserver(nil)
 		return
 	}
 	n.Peer.SetServeObserver(func(ev overlay.ServeEvent) {
@@ -126,6 +128,14 @@ func (n *Node) SetTracer(t *obs.Tracer) {
 			}
 			t.Emit(obs.EvConnServed, e)
 		}
+	})
+	n.Peer.SetChunkTraceObserver(func(s overlay.ChunkTraceSample) {
+		t.Emit(obs.EvChunkPath, obs.Event{
+			Target: int64(s.From),
+			Seq:    s.Seq,
+			Step:   s.Depth,
+			Value:  s.LatencyS * 1e3,
+		})
 	})
 }
 

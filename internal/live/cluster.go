@@ -47,6 +47,11 @@ type ClusterConfig struct {
 	// StatusHandler receives the reports at the source (typically a
 	// tree.Aggregator's Handler). Ignored when StatusPeriod is zero.
 	StatusHandler overlay.StatusHandler
+	// TraceSample, when positive, makes the source attach an in-band
+	// trace tag to every nth emitted chunk; tagged arrivals surface as
+	// chunk_path events in the sinks above. Zero (the default) keeps the
+	// wire stream tag-free.
+	TraceSample int
 }
 
 // Cluster boots N VDM peers on one in-memory transport — the live
@@ -102,6 +107,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 					n.Base().SetStatusHandler(cfg.StatusHandler)
 				}
 				n.Base().EnableStatusReports(cfg.StatusPeriod.Seconds())
+			}
+			if id == 0 {
+				n.Base().SetTraceSampling(cfg.TraceSample)
 			}
 			return n
 		})

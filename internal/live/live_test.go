@@ -160,7 +160,7 @@ func TestUDPSessionEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srcTr.Close()
-	NewSourceSession(srcTr)
+	NewSourceSession(srcTr, epoch)
 	srcPeer := NewPeer(srcTr, epoch, func(bus overlay.Bus) overlay.Protocol {
 		return newNode(bus, 0)
 	})
@@ -181,7 +181,13 @@ func TestUDPSessionEndToEnd(t *testing.T) {
 		if id == overlay.None {
 			t.Fatal("joined session without an id")
 		}
-		p := NewPeer(tr, epoch, func(bus overlay.Bus) overlay.Protocol {
+		// The Welcome hands the joiner the session epoch; on loopback the
+		// adopted clock must land within the Hello→Welcome transit of the
+		// source's own.
+		if skew := sess.Epoch().Sub(epoch); skew < -time.Millisecond || skew > 250*time.Millisecond {
+			t.Fatalf("joiner %d adopted epoch %v off the source's", id, skew)
+		}
+		p := NewPeer(tr, sess.Epoch(), func(bus overlay.Bus) overlay.Protocol {
 			return newNode(bus, id)
 		})
 		defer p.Stop()

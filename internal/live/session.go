@@ -32,20 +32,24 @@ type Session struct {
 	source bool
 	nextID overlay.NodeID
 	dir    map[overlay.NodeID]string // source only: id → observed address
+	epoch  time.Time                 // shared session clock zero
 
 	srcAddr *net.UDPAddr // joiner only
 	welcome chan wire.Frame
 }
 
 // NewSourceSession makes tr the session rendezvous: node 0, owner of the
-// peer directory. Call before publishing the address to joiners.
-func NewSourceSession(tr *transport.UDP) *Session {
+// peer directory and of the session epoch, which every Welcome carries so
+// joiners run on the same clock. Call before publishing the address to
+// joiners.
+func NewSourceSession(tr *transport.UDP, epoch time.Time) *Session {
 	s := &Session{
 		tr:     tr,
 		id:     0,
 		source: true,
 		nextID: 1,
 		dir:    map[overlay.NodeID]string{0: tr.LocalAddr()},
+		epoch:  epoch,
 	}
 	tr.SetSessionHandler(s.handleSource)
 	return s
@@ -53,7 +57,7 @@ func NewSourceSession(tr *transport.UDP) *Session {
 
 // JoinSession performs the Hello/Welcome handshake against the source at
 // sourceAddr and wires address resolution into tr. On success the
-// returned session knows this node's assigned id.
+// returned session knows this node's assigned id and the session epoch.
 func JoinSession(tr *transport.UDP, sourceAddr string, timeout time.Duration) (*Session, error) {
 	raddr, err := net.ResolveUDPAddr("udp", sourceAddr)
 	if err != nil {
@@ -77,6 +81,11 @@ func JoinSession(tr *transport.UDP, sourceAddr string, timeout time.Duration) (*
 		case f := <-s.welcome:
 			s.mu.Lock()
 			s.id = f.Node
+			// Adopt the source's session clock: the Welcome says how many
+			// seconds into the session it was sent, so our epoch is that
+			// far in the past (plus the one-way transit, below one-way
+			// measurement precision anyway).
+			s.epoch = time.Now().Add(-time.Duration(f.EpochS * float64(time.Second)))
 			s.mu.Unlock()
 			for _, pa := range f.Peers {
 				if pa.ID != f.Node {
@@ -99,6 +108,16 @@ func (s *Session) ID() overlay.NodeID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.id
+}
+
+// Epoch returns the shared session clock zero: the source's own epoch, or
+// the one the joiner adopted from the Welcome. Build the live.Peer on
+// this so timestamps — trace events, in-band chunk-trace origins —
+// compare across processes.
+func (s *Session) Epoch() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // NumKnown reports the directory size (source) — joiners report 0.
@@ -138,6 +157,7 @@ func (s *Session) handleSource(from *net.UDPAddr, f wire.Frame) {
 		s.tr.SendFrame(from, wire.Frame{
 			Kind: wire.KindWelcome, From: 0, To: id,
 			Node: id, Src: 0, Peers: peers,
+			EpochS: time.Since(s.epoch).Seconds(),
 		})
 	case wire.KindAddrQuery:
 		s.mu.Lock()

@@ -1,0 +1,74 @@
+package obs
+
+import "sort"
+
+// This file is the data-plane half of the cross-peer correlation toolkit:
+// fold a merged trace's chunk_path events — one per peer a sampled chunk
+// reached — into the chunk's dissemination tree, the way joinpath.go folds
+// join_id events into a join's descent path.
+
+// ChunkHop is one peer's arrival record for a traced chunk.
+type ChunkHop struct {
+	// Node is the peer the chunk arrived at.
+	Node int64 `json:"node"`
+	// From is the upstream sender the chunk came over (−1 for a hop
+	// recovered locally, e.g. by FEC, rather than received on an edge).
+	From int64 `json:"from"`
+	// Depth is the peer's hop count below the source.
+	Depth int `json:"depth"`
+	// LatencyMS is the one-way source→peer latency in milliseconds.
+	LatencyMS float64 `json:"latency_ms"`
+	// T is the arrival bus time.
+	T float64 `json:"t"`
+}
+
+// ChunkPath is one sampled chunk's dissemination reconstructed from a
+// merged event stream: every peer it reached, ordered source-outward
+// (depth ascending, arrival time breaking ties).
+type ChunkPath struct {
+	// Seq is the chunk's stream sequence number.
+	Seq int64 `json:"seq"`
+	// Hops is every recorded arrival, depth-ascending.
+	Hops []ChunkHop `json:"hops"`
+	// MaxDepth is the deepest recorded hop.
+	MaxDepth int `json:"max_depth"`
+	// MaxLatencyMS is the worst recorded one-way latency.
+	MaxLatencyMS float64 `json:"max_latency_ms"`
+}
+
+// ReconstructChunkPaths folds a merged event stream into per-chunk paths
+// keyed by sequence number. Only chunk_path events contribute; pass the
+// merged traces of every peer in the session so each sampled chunk's full
+// source→leaf fan-out is present.
+func ReconstructChunkPaths(events []Event) map[int64]*ChunkPath {
+	paths := make(map[int64]*ChunkPath)
+	for _, e := range events {
+		if e.Type != EvChunkPath {
+			continue
+		}
+		cp, ok := paths[e.Seq]
+		if !ok {
+			cp = &ChunkPath{Seq: e.Seq}
+			paths[e.Seq] = cp
+		}
+		cp.Hops = append(cp.Hops, ChunkHop{
+			Node: e.Node, From: e.Target, Depth: e.Step,
+			LatencyMS: e.Value, T: e.T,
+		})
+		if e.Step > cp.MaxDepth {
+			cp.MaxDepth = e.Step
+		}
+		if e.Value > cp.MaxLatencyMS {
+			cp.MaxLatencyMS = e.Value
+		}
+	}
+	for _, cp := range paths {
+		sort.SliceStable(cp.Hops, func(i, j int) bool {
+			if cp.Hops[i].Depth != cp.Hops[j].Depth {
+				return cp.Hops[i].Depth < cp.Hops[j].Depth
+			}
+			return cp.Hops[i].T < cp.Hops[j].T
+		})
+	}
+	return paths
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReconstructChunkPaths merges three peers' JSONL traces and checks a
+// sampled chunk's dissemination comes back depth-ordered with per-hop
+// latency — the cross-peer correlation the in-band trace tag exists for.
+func TestReconstructChunkPaths(t *testing.T) {
+	var b1, b2, b3 strings.Builder
+	t1 := NewTracer(NewJSONLSink(&b1), "vdm", 1, func() float64 { return 10.02 })
+	t2 := NewTracer(NewJSONLSink(&b2), "vdm", 2, func() float64 { return 10.05 })
+	t3 := NewTracer(NewJSONLSink(&b3), "vdm", 3, func() float64 { return 10.01 })
+
+	// Chunk 100 fans out source(0) → 1 and 3, then 1 → 2. Node 3's event
+	// is written first in time but must still sort by depth then arrival.
+	t3.Emit(EvChunkPath, Event{Target: 0, Seq: 100, Step: 1, Value: 10})
+	t1.Emit(EvChunkPath, Event{Target: 0, Seq: 100, Step: 1, Value: 20})
+	t2.Emit(EvChunkPath, Event{Target: 1, Seq: 100, Step: 2, Value: 50})
+	// A second sampled chunk keeps its own path.
+	t1.Emit(EvChunkPath, Event{Target: 0, Seq: 200, Step: 1, Value: 21})
+	// Unrelated events are ignored.
+	t1.Emit(EvJoinStart, Event{Target: 0, JoinID: "1:1"})
+
+	read := func(b *strings.Builder) []Event {
+		ev, err := ReadJSONL(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	paths := ReconstructChunkPaths(MergeTraces(read(&b1), read(&b2), read(&b3)))
+
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	cp := paths[100]
+	if cp == nil || len(cp.Hops) != 3 {
+		t.Fatalf("chunk 100 path = %+v, want 3 hops", cp)
+	}
+	wantNodes := []int64{3, 1, 2} // depth 1 by arrival time, then depth 2
+	for i, h := range cp.Hops {
+		if h.Node != wantNodes[i] {
+			t.Fatalf("hop %d node = %d, want %d (hops %+v)", i, h.Node, wantNodes[i], cp.Hops)
+		}
+	}
+	if cp.Hops[2].From != 1 || cp.Hops[2].Depth != 2 {
+		t.Fatalf("leaf hop = %+v, want from 1 depth 2", cp.Hops[2])
+	}
+	if cp.MaxDepth != 2 || cp.MaxLatencyMS != 50 {
+		t.Fatalf("max depth %d latency %g, want 2 and 50", cp.MaxDepth, cp.MaxLatencyMS)
+	}
+	if p := paths[200]; p == nil || len(p.Hops) != 1 || p.Hops[0].Node != 1 {
+		t.Fatalf("chunk 200 path = %+v", p)
+	}
+}
+
+// TestChunkPathMetrics feeds trace-tagged arrivals through the metrics
+// sink and checks the per-edge latency/jitter/depth families register.
+func TestChunkPathMetrics(t *testing.T) {
+	reg := NewRegistry()
+	sink := NewMetricsSink(reg)
+	sink.Emit(Event{Proto: "vdm", Node: 2, Type: EvChunkPath, Target: 1, Seq: 10, Step: 1, Value: 20})
+	sink.Emit(Event{Proto: "vdm", Node: 2, Type: EvChunkPath, Target: 1, Seq: 20, Step: 1, Value: 26})
+	sink.Emit(Event{Proto: "vdm", Node: 5, Type: EvChunkPath, Target: 2, Seq: 10, Step: 2, Value: 45})
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		`vdm_chunk_path_latency_ms_count{from="1",node="2",proto="vdm"} 2`,
+		`vdm_chunk_path_latency_ms_count{from="2",node="5",proto="vdm"} 1`,
+		// Jitter needs two samples on the same edge: |26-20| = 6.
+		`vdm_chunk_path_jitter_ms_sum{from="1",node="2",proto="vdm"} 6`,
+		`vdm_chunk_hop_depth_count{proto="vdm"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(text, `vdm_chunk_path_jitter_ms_count{from="2"`) {
+		t.Error("jitter emitted for an edge with a single sample")
+	}
+}

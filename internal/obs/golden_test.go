@@ -23,7 +23,8 @@ func TestJSONLGoldenSchema(t *testing.T) {
 	tr := NewTracer(sink, "vdm", 7, func() float64 { return 12.5 })
 
 	// One fully populated event and one zero-heavy event: together they
-	// pin both the field order and the always-marshalled contract.
+	// pin both the field order and the always-marshalled contract. The
+	// chunk_path event pins the seq field wire v5's tracing added.
 	tr.Emit(EvJoinDecide, Event{
 		Target: 3,
 		Case:   "III",
@@ -33,6 +34,7 @@ func TestJSONLGoldenSchema(t *testing.T) {
 		JoinID: "7:1",
 	})
 	tr.Emit(EvMailboxDepth, Event{Target: -1, Value: 9})
+	tr.Emit(EvChunkPath, Event{Target: 4, Step: 3, Seq: 4200, Value: 18.75})
 
 	got := sb.String()
 	golden := filepath.Join("testdata", "event_schema.golden")

@@ -3,6 +3,8 @@ package obs
 import (
 	"strings"
 	"testing"
+
+	"vdm/internal/overlay"
 )
 
 // TestPrometheusExpositionLint renders a registry exercising every metric
@@ -21,6 +23,12 @@ func TestPrometheusExpositionLint(t *testing.T) {
 	h.Observe(0.01)
 	h.Observe(0.4)
 	h.Observe(1e9) // beyond the last bound: only +Inf holds it
+	// A labelled per-edge histogram, the shape the chunk-path tracing adds.
+	hl := reg.Histogram("vdm_chunk_path_latency_ms", LatencyBucketsMS,
+		L("proto", "vdm"), L("node", "3"), L("from", "1"))
+	hl.Observe(2.5)
+	hl.Observe(40)
+	hl.Observe(1e9)
 	reg.RegisterCollector(func() []Sample {
 		return []Sample{
 			{Name: "vdm_transport_ctrl_msgs_total", Labels: []Label{L("node", "0")}, Value: 12},
@@ -164,6 +172,60 @@ func TestPrometheusExpositionLint(t *testing.T) {
 		if count != 3 {
 			t.Errorf("histogram %s _count = %d, want 3", key, count)
 		}
+	}
+}
+
+// TestHelpLintStandardSurface builds the full standard metric surface a
+// daemon exposes — every family the trace metrics sink emits plus every
+// collector sample name vdmd registers — and fails if any of them would
+// scrape out with the "(no description registered)" fallback. This is the
+// `make check` enforcement that new metric families ship with HELP text.
+func TestHelpLintStandardSurface(t *testing.T) {
+	reg := NewRegistry()
+	RegisterStandardHelp(reg)
+	RegisterDataplaneHelp(reg)
+	RegisterFlowHelp(reg)
+
+	// Drive every event type through the metrics sink so each sink-side
+	// family registers at least one series.
+	sink := NewMetricsSink(reg)
+	for _, typ := range []string{
+		EvJoinStart, EvJoinStep, EvJoinDecide, EvJoinConnect, EvJoinDone,
+		EvJoinTimeout, EvJoinRestart, EvOrphaned, EvRefineSwitch,
+		EvInfoServed, EvConnServed, EvUDPRetransmit, EvUDPDedupeDrop,
+		EvUDPAck, EvMailboxDepth, EvChunkPath,
+	} {
+		sink.Emit(Event{Proto: "vdm", Node: 2, Type: typ, Target: 1, Value: 1, Step: 1})
+	}
+	// Two chunk_path samples on one edge so the jitter family registers.
+	sink.Emit(Event{Proto: "vdm", Node: 2, Type: EvChunkPath, Target: 1, Value: 3, Step: 1})
+
+	// The collector sample names the daemon exports.
+	for name := range dataplaneHelp {
+		n := name
+		reg.RegisterCollector(func() []Sample { return []Sample{{Name: n, Value: 1}} })
+	}
+	for name := range flowHelp {
+		n := name
+		reg.RegisterCollector(func() []Sample { return []Sample{{Name: n, Value: 1}} })
+	}
+	RegisterCounters(reg, "vdm_transport", &overlay.Counters{})
+	reg.RegisterCollector(func() []Sample {
+		return []Sample{
+			{Name: "vdm_udp_retransmits_sent_total", Value: 0},
+			{Name: "vdm_udp_dedupe_dropped_total", Value: 0},
+			{Name: "vdm_udp_acks_received_total", Value: 0},
+			{Name: "vdm_mailbox_highwater", Value: 0},
+		}
+	})
+
+	if missing := reg.MissingHelp(); len(missing) > 0 {
+		t.Fatalf("metric families without HELP text: %v", missing)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if strings.Contains(sb.String(), "(no description registered)") {
+		t.Fatal("exposition contains the fallback HELP text")
 	}
 }
 

@@ -33,6 +33,10 @@ type Event struct {
 	// Step is an ordinal: join iteration number, retransmit attempt,
 	// adopted-child count — whatever the event type documents.
 	Step int `json:"step"`
+	// Seq is a data-plane sequence number (the traced chunk's stream
+	// sequence for chunk_path events); 0 when the event has none. Join
+	// procedure counters live in JoinID, not here.
+	Seq int64 `json:"seq"`
 	// Value is the event's measurement: a duration in seconds, a latency
 	// in milliseconds, a distance, a queue depth.
 	Value float64 `json:"value"`
@@ -97,6 +101,14 @@ const (
 	// EvMailboxDepth: a live peer's mailbox reached a new high-water
 	// depth (Value).
 	EvMailboxDepth = "mailbox_depth"
+
+	// EvChunkPath: a trace-tagged chunk arrived at this peer. Target is
+	// the upstream sender it came over, Seq the chunk's stream sequence,
+	// Step the peer's hop depth below the source, Value the one-way
+	// source→here latency in milliseconds. Merging every peer's trace and
+	// grouping by Seq reconstructs the chunk's full dissemination path —
+	// the data-plane analogue of the join-serve correlation events.
+	EvChunkPath = "chunk_path"
 )
 
 // Sink consumes trace events. Implementations must be safe for concurrent
@@ -194,9 +206,14 @@ func (t *Tracer) Emit(typ string, e Event) {
 
 // NewMetricsSink bridges the event stream into a registry: every event
 // increments vdm_events_total{proto,type}, and the latency-bearing types
-// feed histograms (join durations by purpose, UDP ack latency) plus the
-// Case I/II/III decision-mix counters the paper's evaluation reports.
+// feed histograms (join durations by purpose, UDP ack latency, chunk-path
+// edge latency/jitter/depth) plus the Case I/II/III decision-mix counters
+// the paper's evaluation reports.
 func NewMetricsSink(reg *Registry) Sink {
+	// Jitter needs the previous latency observation per edge; the state
+	// lives in the closure so independent sinks don't share it.
+	var jmu sync.Mutex
+	prevLat := make(map[[2]int64]float64)
 	return FuncSink(func(e Event) {
 		pl := L("proto", e.Proto)
 		reg.Counter("vdm_events_total", pl, L("type", e.Type)).Inc()
@@ -214,6 +231,22 @@ func NewMetricsSink(reg *Registry) Sink {
 			reg.Counter("vdm_udp_dedupe_drops_total", pl).Inc()
 		case EvMailboxDepth:
 			reg.Gauge("vdm_mailbox_depth_highwater", pl).SetMax(e.Value)
+		case EvChunkPath:
+			el := []Label{pl, L("node", fmt.Sprint(e.Node)), L("from", fmt.Sprint(e.Target))}
+			reg.Histogram("vdm_chunk_path_latency_ms", LatencyBucketsMS, el...).Observe(e.Value)
+			reg.Histogram("vdm_chunk_hop_depth", []float64{1, 2, 3, 4, 6, 8, 12, 16}, pl).Observe(float64(e.Step))
+			key := [2]int64{e.Node, e.Target}
+			jmu.Lock()
+			prev, ok := prevLat[key]
+			prevLat[key] = e.Value
+			jmu.Unlock()
+			if ok {
+				d := e.Value - prev
+				if d < 0 {
+					d = -d
+				}
+				reg.Histogram("vdm_chunk_path_jitter_ms", LatencyBucketsMS, el...).Observe(d)
+			}
 		}
 	})
 }

@@ -1,0 +1,286 @@
+// Edge-health attribution: fold the flow telemetry both endpoints of a
+// tree edge report — the child's uplink repair deltas and the parent's
+// per-child sender state — into one health judgement per edge. An edge is
+// observed from both sides: the parent says how hard it is pushing (pacing
+// rate vs base, window occupancy, queue depth, nacks/pushbacks received
+// from the child) and the child says how hard it is repairing (nacks sent,
+// stalled-uplink pulls, FEC recoveries, write-offs). Either side alone can
+// be stale or silent; the classification uses whichever evidence is fresh.
+package tree
+
+import (
+	"sort"
+	"strconv"
+
+	"vdm/internal/obs"
+	"vdm/internal/overlay"
+)
+
+// childActivity accumulates one sender's per-child flow rows across
+// reports, with last-activity stamps for the recency judgement.
+type childActivity struct {
+	nacks  int64   // summed NacksDelta (nacks this sender received from the child)
+	pushes int64   // summed PushbacksDelta
+	nackAt float64 // last ingest whose row carried NacksDelta > 0; 0 = never
+	pushAt float64
+}
+
+// ingestFlow folds one fresh report's flow section into the peer's
+// accumulated edge-attribution state. Caller holds the aggregator lock.
+func (ps *peerState) ingestFlow(at float64, r overlay.StatusReport) {
+	if !r.FlowOn {
+		return
+	}
+	ps.nacksSent += r.NacksSentDelta
+	ps.stallPulls += r.StallPullsDelta
+	ps.fecRepairs += r.FECRepairsDelta
+	ps.skipped += r.SkippedDelta
+	if r.NacksSentDelta > 0 {
+		ps.nackAt = at
+	}
+	if r.StallPullsDelta > 0 {
+		ps.pullAt = at
+	}
+	for _, cf := range r.ChildFlows {
+		if ps.childAct == nil {
+			ps.childAct = make(map[overlay.NodeID]*childActivity)
+		}
+		ca, ok := ps.childAct[cf.ID]
+		if !ok {
+			ca = &childActivity{}
+			ps.childAct[cf.ID] = ca
+		}
+		ca.nacks += cf.NacksDelta
+		ca.pushes += cf.PushbacksDelta
+		if cf.NacksDelta > 0 {
+			ca.nackAt = at
+		}
+		if cf.PushbacksDelta > 0 {
+			ca.pushAt = at
+		}
+	}
+}
+
+// The edge status values, worst first. Dead dominates: the child fell
+// silent or the sender's window to it stalled out. Pulling means the child
+// gave up on the edge and is draining from its repair neighbor. Lossy
+// means active NACK repair on the edge. Throttled means congestion control
+// cut the sender's pacing rate below its configured base.
+const (
+	EdgeDead      = "dead"
+	EdgePulling   = "pulling"
+	EdgeLossy     = "lossy"
+	EdgeThrottled = "throttled"
+	EdgeOK        = "ok"
+)
+
+// severity orders statuses for worst-wins aggregation.
+var severity = map[string]int{EdgeOK: 0, EdgeThrottled: 1, EdgeLossy: 2, EdgePulling: 3, EdgeDead: 4}
+
+// EdgeHealth is one tree edge's row in an EdgesSnapshot, with the evidence
+// behind the judgement.
+type EdgeHealth struct {
+	Parent int64 `json:"parent"`
+	Child  int64 `json:"child"`
+	// Status is the worst applicable of dead/pulling/lossy/throttled/ok.
+	Status string `json:"status"`
+	// Score is 1 for a clean edge, degraded per condition, 0 when dead —
+	// a sortable scalar for dashboards.
+	Score float64 `json:"score"`
+
+	// Sender-side evidence (the parent's ChildFlows row for this child).
+	RateChunksPerS float64 `json:"rate_chunks_per_s"`
+	BaseRate       float64 `json:"base_rate"`
+	QueueDepth     int     `json:"queue_depth"`
+	WindowUsed     int     `json:"window_used"`
+	Stalled        bool    `json:"stalled"`
+	NacksFromChild int64   `json:"nacks_from_child"`
+	Pushbacks      int64   `json:"pushbacks"`
+
+	// Receiver-side evidence (the child's uplink repair totals).
+	NacksSent  int64 `json:"nacks_sent"`
+	StallPulls int64 `json:"stall_pulls"`
+	FECRepairs int64 `json:"fec_repairs"`
+	Skipped    int64 `json:"skipped"`
+
+	// ChildAgeS is the child's report age; −1 when the child never
+	// reported at all.
+	ChildAgeS  float64 `json:"child_age_s"`
+	ChildStale bool    `json:"child_stale"`
+}
+
+// EdgeSummary counts edges by status.
+type EdgeSummary struct {
+	Total     int `json:"total"`
+	OK        int `json:"ok"`
+	Throttled int `json:"throttled"`
+	Lossy     int `json:"lossy"`
+	Pulling   int `json:"pulling"`
+	Dead      int `json:"dead"`
+}
+
+// EdgesSnapshot is the full /edges payload.
+type EdgesSnapshot struct {
+	AtS     float64      `json:"at_s"`
+	Source  int64        `json:"source"`
+	Summary EdgeSummary  `json:"summary"`
+	Edges   []EdgeHealth `json:"edges"`
+}
+
+// Edges attributes the ingested flow telemetry to tree edges and scores
+// each one. The edge set is the union of what both sides claim: every
+// reporting child with a parent contributes its uplink, and every sender
+// row contributes even when the child itself has fallen silent.
+func (a *Aggregator) Edges() EdgesSnapshot {
+	a.mu.Lock()
+	now := a.now()
+	type half struct {
+		parent overlay.NodeID
+		child  overlay.NodeID
+	}
+	// Collect both halves under the lock, score after releasing it.
+	edges := make(map[half]*EdgeHealth)
+	recent := a.cfg.StaleAfterS
+	get := func(parent, child overlay.NodeID) *EdgeHealth {
+		k := half{parent, child}
+		e, ok := edges[k]
+		if !ok {
+			e = &EdgeHealth{Parent: int64(parent), Child: int64(child), ChildAgeS: -1}
+			edges[k] = e
+		}
+		return e
+	}
+	for id, ps := range a.peers {
+		r := ps.report
+		if id != a.cfg.Source && r.Parent != overlay.None && r.FlowOn {
+			e := get(r.Parent, id)
+			e.NacksSent = ps.nacksSent
+			e.StallPulls = ps.stallPulls
+			e.FECRepairs = ps.fecRepairs
+			e.Skipped = ps.skipped
+		}
+		// Child liveness matters even without flow telemetry.
+		if id != a.cfg.Source && r.Parent != overlay.None {
+			e := get(r.Parent, id)
+			e.ChildAgeS = now - ps.at
+			e.ChildStale = e.ChildAgeS > a.cfg.StaleAfterS
+		}
+		if !r.FlowOn {
+			continue
+		}
+		for _, cf := range r.ChildFlows {
+			e := get(id, cf.ID)
+			e.BaseRate = r.FlowBaseRate
+			e.RateChunksPerS = cf.RateChunksPerS
+			e.QueueDepth = cf.QueueDepth
+			e.WindowUsed = cf.WindowUsed
+			e.Stalled = cf.Stalled
+			if ca := ps.childAct[cf.ID]; ca != nil {
+				e.NacksFromChild = ca.nacks
+				e.Pushbacks = ca.pushes
+			}
+		}
+	}
+	// Recency: loss/pull/pushback evidence only degrades an edge when the
+	// activity happened within the staleness window — an edge that was
+	// lossy an hour ago and has been quiet since is healthy now.
+	type childStamps struct{ nackAt, pullAt float64 }
+	type rowStamps struct{ nackAt, pushAt float64 }
+	childStamp := make(map[overlay.NodeID]childStamps)
+	rowStamp := make(map[half]rowStamps)
+	for id, ps := range a.peers {
+		childStamp[id] = childStamps{ps.nackAt, ps.pullAt}
+		for cid, ca := range ps.childAct {
+			rowStamp[half{id, cid}] = rowStamps{ca.nackAt, ca.pushAt}
+		}
+	}
+	a.mu.Unlock()
+
+	active := func(at float64) bool { return at > 0 && now-at <= recent }
+	snap := EdgesSnapshot{AtS: now, Source: int64(a.cfg.Source)}
+	for k, e := range edges {
+		cs := childStamp[k.child]
+		rs := rowStamp[k]
+		e.Status = EdgeOK
+		e.Score = 1
+		worsen := func(status string, score float64) {
+			if severity[status] > severity[e.Status] {
+				e.Status = status
+			}
+			e.Score -= score
+		}
+		if e.BaseRate > 0 && e.RateChunksPerS > 0 && e.RateChunksPerS < e.BaseRate ||
+			active(rs.pushAt) {
+			worsen(EdgeThrottled, 0.25)
+		}
+		if active(cs.nackAt) || active(rs.nackAt) {
+			worsen(EdgeLossy, 0.5)
+		}
+		if active(cs.pullAt) {
+			worsen(EdgePulling, 0.25)
+		}
+		if e.ChildAgeS < 0 || e.ChildStale || e.Stalled {
+			e.Status = EdgeDead
+			e.Score = 0
+		}
+		if e.Score < 0 {
+			e.Score = 0
+		}
+		snap.Summary.Total++
+		switch e.Status {
+		case EdgeOK:
+			snap.Summary.OK++
+		case EdgeThrottled:
+			snap.Summary.Throttled++
+		case EdgeLossy:
+			snap.Summary.Lossy++
+		case EdgePulling:
+			snap.Summary.Pulling++
+		case EdgeDead:
+			snap.Summary.Dead++
+		}
+		snap.Edges = append(snap.Edges, *e)
+	}
+	sort.Slice(snap.Edges, func(i, j int) bool {
+		if snap.Edges[i].Parent != snap.Edges[j].Parent {
+			return snap.Edges[i].Parent < snap.Edges[j].Parent
+		}
+		return snap.Edges[i].Child < snap.Edges[j].Child
+	})
+	return snap
+}
+
+// edgeHelp documents the vdm_edge_* family RegisterMetrics exports.
+var edgeHelp = map[string]string{
+	"vdm_edge_count":     "Tree edges known to the edge-health attributor.",
+	"vdm_edge_ok":        "Edges with no recent loss, throttling, pulls, or staleness.",
+	"vdm_edge_throttled": "Edges whose sender pacing rate sits below its configured base.",
+	"vdm_edge_lossy":     "Edges with NACK repair activity inside the staleness window.",
+	"vdm_edge_pulling":   "Edges whose child recently drained from its repair neighbor instead.",
+	"vdm_edge_dead":      "Edges whose child is silent or whose send window stalled out.",
+	"vdm_edge_score":     "Per-edge health score: 1 clean, 0 dead.",
+}
+
+// edgeSamples renders the current edge attribution as vdm_edge_* samples.
+func (a *Aggregator) edgeSamples() []obs.Sample {
+	es := a.Edges()
+	samples := []obs.Sample{
+		{Name: "vdm_edge_count", Value: float64(es.Summary.Total)},
+		{Name: "vdm_edge_ok", Value: float64(es.Summary.OK)},
+		{Name: "vdm_edge_throttled", Value: float64(es.Summary.Throttled)},
+		{Name: "vdm_edge_lossy", Value: float64(es.Summary.Lossy)},
+		{Name: "vdm_edge_pulling", Value: float64(es.Summary.Pulling)},
+		{Name: "vdm_edge_dead", Value: float64(es.Summary.Dead)},
+	}
+	for _, e := range es.Edges {
+		samples = append(samples, obs.Sample{
+			Name: "vdm_edge_score",
+			Labels: []obs.Label{
+				obs.L("parent", strconv.FormatInt(e.Parent, 10)),
+				obs.L("child", strconv.FormatInt(e.Child, 10)),
+			},
+			Value: e.Score,
+		})
+	}
+	return samples
+}

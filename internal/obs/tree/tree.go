@@ -52,6 +52,17 @@ type peerState struct {
 	fwd     int64
 	dup     int64
 	reports int64
+
+	// Flow telemetry accumulated for edge attribution (edges.go): the
+	// peer's uplink repair totals with last-activity stamps, and per-child
+	// activity folded from the ChildFlows rows it reports as a sender.
+	nacksSent  int64
+	stallPulls int64
+	fecRepairs int64
+	skipped    int64
+	nackAt     float64 // last ingest with NacksSentDelta > 0; 0 = never
+	pullAt     float64
+	childAct   map[overlay.NodeID]*childActivity
 }
 
 // Aggregator ingests StatusReports and serves tree snapshots. All methods
@@ -108,6 +119,7 @@ func (a *Aggregator) Ingest(at float64, from overlay.NodeID, r overlay.StatusRep
 		ps.recv += r.RecvDelta
 		ps.fwd += r.FwdDelta
 		ps.dup += r.DupDelta
+		ps.ingestFlow(at, r)
 	}
 	ps.report = r
 	ps.at = at
@@ -404,6 +416,10 @@ func (a *Aggregator) RegisterMetrics(reg *obs.Registry) {
 	reg.SetHelp("vdm_tree_stretch_proxy_max", "Maximum online stretch proxy.")
 	reg.SetHelp("vdm_tree_fanout_max", "Maximum children count over forwarding peers.")
 	reg.SetHelp("vdm_tree_fanout_avg", "Average children count over forwarding peers.")
+	for name, text := range edgeHelp {
+		reg.SetHelp(name, text)
+	}
+	reg.RegisterCollector(a.edgeSamples)
 	reg.RegisterCollector(func() []obs.Sample {
 		s := a.Snapshot().Summary
 		samples := []obs.Sample{
@@ -434,6 +450,7 @@ func (a *Aggregator) RegisterMetrics(reg *obs.Registry) {
 // Register mounts the aggregator's admin routes on mux:
 //
 //	/tree     the full Snapshot as indented JSON
+//	/edges    the EdgesSnapshot (per-edge flow health) as indented JSON
 //	/health   200 "ok" when every peer is fresh and attached,
 //	          503 with a JSON digest otherwise
 func (a *Aggregator) Register(mux *http.ServeMux) {
@@ -442,6 +459,12 @@ func (a *Aggregator) Register(mux *http.ServeMux) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(a.Snapshot())
+	})
+	mux.HandleFunc("/edges", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a.Edges())
 	})
 	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
 		snap := a.Snapshot()

@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"vdm/internal/flow"
@@ -64,6 +65,13 @@ type flowState struct {
 	// from it are expected — exempting them from stale-edge pruning.
 	expect map[NodeID]float64
 
+	// Baselines of the receiver-side counters at the last StatusReport,
+	// so reports carry deltas (see fillStatus).
+	repNacksSent  int64
+	repStallPulls int64
+	repFECRepairs int64
+	repSkipped    int64
+
 	st flowCounters
 }
 
@@ -75,6 +83,13 @@ type childFlow struct {
 	ackSeen      bool
 	lastSent     int64 // highest chunk seq sent
 	stalledSince float64
+
+	// Per-edge telemetry: NACKs and pushbacks received from this child,
+	// with the baselines of the last StatusReport (see fillStatus).
+	nacks     int64
+	pushes    int64
+	repNacks  int64
+	repPushes int64
 }
 
 type nackState struct {
@@ -399,6 +414,51 @@ func (f *flowState) recoverRates() {
 	}
 }
 
+// fillStatus writes the flow-telemetry section of a StatusReport: the
+// per-child sender state (queue depth, current pacing rate, window use,
+// per-edge NACK/pushback deltas) and the receiver-side uplink repair
+// deltas. It advances the report baselines, so it must run exactly once
+// per emitted report — ComposeStatus calls it on the peer's execution
+// context, where the child maps are safe to walk.
+func (f *flowState) fillStatus(r *StatusReport) {
+	r.FlowOn = true
+	r.FlowBaseRate = f.cfg.RateChunksPerS
+	if n := len(f.children); n > 0 {
+		ids := make([]NodeID, 0, n)
+		for id := range f.children {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		r.ChildFlows = make([]ChildFlowStatus, 0, n)
+		for _, id := range ids {
+			cf := f.children[id]
+			used := 0
+			if cf.ackSeen && cf.lastSent > cf.acked {
+				used = int(cf.lastSent - cf.acked)
+			}
+			r.ChildFlows = append(r.ChildFlows, ChildFlowStatus{
+				ID:             id,
+				QueueDepth:     len(cf.q),
+				RateChunksPerS: cf.bucket.Rate(),
+				WindowUsed:     used,
+				Stalled:        cf.stalledSince > 0,
+				NacksDelta:     cf.nacks - cf.repNacks,
+				PushbacksDelta: cf.pushes - cf.repPushes,
+			})
+			cf.repNacks, cf.repPushes = cf.nacks, cf.pushes
+		}
+	}
+	ns := f.st.nacksSent.Load()
+	sp := f.st.stallPulls.Load()
+	fr := f.st.fecRepairs.Load()
+	sk := f.st.skipped.Load()
+	r.NacksSentDelta = ns - f.repNacksSent
+	r.StallPullsDelta = sp - f.repStallPulls
+	r.FECRepairsDelta = fr - f.repFECRepairs
+	r.SkippedDelta = sk - f.repSkipped
+	f.repNacksSent, f.repStallPulls, f.repFECRepairs, f.repSkipped = ns, sp, fr, sk
+}
+
 // --- receiver side ---
 
 // noteChunkFrom records who the stream is arriving from; traffic from
@@ -433,7 +493,7 @@ func (f *flowState) onChunk(m DataChunk) {
 	if f.dec != nil {
 		if rec, ok := f.dec.AddData(m.Seq, m.Payload); ok {
 			f.st.fecRepairs.Add(1)
-			f.p.handleChunk(DataChunk{Seq: rec.Seq, Payload: rec.Payload})
+			f.p.handleChunk(None, DataChunk{Seq: rec.Seq, Payload: rec.Payload})
 		}
 	}
 }
@@ -482,6 +542,9 @@ const nackServeBudget = 64
 
 func (f *flowState) onNack(from NodeID, m DataNack) {
 	f.st.nacksRecv.Add(1)
+	if cf := f.children[from]; cf != nil {
+		cf.nacks++
+	}
 	budget := nackServeBudget
 	for _, r := range m.Ranges {
 		if r.Hi < r.Lo || r.Hi-r.Lo >= int64(4*flow.DefaultWindowBits) {
@@ -516,14 +579,18 @@ func (f *flowState) onParity(from NodeID, m Parity) {
 	}
 	if recovered {
 		f.st.fecRepairs.Add(1)
-		f.p.handleChunk(DataChunk{Seq: rec.Seq, Payload: rec.Payload})
+		f.p.handleChunk(None, DataChunk{Seq: rec.Seq, Payload: rec.Payload})
 	}
 }
 
 func (f *flowState) onPushback(from NodeID, m Pushback) {
 	f.st.pushRecv.Add(1)
 	cf := f.children[from]
-	if cf == nil || f.cfg.RateChunksPerS <= 0 {
+	if cf == nil {
+		return
+	}
+	cf.pushes++
+	if f.cfg.RateChunksPerS <= 0 {
 		return
 	}
 	floor := f.cfg.RateChunksPerS * f.cfg.MinRateFrac

@@ -168,14 +168,33 @@ type LeaveNotify struct{ GrandparentHint NodeID }
 // parent, so all safety checks still apply.
 type Reassign struct{ To NodeID }
 
+// ChunkTrace is the sampled in-band trace tag a DataChunk can carry:
+// the source's bus clock at emission and the overlay hop count the chunk
+// has traversed. Each forwarding peer bumps Hops before relaying, so a
+// receiver knows its own stream depth and — when sender and receiver
+// share a clock epoch, as a cluster does — the one-way source→here
+// latency. Tags ride only every Nth chunk (Peer.SetTraceSampling);
+// untagged chunks encode one flag byte and nothing more.
+type ChunkTrace struct {
+	// OriginS is the source's bus clock (seconds) when the chunk was
+	// emitted.
+	OriginS float64
+	// Hops is the overlay hop count the chunk had traversed when the
+	// sender transmitted it: 0 leaving the source, 1 leaving a child of
+	// the source, and so on.
+	Hops int
+}
+
 // DataChunk is one unit of the multicast stream, pushed from parent to
 // children. Payload is the stream content (nil in the simulator, which
 // only accounts chunk counts); the wire codec guarantees a decoded
 // Payload is a private copy, stable no matter how the transport reuses
-// its receive buffers.
+// its receive buffers. Trace is the sampled in-band trace tag, nil on
+// untraced chunks (the common case).
 type DataChunk struct {
 	Seq     int64
 	Payload []byte
+	Trace   *ChunkTrace
 }
 
 // StatusReport is the tree-health telemetry a peer periodically sends to
@@ -211,6 +230,47 @@ type StatusReport struct {
 	RecvDelta int64
 	FwdDelta  int64
 	DupDelta  int64
+
+	// FlowOn reports whether the reliable data plane is active on this
+	// peer. The remaining flow fields are zero when it is not.
+	FlowOn bool
+	// FlowBaseRate is the configured per-child pacing rate in chunks/s
+	// (<= 0 means unpaced); comparing a child's current rate against it
+	// reveals pushback throttling.
+	FlowBaseRate float64
+	// ChildFlows is the sender-side flow state toward each child edge,
+	// ordered by child id.
+	ChildFlows []ChildFlowStatus
+	// Receiver-side repair deltas since the previous report. They
+	// describe the peer's uplink (parent→this edge): NACKs it had to
+	// send, stall pulls to the repair neighbor, local FEC repairs, and
+	// sequences written off as lost.
+	NacksSentDelta  int64
+	StallPullsDelta int64
+	FECRepairsDelta int64
+	SkippedDelta    int64
+}
+
+// ChildFlowStatus is the sender-side flow state toward one child edge,
+// reported inside a StatusReport so the source's aggregator can attribute
+// loss, throttling and backpressure to individual tree edges.
+type ChildFlowStatus struct {
+	ID NodeID
+	// QueueDepth is the paced backlog waiting for this child.
+	QueueDepth int
+	// RateChunksPerS is the child's current pacing rate — below the
+	// report's FlowBaseRate while pushback throttling is in effect.
+	RateChunksPerS float64
+	// WindowUsed counts chunks in flight past the child's cumulative ack.
+	WindowUsed int
+	// Stalled reports an ack-clocked window currently stuck (no ack
+	// progress since the stall clock started).
+	Stalled bool
+	// NacksDelta and PushbacksDelta count the NACKs and congestion
+	// pushbacks received from this child since the previous report — the
+	// sender-side symptoms of a lossy or congested edge.
+	NacksDelta     int64
+	PushbacksDelta int64
 }
 
 // SeqRange is an inclusive interval of data sequence numbers [Lo, Hi],

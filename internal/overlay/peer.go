@@ -156,6 +156,12 @@ type Peer struct {
 	// latency probes on. Nil for normal peers.
 	chunkObs func(DataChunk)
 
+	// traceSampleN attaches an in-band trace tag to every Nth chunk the
+	// source emits (0 = off); traceObs observes arriving tagged chunks
+	// (see status.go).
+	traceSampleN int
+	traceObs     func(ChunkTraceSample)
+
 	// fanoutIDs / fanoutFail are reused scratch slices for the FanoutBus
 	// fast path, so a forward allocates nothing in steady state.
 	fanoutIDs  []NodeID
@@ -399,7 +405,7 @@ func (p *Peer) HandleMessage(from NodeID, m Message) {
 		} else {
 			delete(p.staleFrom, from)
 		}
-		p.handleChunk(msg)
+		p.handleChunk(from, msg)
 	case DataAck:
 		if p.flow != nil {
 			p.flow.onAck(from, msg)
@@ -547,12 +553,30 @@ func (p *Peer) handleLeaveNotify(from NodeID, m LeaveNotify) {
 // context. Nil disables.
 func (p *Peer) SetChunkObserver(fn func(DataChunk)) { p.chunkObs = fn }
 
-func (p *Peer) handleChunk(m DataChunk) {
+// handleChunk is the first-time-delivery path for a chunk arriving from
+// sender `from` (None for locally recovered chunks, e.g. FEC repairs —
+// no edge to attribute the arrival to). A trace-tagged chunk records an
+// edge sample here and is re-tagged with this peer's own hop depth
+// before it forwards, so every receiver down the tree sees the true
+// depth at its sender.
+func (p *Peer) handleChunk(from NodeID, m DataChunk) {
 	if !p.window.Add(m.Seq) {
 		p.stats.Dups++
 		return
 	}
 	p.stats.Received++
+	if m.Trace != nil {
+		depth := m.Trace.Hops + 1
+		if p.traceObs != nil && from != None {
+			p.traceObs(ChunkTraceSample{
+				From:     from,
+				Seq:      m.Seq,
+				Depth:    depth,
+				LatencyS: p.Now() - m.Trace.OriginS,
+			})
+		}
+		m.Trace = &ChunkTrace{OriginS: m.Trace.OriginS, Hops: depth}
+	}
 	if p.chunkObs != nil {
 		p.chunkObs(m)
 	}
@@ -628,6 +652,9 @@ func (p *Peer) EmitData(c DataChunk) {
 		panic("overlay: EmitChunk on non-source peer")
 	}
 	if p.window.Add(c.Seq) {
+		if p.traceSampleN > 0 && c.Trace == nil && c.Seq%int64(p.traceSampleN) == 0 {
+			c.Trace = &ChunkTrace{OriginS: p.Now()}
+		}
 		if p.chunkObs != nil {
 			p.chunkObs(c)
 		}

@@ -39,6 +39,37 @@ type ServeEvent struct {
 // execution context, after the response was sent.
 func (p *Peer) SetServeObserver(fn func(ServeEvent)) { p.serveObs = fn }
 
+// ChunkTraceSample is one arrival observation of a trace-tagged chunk:
+// the upstream edge it came over, the chunk's stream sequence, this
+// peer's hop depth, and the one-way source→here latency derived from the
+// tag's origin timestamp (meaningful when sender and receiver share a
+// clock epoch — a cluster does; independent daemons see clock skew).
+// Like ServeEvent, it exists so protocols can bridge peer-base
+// observations into the obs tracer without an import cycle.
+type ChunkTraceSample struct {
+	From     NodeID
+	Seq      int64
+	Depth    int
+	LatencyS float64
+}
+
+// SetChunkTraceObserver installs the callback fired for every arriving
+// trace-tagged chunk, before it is forwarded (nil disables). It runs on
+// the peer's execution context.
+func (p *Peer) SetChunkTraceObserver(fn func(ChunkTraceSample)) { p.traceObs = fn }
+
+// SetTraceSampling makes the source attach an in-band trace tag to every
+// nth emitted chunk (by sequence number; n <= 0 disables, the default).
+// Sampling is off by default so the wire stream — and the simulator's
+// byte-identical experiment outputs — are unchanged unless an operator
+// asks for tracing. A no-op on non-source peers, which only relay tags.
+func (p *Peer) SetTraceSampling(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.traceSampleN = n
+}
+
 // observeServe fires the serve observer if one is installed.
 func (p *Peer) observeServe(ev ServeEvent) {
 	if p.serveObs != nil {
@@ -90,11 +121,13 @@ func (p *Peer) emitStatus() {
 }
 
 // ComposeStatus builds the peer's current status report: tree position,
-// degree budget, and counter deltas since the last emitted report. Each
-// call advances the report sequence number.
+// degree budget, counter deltas since the last emitted report, and —
+// when the reliable data plane is active — the per-child flow state the
+// source's edge-health aggregator attributes to tree edges. Each call
+// advances the report sequence number and the flow delta baselines.
 func (p *Peer) ComposeStatus() StatusReport {
 	p.statusSeq++
-	return StatusReport{
+	r := StatusReport{
 		Seq:        p.statusSeq,
 		Parent:     p.parent,
 		ParentDist: p.parentDist,
@@ -108,4 +141,8 @@ func (p *Peer) ComposeStatus() StatusReport {
 		FwdDelta:   p.stats.Forwarded - p.lastFwd,
 		DupDelta:   p.stats.Dups - p.lastDup,
 	}
+	if p.flow != nil {
+		p.flow.fillStatus(&r)
+	}
+	return r
 }

@@ -30,9 +30,13 @@ import (
 // ConnRequest and the StatusReport telemetry message; version 3 added the
 // DataChunk payload (the stream content the data plane actually moves);
 // version 4 added the reliable data plane's vocabulary (DataAck,
-// DataNack, Parity, Pushback). Decoding is strict, so older-version
-// frames are rejected rather than half-understood.
-const Version = 4
+// DataNack, Parity, Pushback); version 5 added the sampled in-band chunk
+// trace tag (one flag byte on every DataChunk, origin timestamp + hop
+// count when tagged) and the StatusReport flow-telemetry section
+// (per-child sender flow state plus uplink repair deltas). Decoding is
+// strict, so older-version frames are rejected rather than
+// half-understood.
+const Version = 5
 
 // headerLen is the fixed frame header size.
 const headerLen = 1 + 1 + 4 + 4 + 4 + 4
@@ -68,7 +72,7 @@ const (
 	// session source. Payload: the newcomer's listen address.
 	KindHello Kind = 3
 	// KindWelcome answers a Hello with the assigned node id, the source's
-	// node id and the current peer directory.
+	// node id, the session epoch, and the current peer directory.
 	KindWelcome Kind = 4
 	// KindAddrQuery asks the source for the transport address of a node
 	// id. Payload: the queried id.
@@ -153,6 +157,11 @@ type Frame struct {
 	Node  overlay.NodeID  // KindWelcome (assigned id), KindAddrQuery/Reply
 	Src   overlay.NodeID  // KindWelcome (source id)
 	Peers []PeerAddr      // KindWelcome directory
+	// EpochS is the source's session-clock seconds at Welcome send, so a
+	// joiner can adopt the session epoch (off only by the one-way
+	// Hello→Welcome transit) and in-band trace-tag origin timestamps
+	// compare meaningfully across processes.
+	EpochS float64 // KindWelcome
 }
 
 // --- primitive appenders -------------------------------------------------
@@ -415,6 +424,20 @@ func AppendMessage(dst []byte, m overlay.Message) ([]byte, error) {
 		}
 		dst = append(dst, typeDataChunk)
 		dst = appendU64(dst, uint64(v.Seq))
+		if v.Trace != nil {
+			hops := v.Trace.Hops
+			if hops < 0 {
+				hops = 0
+			}
+			if hops > 255 {
+				hops = 255
+			}
+			dst = append(dst, 1)
+			dst = appendF64(dst, v.Trace.OriginS)
+			dst = append(dst, byte(hops))
+		} else {
+			dst = append(dst, 0)
+		}
 		dst = appendU16(dst, uint16(len(v.Payload)))
 		return append(dst, v.Payload...), nil
 	case overlay.StatusReport:
@@ -433,7 +456,27 @@ func AppendMessage(dst []byte, m overlay.Message) ([]byte, error) {
 		}
 		dst = appendU64(dst, uint64(v.RecvDelta))
 		dst = appendU64(dst, uint64(v.FwdDelta))
-		return appendU64(dst, uint64(v.DupDelta)), nil
+		dst = appendU64(dst, uint64(v.DupDelta))
+		dst = appendBool(dst, v.FlowOn)
+		dst = appendF64(dst, v.FlowBaseRate)
+		dst = appendU64(dst, uint64(v.NacksSentDelta))
+		dst = appendU64(dst, uint64(v.StallPullsDelta))
+		dst = appendU64(dst, uint64(v.FECRepairsDelta))
+		dst = appendU64(dst, uint64(v.SkippedDelta))
+		if len(v.ChildFlows) > MaxList {
+			return nil, fmt.Errorf("%w: child flows %d > %d", ErrTooLarge, len(v.ChildFlows), MaxList)
+		}
+		dst = appendU16(dst, uint16(len(v.ChildFlows)))
+		for _, cf := range v.ChildFlows {
+			dst = appendID(dst, cf.ID)
+			dst = appendI32(dst, int32(cf.QueueDepth))
+			dst = appendI32(dst, int32(cf.WindowUsed))
+			dst = appendF64(dst, cf.RateChunksPerS)
+			dst = appendBool(dst, cf.Stalled)
+			dst = appendU64(dst, uint64(cf.NacksDelta))
+			dst = appendU64(dst, uint64(cf.PushbacksDelta))
+		}
+		return dst, nil
 	case overlay.DataAck:
 		dst = append(dst, typeDataAck)
 		return appendU64(dst, uint64(v.Seq)), nil
@@ -608,6 +651,25 @@ func decodeMessage(r *reader) (overlay.Message, error) {
 		if err != nil {
 			return nil, err
 		}
+		flags, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if flags > 1 {
+			return nil, fmt.Errorf("%w: chunk trace flags %d", ErrUnknownType, flags)
+		}
+		var trace *overlay.ChunkTrace
+		if flags == 1 {
+			origin, err := r.f64()
+			if err != nil {
+				return nil, err
+			}
+			hops, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			trace = &overlay.ChunkTrace{OriginS: origin, Hops: int(hops)}
+		}
 		n, err := r.u16()
 		if err != nil {
 			return nil, err
@@ -618,7 +680,7 @@ func decodeMessage(r *reader) (overlay.Message, error) {
 		if err := r.need(int(n)); err != nil {
 			return nil, err
 		}
-		m := overlay.DataChunk{Seq: int64(seq)}
+		m := overlay.DataChunk{Seq: int64(seq), Trace: trace}
 		if n > 0 {
 			// Copy: transports decode out of reused receive buffers, and a
 			// handler may legitimately retain the payload past this read.
@@ -677,6 +739,74 @@ func decodeMessage(r *reader) (overlay.Message, error) {
 			return nil, err
 		}
 		m.DupDelta = int64(dup)
+		if m.FlowOn, err = r.boolean(); err != nil {
+			return nil, err
+		}
+		if m.FlowBaseRate, err = r.f64(); err != nil {
+			return nil, err
+		}
+		ns, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.NacksSentDelta = int64(ns)
+		sp, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.StallPullsDelta = int64(sp)
+		fr, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.FECRepairsDelta = int64(fr)
+		sk, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		m.SkippedDelta = int64(sk)
+		nf, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if int(nf) > MaxList {
+			return nil, fmt.Errorf("%w: child flows %d > %d", ErrTooLarge, nf, MaxList)
+		}
+		if nf > 0 {
+			m.ChildFlows = make([]overlay.ChildFlowStatus, nf)
+			for i := range m.ChildFlows {
+				cf := &m.ChildFlows[i]
+				if cf.ID, err = r.id(); err != nil {
+					return nil, err
+				}
+				q, err := r.i32()
+				if err != nil {
+					return nil, err
+				}
+				cf.QueueDepth = int(q)
+				w, err := r.i32()
+				if err != nil {
+					return nil, err
+				}
+				cf.WindowUsed = int(w)
+				if cf.RateChunksPerS, err = r.f64(); err != nil {
+					return nil, err
+				}
+				if cf.Stalled, err = r.boolean(); err != nil {
+					return nil, err
+				}
+				nd, err := r.u64()
+				if err != nil {
+					return nil, err
+				}
+				cf.NacksDelta = int64(nd)
+				pd, err := r.u64()
+				if err != nil {
+					return nil, err
+				}
+				cf.PushbacksDelta = int64(pd)
+			}
+		}
 		return m, nil
 	case typeDataAck:
 		seq, err := r.u64()
@@ -768,6 +898,7 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	case KindWelcome:
 		dst = appendID(dst, f.Node)
 		dst = appendID(dst, f.Src)
+		dst = appendF64(dst, f.EpochS)
 		if len(f.Peers) > MaxList {
 			return nil, fmt.Errorf("%w: peer list %d > %d", ErrTooLarge, len(f.Peers), MaxList)
 		}
@@ -877,6 +1008,9 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 			break
 		}
 		if f.Src, err = r.id(); err != nil {
+			break
+		}
+		if f.EpochS, err = r.f64(); err != nil {
 			break
 		}
 		var n uint16

@@ -57,11 +57,26 @@ func everyMessage() []overlay.Message {
 		overlay.DataChunk{Seq: 0},
 		overlay.DataChunk{Seq: 77, Payload: []byte{0x00, 0x01, 0xfe, 0xff}},
 		overlay.DataChunk{Seq: 78, Payload: bytes.Repeat([]byte{0x5a}, MaxChunkPayload)},
+		overlay.DataChunk{Seq: 80, Trace: &overlay.ChunkTrace{OriginS: 12.375}},
+		overlay.DataChunk{
+			Seq: 81, Payload: []byte{0xde, 0xad},
+			Trace: &overlay.ChunkTrace{OriginS: 0.5, Hops: 255},
+		},
 		overlay.StatusReport{
 			Seq: 31, Parent: 2, ParentDist: 18.5, SrcDist: 42.25,
 			Depth: 3, MaxDegree: 4, Free: 1, Connected: true,
 			Children:  []overlay.ChildInfo{{ID: 5, Dist: 7.5}, {ID: 8, Dist: 0.125}},
 			RecvDelta: 120, FwdDelta: 240, DupDelta: 3,
+		},
+		overlay.StatusReport{
+			Seq: 32, Parent: 2, Connected: true,
+			FlowOn: true, FlowBaseRate: 2000.5,
+			NacksSentDelta: 4, StallPullsDelta: 1, FECRepairsDelta: 2, SkippedDelta: 9,
+			ChildFlows: []overlay.ChildFlowStatus{
+				{ID: 5, QueueDepth: 12, WindowUsed: 48, RateChunksPerS: 1000.25,
+					Stalled: true, NacksDelta: 3, PushbacksDelta: 1},
+				{ID: 8},
+			},
 		},
 		overlay.StatusReport{Seq: 1, Parent: overlay.None},
 		overlay.DataAck{Seq: 0},
@@ -103,7 +118,7 @@ func TestBootstrapFrameRoundTrip(t *testing.T) {
 	frames := []Frame{
 		{Kind: KindAck, From: 4, To: 0, Seq: 31337},
 		{Kind: KindHello, From: overlay.None, To: 0, Addr: "127.0.0.1:9001"},
-		{Kind: KindWelcome, From: 0, To: overlay.None, Node: 7, Src: 0,
+		{Kind: KindWelcome, From: 0, To: overlay.None, Node: 7, Src: 0, EpochS: 123.4375,
 			Peers: []PeerAddr{{ID: 0, Addr: "127.0.0.1:9000"}, {ID: 3, Addr: "10.0.0.3:9003"}}},
 		{Kind: KindWelcome, From: 0, To: 5, Node: 5, Src: 0},
 		{Kind: KindAddrQuery, From: 7, To: 0, Node: 3},
@@ -204,6 +219,40 @@ func TestEncodeRejectsOversizedLists(t *testing.T) {
 	manyRanges := make([]overlay.SeqRange, MaxNackRanges+1)
 	if _, err := EncodeFrame(Frame{Kind: KindMsg, Msg: overlay.DataNack{Ranges: manyRanges}}); err == nil {
 		t.Fatal("oversized nack range list encoded")
+	}
+}
+
+// TestChunkTraceDecodeStrict pins wire v5's strict trace-flag handling:
+// the one flag byte after the chunk sequence must be 0 or 1, anything
+// else is a decode error rather than a silently-skipped extension.
+func TestChunkTraceDecodeStrict(t *testing.T) {
+	b, err := EncodeFrame(Frame{Kind: KindMsg, From: 1, To: 2, Seq: 3,
+		Msg: overlay.DataChunk{Seq: 9, Payload: []byte{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flags byte sits after the 18-byte frame header, the message type
+	// byte, and the 8-byte chunk sequence.
+	b[18+1+8] = 2
+	if _, _, err := DecodeFrame(b); err == nil {
+		t.Fatal("decoded chunk with unknown trace flags")
+	}
+}
+
+// TestChunkTraceHopClamp pins the encoder clamping hop counts into the
+// single wire byte instead of wrapping.
+func TestChunkTraceHopClamp(t *testing.T) {
+	b, err := EncodeFrame(Frame{Kind: KindMsg, From: 1, To: 2, Seq: 3,
+		Msg: overlay.DataChunk{Seq: 9, Trace: &overlay.ChunkTrace{OriginS: 1, Hops: 1000}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Msg.(overlay.DataChunk).Trace.Hops; got != 255 {
+		t.Fatalf("hops = %d, want clamped 255", got)
 	}
 }
 
