@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet fuzz bench bench-compare bench-experiments
+.PHONY: check test build vet fuzz bench bench-compare bench-experiments bench-scale bench-scale-smoke
 
 # check is the pre-merge gate: vet + build + race-enabled tests.
 check:
@@ -53,3 +53,23 @@ bench-experiments:
 	$(GO) run ./cmd/experiments -group ch5-refine -reps 2 -timescale 0.06 -ratescale 0.3 \
 		-benchout BENCH_experiments.json > /dev/null
 	@echo "wrote BENCH_experiments.json"
+
+# bench-scale sweeps the sharded engine's peers × shards grid up to the
+# 100k-peer scenario plus the chapter-3 session at 100× the paper's
+# population, and archives the scaling curve (BENCH_scale.json: wall
+# clock, peak heap, events/s per cell). Long — tens of minutes; the
+# committed artifact comes from this target on a quiet machine.
+bench-scale:
+	$(GO) run ./cmd/benchscale -peers 1000,10000,100000 -shards 0,1,2,4 \
+		-duration 300 -join 150 -chapter -v \
+		-out BENCH_scale.json -history BENCH_history.jsonl
+	@echo "wrote BENCH_scale.json"
+
+# bench-scale-smoke is the CI variant: a small population swept over
+# serial / S=1 / S=4 in seconds. It still enforces the determinism
+# cross-check (sharded output == serial output) and fails if the pure
+# epoch-machinery overhead at S=1 exceeds 1.5× serial wall clock.
+bench-scale-smoke:
+	$(GO) run ./cmd/benchscale -peers 500 -shards 0,1,4 -duration 120 -join 60 \
+		-gate 1.5 -out BENCH_scale.json
+	@echo "wrote BENCH_scale.json (smoke)"

@@ -10,7 +10,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"vdm/internal/lab"
 	"vdm/internal/parallel"
@@ -35,22 +37,47 @@ func main() {
 		mstRatio = flag.Bool("mst", false, "compute tree/MST cost ratio")
 		reps     = flag.Int("reps", 1, "repetitions with derived seeds; metrics are averaged")
 		jobs     = flag.Int("j", 0, "parallel workers for repetitions (0 = all cores, 1 = serial)")
+		shards   = flag.Int("shards", -1, "shard count per repetition (-1 = auto, 0 = serial)")
+		progress = flag.Float64("progress", 0, "print progress to stderr every N simulated seconds (single rep, sharded engine only)")
 	)
 	flag.Parse()
 
+	// Auto shard selection: a single repetition gets one shard per core;
+	// multiple repetitions already saturate the cores via parallel.Map,
+	// so each rep stays serial rather than oversubscribing.
+	nshards := *shards
+	if nshards < 0 {
+		if *reps > 1 {
+			nshards = 0
+		} else {
+			nshards = runtime.GOMAXPROCS(0)
+		}
+	}
+	var progressFn func(virtualT float64, events uint64)
+	if *progress > 0 && *reps == 1 {
+		start := time.Now()
+		progressFn = func(t float64, events uint64) {
+			fmt.Fprintf(os.Stderr, "t=%.0fs/%.0fs  events=%d  wall=%.1fs\n",
+				t, *duration, events, time.Since(start).Seconds())
+		}
+	}
+
 	cfg := lab.Config{
-		Seed:      *seed,
-		Protocol:  sim.ProtocolKind(*protocol),
-		Nodes:     *nodes,
-		Degree:    *degree,
-		ChurnPct:  *churn,
-		Refine:    *refine,
-		Foster:    *foster,
-		USOnly:    *usOnly,
-		Duration:  *duration,
-		JoinPhase: *joinS,
-		DataRate:  *rate,
-		MST:       *mstRatio,
+		Seed:           *seed,
+		Protocol:       sim.ProtocolKind(*protocol),
+		Nodes:          *nodes,
+		Degree:         *degree,
+		ChurnPct:       *churn,
+		Refine:         *refine,
+		Foster:         *foster,
+		USOnly:         *usOnly,
+		Duration:       *duration,
+		JoinPhase:      *joinS,
+		DataRate:       *rate,
+		MST:            *mstRatio,
+		Shards:         nshards,
+		Progress:       progressFn,
+		ProgressEveryS: *progress,
 	}
 	if *reps < 1 {
 		*reps = 1

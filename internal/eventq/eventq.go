@@ -60,10 +60,38 @@ type Sim struct {
 
 	// free holds fired events for reuse, so a steady-state simulation
 	// (every fired event schedules a successor) allocates no event
-	// structs after warm-up. The list never exceeds the high-water mark
-	// of the heap.
-	free *event
+	// structs after warm-up. Periodic trimming (see trimFree) keeps the
+	// list from pinning the high-water mark of a load spike for the rest
+	// of the run.
+	free    *event
+	freeLen int
 }
+
+// freeSlack is how many recycled events the free list may hold beyond the
+// current pending count before trimming releases the excess to the GC. A
+// small cushion avoids alloc/free churn when load oscillates; anything
+// beyond it is spike residue.
+const freeSlack = 256
+
+// trimInterval is how often (in processed events) the run loops check the
+// free list, as a power-of-two mask.
+const trimInterval = 4096 - 1
+
+// trimFree releases free-list entries beyond the pending count plus a
+// slack cushion. Without this, a burst that grows the heap to N pins ~N
+// recycled event structs for the rest of the run.
+func (s *Sim) trimFree() {
+	limit := len(s.events) + freeSlack
+	for s.freeLen > limit {
+		e := s.free
+		s.free = e.next
+		e.next = nil
+		s.freeLen--
+	}
+}
+
+// FreeLen reports how many recycled events the free list currently holds.
+func (s *Sim) FreeLen() int { return s.freeLen }
 
 // alloc takes an event off the free list, or makes one.
 func (s *Sim) alloc(at float64, fn func()) *event {
@@ -73,6 +101,7 @@ func (s *Sim) alloc(at float64, fn func()) *event {
 	} else {
 		s.free = e.next
 		e.next = nil
+		s.freeLen--
 	}
 	s.seq++
 	e.at, e.seq, e.fn = at, s.seq, fn
@@ -85,6 +114,7 @@ func (s *Sim) recycle(e *event) {
 	e.fn, e.fnArg, e.arg = nil, nil, nil
 	e.next = s.free
 	s.free = e
+	s.freeLen++
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -142,45 +172,105 @@ func (s *Sim) AfterArg(d float64, fn func(any), arg any) {
 // Stop aborts a Run in progress after the current event returns.
 func (s *Sim) Stop() { s.stopped = true }
 
+// SetSeqBase raises the sequence counter to at least base. The sharded
+// engine uses this to separate "setup" events (tick starter, scripted
+// scenario actions — scheduled before the run starts) from everything
+// scheduled at runtime: with all setup sequence numbers below base, a
+// barrier can fire exactly the setup-band events at an instant (RunBand)
+// in the same relative order the serial engine would.
+func (s *Sim) SetSeqBase(base uint64) {
+	if s.seq < base {
+		s.seq = base
+	}
+}
+
+// NextAt reports the timestamp of the earliest pending event, and whether
+// one exists.
+func (s *Sim) NextAt() (float64, bool) {
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	return s.events[0].at, true
+}
+
+// fire pops and executes the head event.
+func (s *Sim) fire() {
+	next := heap.Pop(&s.events).(*event)
+	s.now = next.at
+	s.processed++
+	if s.processed&trimInterval == 0 {
+		s.trimFree()
+	}
+	fn, fnArg, arg := next.fn, next.fnArg, next.arg
+	s.recycle(next)
+	if fnArg != nil {
+		fnArg(arg)
+	} else {
+		fn()
+	}
+}
+
 // Run fires events in timestamp order until the queue is empty or the next
-// event is later than until. The clock is left at the time of the last
-// fired event (or at until if the queue drained earlier than until).
+// event is later than until. The clock is left at until when it would
+// otherwise end earlier.
 func (s *Sim) Run(until float64) {
 	s.stopped = false
 	for len(s.events) > 0 && !s.stopped {
-		next := s.events[0]
-		if next.at > until {
+		if s.events[0].at > until {
 			break
 		}
-		heap.Pop(&s.events)
-		s.now = next.at
-		s.processed++
-		fn, fnArg, arg := next.fn, next.fnArg, next.arg
-		s.recycle(next)
-		if fnArg != nil {
-			fnArg(arg)
-		} else {
-			fn()
-		}
+		s.fire()
 	}
 	if s.now < until {
 		s.now = until
 	}
+	s.trimFree()
+}
+
+// RunBefore fires every event strictly earlier than t and leaves the
+// clock at t. It is the epoch step of the sharded engine: events at
+// exactly t belong to the next epoch (or to the barrier band, see
+// RunBand).
+func (s *Sim) RunBefore(t float64) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		if s.events[0].at >= t {
+			break
+		}
+		s.fire()
+	}
+	if s.now < t {
+		s.now = t
+	}
+	s.trimFree()
+}
+
+// RunBand fires every event strictly earlier than t, plus the events at
+// exactly t whose sequence number is below seqBelow (the setup band — see
+// SetSeqBase), and leaves the clock at t. Runtime events scheduled at
+// exactly t stay queued for the next epoch, which is precisely how the
+// serial engine interleaves them: setup events at an instant carry lower
+// sequence numbers than anything scheduled while the run is in flight.
+func (s *Sim) RunBand(t float64, seqBelow uint64) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		head := s.events[0]
+		if head.at > t || (head.at == t && head.seq >= seqBelow) {
+			break
+		}
+		s.fire()
+	}
+	if s.now < t {
+		s.now = t
+	}
+	s.trimFree()
 }
 
 // Drain runs every remaining event regardless of timestamp.
 func (s *Sim) Drain() {
 	s.stopped = false
 	for len(s.events) > 0 && !s.stopped {
-		next := heap.Pop(&s.events).(*event)
-		s.now = next.at
-		s.processed++
-		fn, fnArg, arg := next.fn, next.fnArg, next.arg
-		s.recycle(next)
-		if fnArg != nil {
-			fnArg(arg)
-		} else {
-			fn()
-		}
+		s.fire()
 	}
+	s.trimFree()
 }

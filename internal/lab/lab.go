@@ -101,6 +101,15 @@ type Config struct {
 	DataRate  float64 // default 10 chunks/s
 	MST       bool
 	Validate  bool
+
+	// Shards selects the sim engine (see sim.Config.Shards): 0 runs the
+	// serial engine, S >= 1 the sharded engine with S shards. Results are
+	// byte-identical either way.
+	Shards int
+	// Progress/ProgressEveryS forward to sim.Config for barrier-time
+	// progress reporting (sharded engine only).
+	Progress       func(virtualT float64, events uint64)
+	ProgressEveryS float64
 }
 
 // Result couples the session result with the selection pipeline summary.
@@ -173,6 +182,9 @@ func Run(cfg Config) (*Result, error) {
 		GeoSites:          sites,
 		ComputeMST:        cfg.MST,
 		Validate:          cfg.Validate,
+		Shards:            cfg.Shards,
+		Progress:          cfg.Progress,
+		ProgressEveryS:    cfg.ProgressEveryS,
 	})
 	if err != nil {
 		return nil, err

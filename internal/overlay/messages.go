@@ -156,6 +156,19 @@ type PathUpdate struct {
 // switched to a better parent during refinement).
 type Detach struct{}
 
+// ParentCheck asks the receiver whether it still considers the sender one
+// of its children. A starving peer (connected, but nothing received from
+// its parent for a while) sends this to distinguish a paused stream from
+// a broken handover: a lost ParentChange or Detach can leave a child
+// believing in a parent that no longer lists it.
+type ParentCheck struct{}
+
+// ParentCheckAck answers a ParentCheck. IsChild false tells the sender its
+// parenthood is one-sided — it treats itself as orphaned and rejoins.
+type ParentCheckAck struct {
+	IsChild bool
+}
+
 // LeaveNotify tells a child that its parent is leaving; the orphan starts
 // reconnection at its grandparent. GrandparentHint is the leaver's own
 // parent, an up-to-date copy of what the orphan believes from its root
@@ -338,6 +351,8 @@ func (ParentChange) msg()    {}
 func (ParentChangeAck) msg() {}
 func (PathUpdate) msg()      {}
 func (Detach) msg()          {}
+func (ParentCheck) msg()     {}
+func (ParentCheckAck) msg()  {}
 func (Reassign) msg()        {}
 func (LeaveNotify) msg()     {}
 func (DataChunk) msg()       {}

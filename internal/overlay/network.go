@@ -40,9 +40,42 @@ type Network struct {
 	// debugging tap, not part of the protocol.
 	TraceFn func(at float64, from, to NodeID, m Message)
 
+	// Keyed-draw mode (SetKeyedDraws): loss outcomes and delivery jitter
+	// become pure functions of (seed, edge, per-edge send index) instead
+	// of consuming the shared stream in send order. The sharded engine
+	// requires this — values must not depend on global event interleaving
+	// — and the serial engine uses it too so both produce identical runs.
+	keyed     bool
+	drawSeed  int64
+	kj        underlay.KeyedJitter
+	edgeDraws map[uint64]uint64
+
 	// freeDel recycles delivery records: every Send schedules one, so
 	// without reuse delivery closures dominate a session's allocations.
 	freeDel *delivery
+}
+
+// Keyed-draw stream ids (distinct per edge under the network's seed).
+const (
+	drawStreamData uint32 = 1
+	drawStreamCtrl uint32 = 2
+)
+
+// edgeKey packs a directed edge for the per-edge draw counters.
+func edgeKey(from, to NodeID) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+// SetKeyedDraws switches loss and jitter decisions to keyed draws under
+// seed. The underlay must implement KeyedJitter for delivery jitter to be
+// keyed as well (both built-in underlays do).
+func (n *Network) SetKeyedDraws(seed int64) {
+	n.keyed = true
+	n.drawSeed = seed
+	if n.edgeDraws == nil {
+		n.edgeDraws = make(map[uint64]uint64)
+	}
+	n.kj, _ = n.U.(underlay.KeyedJitter)
 }
 
 // delivery is one in-flight message, scheduled via the event queue's
@@ -112,15 +145,21 @@ func (n *Network) Send(from, to NodeID, m Message) bool {
 	if n.TraceFn != nil {
 		n.TraceFn(n.Sim.Now(), from, to, m)
 	}
+	var draw uint64
+	if n.keyed {
+		k := edgeKey(from, to)
+		draw = n.edgeDraws[k]
+		n.edgeDraws[k] = draw + 1
+	}
 	if _, data := m.(DataChunk); data {
 		n.ctrs.Data.Add(1)
-		if n.LossEnable && n.rnd.Bool(n.U.LossRate(int(from), int(to))) {
+		if n.LossEnable && n.dropData(from, to, draw) {
 			n.ctrs.DataDrops.Add(1)
 			return true
 		}
 	} else {
 		n.ctrs.Ctrl.Add(1)
-		if n.CtrlLossProb > 0 && n.rnd.Bool(n.CtrlLossProb) {
+		if n.CtrlLossProb > 0 && n.dropCtrl(from, to, draw) {
 			n.ctrs.CtrlDrops.Add(1)
 			return true
 		}
@@ -137,8 +176,31 @@ func (n *Network) Send(from, to NodeID, m Message) bool {
 		del.next = nil
 	}
 	del.from, del.to, del.m = from, to, m
-	n.Sim.AfterArg(n.U.OneWayDelayMS(int(from), int(to))/1000, deliver, del)
+	n.Sim.AfterArg(n.delayS(from, to, draw), deliver, del)
 	return true
+}
+
+func (n *Network) dropData(from, to NodeID, draw uint64) bool {
+	p := n.U.LossRate(int(from), int(to))
+	if n.keyed {
+		return rng.KeyedBool(n.drawSeed, uint64(uint32(from)), uint64(uint32(to)), drawStreamData, draw, p)
+	}
+	return n.rnd.Bool(p)
+}
+
+func (n *Network) dropCtrl(from, to NodeID, draw uint64) bool {
+	if n.keyed {
+		return rng.KeyedBool(n.drawSeed, uint64(uint32(from)), uint64(uint32(to)), drawStreamCtrl, draw, n.CtrlLossProb)
+	}
+	return n.rnd.Bool(n.CtrlLossProb)
+}
+
+// delayS returns the delivery delay in seconds for this send.
+func (n *Network) delayS(from, to NodeID, draw uint64) float64 {
+	if n.keyed && n.kj != nil {
+		return n.kj.OneWayDelayMSKeyed(int(from), int(to), draw) / 1000
+	}
+	return n.U.OneWayDelayMS(int(from), int(to)) / 1000
 }
 
 // Overhead returns the cumulative control-to-data message ratio, the

@@ -136,6 +136,12 @@ type Peer struct {
 	// per sender, for stale-edge pruning.
 	staleFrom map[NodeID]int
 
+	// Starvation watchdog (see checkStarvation): the virtual time of the
+	// last chunk received from the current parent (reset on every parent
+	// change), and whether the periodic check is already running.
+	lastParentFeedAt float64
+	starveTicking    bool
+
 	// Status-report telemetry (see status.go): the periodic report
 	// ticker, the source-side report consumer, the latest measured
 	// distance to the source, and the counter baseline of the last
@@ -172,6 +178,17 @@ type Peer struct {
 // the peer prunes the stale relationship; transient reordering around a
 // parent change stays below it.
 const staleChunkThreshold = 3
+
+// Starvation watchdog timing: a connected peer that has received nothing
+// from its parent for starveTimeoutS asks the parent whether it is still
+// listed as a child (ParentCheck); checks run every starveCheckPeriodS.
+// This is what heals a broken handover — a lost ParentChange or Detach
+// leaves a child believing in a parent that no longer forwards to it, a
+// wedge no chunk-driven rule can clear because no chunks arrive at all.
+const (
+	starveTimeoutS     = 10.0
+	starveCheckPeriodS = 5.0
+)
 
 // NewPeer builds a peer base over net — the simulated Network or a live
 // transport bus. The caller must register the enclosing protocol node with
@@ -379,6 +396,12 @@ func (p *Peer) HandleMessage(from NodeID, m Message) {
 	case Detach:
 		delete(p.children, from)
 		delete(p.fosters, from)
+	case ParentCheck:
+		_, child := p.children[from]
+		_, foster := p.fosters[from]
+		p.net.Send(p.id, from, ParentCheckAck{IsChild: child || foster})
+	case ParentCheckAck:
+		p.handleParentCheckAck(from, msg)
 	case LeaveNotify:
 		p.handleLeaveNotify(from, msg)
 	case DataChunk:
@@ -404,6 +427,9 @@ func (p *Peer) HandleMessage(from NodeID, m Message) {
 			}
 		} else {
 			delete(p.staleFrom, from)
+			if from == p.parent {
+				p.lastParentFeedAt = p.Now()
+			}
 		}
 		p.handleChunk(from, msg)
 	case DataAck:
@@ -516,6 +542,7 @@ func (p *Peer) handleParentChange(from NodeID, m ParentChange) {
 	}
 	p.parent = from
 	p.parentDist = m.Dist
+	p.parentAcquired()
 	p.setRootPath(m.RootPath)
 	p.net.Send(p.id, from, ParentChangeAck{Token: m.Token, OK: true})
 }
@@ -533,6 +560,68 @@ func (p *Peer) setRootPath(path []NodeID) {
 			delete(p.fosters, c)
 		}
 	}
+}
+
+// parentAcquired resets the starvation clock for a fresh parent and makes
+// sure the watchdog ticker is running.
+func (p *Peer) parentAcquired() {
+	p.lastParentFeedAt = p.Now()
+	if p.starveTicking || p.isSource {
+		return
+	}
+	p.starveTicking = true
+	p.scheduleStarveCheck()
+}
+
+func (p *Peer) scheduleStarveCheck() {
+	p.net.After(starveCheckPeriodS, func() {
+		if !p.alive {
+			p.starveTicking = false
+			return
+		}
+		p.checkStarvation()
+		p.scheduleStarveCheck()
+	})
+}
+
+// checkStarvation probes a silent parent. A parent that answers "not my
+// child" — or is gone from the network entirely — means the edge exists
+// only on our side (a handover or detach message was lost): reconnect.
+// A parent that still claims us just has nothing to forward (stream
+// pause, upstream trouble); back off one timeout and keep waiting.
+func (p *Peer) checkStarvation() {
+	if !p.connected || p.switching || p.parent == None || p.isSource {
+		return
+	}
+	if p.Now()-p.lastParentFeedAt <= starveTimeoutS {
+		return
+	}
+	if !p.net.Send(p.id, p.parent, ParentCheck{}) {
+		p.orphanSelf(p.parent)
+	}
+}
+
+func (p *Peer) handleParentCheckAck(from NodeID, m ParentCheckAck) {
+	if from != p.parent || !p.connected || p.switching {
+		return
+	}
+	if m.IsChild {
+		p.lastParentFeedAt = p.Now()
+		return
+	}
+	p.orphanSelf(from)
+}
+
+// orphanSelf runs the LeaveNotify state transition for a parent that is
+// unreachable or has disowned us, reconnecting at the grandparent.
+func (p *Peer) orphanSelf(parent NodeID) {
+	hint := p.Grandparent()
+	p.parent = None
+	p.parentDist = 0
+	p.connected = false
+	p.stats.OrphanCount++
+	p.stats.orphanedAt = p.Now()
+	p.hooks.OnOrphaned(parent, hint)
 }
 
 func (p *Peer) handleLeaveNotify(from NodeID, m LeaveNotify) {
@@ -673,6 +762,7 @@ func (p *Peer) ApplyConnect(parent NodeID, dist float64, rootPath []NodeID) {
 	p.parent = parent
 	p.parentDist = dist
 	p.connected = true
+	p.parentAcquired()
 	now := p.Now()
 	if !p.stats.everConnect {
 		p.stats.everConnect = true
@@ -697,6 +787,7 @@ func (p *Peer) ApplySwitch(newParent NodeID, dist float64, rootPath []NodeID) {
 	p.parent = newParent
 	p.parentDist = dist
 	p.connected = true
+	p.parentAcquired()
 	p.setRootPath(rootPath)
 }
 

@@ -1,0 +1,274 @@
+package overlay
+
+import (
+	"sort"
+	"sync"
+
+	"vdm/internal/eventq"
+	"vdm/internal/rng"
+	"vdm/internal/underlay"
+)
+
+// AliveAtFunc answers whether a node is registered at virtual time t.
+// The sharded engine precomputes this from the scenario script (joins and
+// leaves are the only registration changes, and a leave unregisters
+// synchronously), so a sender can learn a remote destination's liveness
+// without touching the destination shard.
+type AliveAtFunc func(id NodeID, at float64) bool
+
+// ShardRouter connects S shard-local buses (ShardNet) into one overlay
+// network. Same-shard sends schedule directly on the shard's event queue,
+// exactly like Network; cross-shard sends are buffered in per-destination
+// outboxes and enqueued at epoch barriers by Exchange, in a deterministic
+// total order. Counters are shared atomics, identical in meaning to
+// Network's.
+//
+// All draw decisions (loss, control loss, delivery jitter) are keyed —
+// pure functions of (seed, edge, per-edge send index) — which is what
+// makes the exchanged event stream independent of shard interleaving.
+type ShardRouter struct {
+	u  underlay.Underlay
+	kj underlay.KeyedJitter
+
+	// LossEnable applies Bernoulli loss to data chunks (default on, as in
+	// Network).
+	LossEnable bool
+	// CtrlLossProb drops control messages with this probability.
+	CtrlLossProb float64
+
+	drawSeed int64
+	shardOf  func(NodeID) int
+	aliveAt  AliveAtFunc
+	nets     []*ShardNet
+	ctrs     Counters
+
+	// traceMu serializes the debugging trace tap across shards. Trace
+	// callbacks observe sends in real-time order, which across shards is
+	// only loosely related to virtual-time order — a documented limitation
+	// of tracing a sharded run (experiment outputs are unaffected).
+	traceMu sync.Mutex
+	traceFn func(at float64, from, to NodeID, m Message)
+
+	scratch []xdelivery
+}
+
+// xdelivery is one cross-shard message awaiting exchange.
+type xdelivery struct {
+	at       float64 // absolute delivery time
+	from, to NodeID
+	m        Message
+	idx      uint64 // per-source-shard send counter, for total ordering
+}
+
+// NewShardRouter builds the fabric over u for the given shard event
+// queues. The underlay must implement KeyedJitter (the caller validates);
+// shardOf maps node ids to shards and aliveAt is the membership timeline.
+func NewShardRouter(u underlay.Underlay, drawSeed int64, sims []*eventq.Sim, shardOf func(NodeID) int, aliveAt AliveAtFunc) *ShardRouter {
+	kj, _ := u.(underlay.KeyedJitter)
+	r := &ShardRouter{
+		u:          u,
+		kj:         kj,
+		LossEnable: true,
+		drawSeed:   drawSeed,
+		shardOf:    shardOf,
+		aliveAt:    aliveAt,
+	}
+	for i, s := range sims {
+		n := &ShardNet{
+			r:         r,
+			idx:       i,
+			Sim:       s,
+			handlers:  make(map[NodeID]Handler),
+			edgeDraws: make(map[uint64]uint64),
+			outbox:    make([][]xdelivery, len(sims)),
+		}
+		r.nets = append(r.nets, n)
+	}
+	return r
+}
+
+// Net returns shard i's bus.
+func (r *ShardRouter) Net(i int) *ShardNet { return r.nets[i] }
+
+// Counters returns the shared traffic counters.
+func (r *ShardRouter) Counters() *Counters { return &r.ctrs }
+
+// Overhead returns the cumulative control-to-data message ratio.
+func (r *ShardRouter) Overhead() float64 { return r.ctrs.Overhead() }
+
+// SetTraceFn installs the debugging trace tap (serialized across shards).
+func (r *ShardRouter) SetTraceFn(fn func(at float64, from, to NodeID, m Message)) {
+	r.traceFn = fn
+}
+
+// Exchange drains every outbox into the destination shards' event queues,
+// in (deliverAt, from, sendIdx) order — a total order, since a sender's
+// send indices are unique. Call only at epoch barriers, with every shard
+// paused: it touches all shard queues. It returns how many deliveries
+// moved.
+func (r *ShardRouter) Exchange() int {
+	moved := 0
+	for d, dst := range r.nets {
+		batch := r.scratch[:0]
+		for _, src := range r.nets {
+			batch = append(batch, src.outbox[d]...)
+			// Clear message references so the outbox backing array does
+			// not pin payloads until the next exchange.
+			ob := src.outbox[d]
+			for i := range ob {
+				ob[i].m = nil
+			}
+			src.outbox[d] = ob[:0]
+		}
+		sort.Slice(batch, func(i, j int) bool {
+			if batch[i].at != batch[j].at {
+				return batch[i].at < batch[j].at
+			}
+			if batch[i].from != batch[j].from {
+				return batch[i].from < batch[j].from
+			}
+			return batch[i].idx < batch[j].idx
+		})
+		for i := range batch {
+			x := &batch[i]
+			dst.scheduleDelivery(x.at, x.from, x.to, x.m)
+			x.m = nil
+		}
+		moved += len(batch)
+		r.scratch = batch[:0]
+	}
+	return moved
+}
+
+// DiscardOutboxes drops any deliveries still buffered (used at the final
+// barrier: the serial engine schedules past-the-end deliveries too, it
+// just never runs them).
+func (r *ShardRouter) DiscardOutboxes() {
+	for _, src := range r.nets {
+		for d := range src.outbox {
+			ob := src.outbox[d]
+			for i := range ob {
+				ob[i].m = nil
+			}
+			src.outbox[d] = ob[:0]
+		}
+	}
+}
+
+// ShardNet is one shard's Bus. Peers owned by the shard register here;
+// everything a peer does (message handling, timers) runs on the shard's
+// event queue.
+type ShardNet struct {
+	r         *ShardRouter
+	idx       int
+	Sim       *eventq.Sim
+	handlers  map[NodeID]Handler
+	edgeDraws map[uint64]uint64
+	outbox    [][]xdelivery
+	sendIdx   uint64
+	freeDel   *sdelivery
+}
+
+var _ Bus = (*ShardNet)(nil)
+
+// sdelivery is one in-flight same-shard (or exchanged) message, scheduled
+// via the arg-carrying event form to keep the hot path allocation-free.
+type sdelivery struct {
+	net      *ShardNet
+	from, to NodeID
+	m        Message
+	next     *sdelivery
+}
+
+func sdeliver(a any) {
+	d := a.(*sdelivery)
+	n, from, to, m := d.net, d.from, d.to, d.m
+	d.m = nil
+	d.next = n.freeDel
+	n.freeDel = d
+	if h, ok := n.handlers[to]; ok {
+		h.HandleMessage(from, m)
+	}
+}
+
+// scheduleDelivery enqueues a delivery at absolute time at. Also used by
+// Exchange (single-threaded at barriers).
+func (n *ShardNet) scheduleDelivery(at float64, from, to NodeID, m Message) {
+	del := n.freeDel
+	if del == nil {
+		del = &sdelivery{net: n}
+	} else {
+		n.freeDel = del.next
+		del.next = nil
+	}
+	del.from, del.to, del.m = from, to, m
+	n.Sim.AtArg(at, sdeliver, del)
+}
+
+// Register attaches a handler for node id (must be owned by this shard).
+func (n *ShardNet) Register(id NodeID, h Handler) { n.handlers[id] = h }
+
+// Unregister removes node id; in-flight messages to it are dropped at
+// delivery time.
+func (n *ShardNet) Unregister(id NodeID) { delete(n.handlers, id) }
+
+// IsAlive reports whether id has a handler (local) or is alive per the
+// membership timeline (remote).
+func (n *ShardNet) IsAlive(id NodeID) bool {
+	if n.r.shardOf(id) == n.idx {
+		_, ok := n.handlers[id]
+		return ok
+	}
+	return n.r.aliveAt(id, n.Sim.Now())
+}
+
+// Now returns the shard's virtual time in seconds.
+func (n *ShardNet) Now() float64 { return n.Sim.Now() }
+
+// After schedules fn on this shard d virtual seconds from now.
+func (n *ShardNet) After(d float64, fn func()) { n.Sim.After(d, fn) }
+
+// Counters returns the fabric's shared counters.
+func (n *ShardNet) Counters() *Counters { return &n.r.ctrs }
+
+// Send mirrors Network.Send decision-for-decision: trace tap, counter
+// bump, keyed loss draw, send-time liveness, then delivery one keyed
+// one-way delay later — except that a remote destination's delivery goes
+// to the outbox for the next exchange, and its liveness comes from the
+// timeline.
+func (n *ShardNet) Send(from, to NodeID, m Message) bool {
+	r := n.r
+	if r.traceFn != nil {
+		r.traceMu.Lock()
+		r.traceFn(n.Sim.Now(), from, to, m)
+		r.traceMu.Unlock()
+	}
+	k := edgeKey(from, to)
+	draw := n.edgeDraws[k]
+	n.edgeDraws[k] = draw + 1
+	if _, data := m.(DataChunk); data {
+		r.ctrs.Data.Add(1)
+		if r.LossEnable && rng.KeyedBool(r.drawSeed, uint64(uint32(from)), uint64(uint32(to)), drawStreamData, draw, r.u.LossRate(int(from), int(to))) {
+			r.ctrs.DataDrops.Add(1)
+			return true
+		}
+	} else {
+		r.ctrs.Ctrl.Add(1)
+		if r.CtrlLossProb > 0 && rng.KeyedBool(r.drawSeed, uint64(uint32(from)), uint64(uint32(to)), drawStreamCtrl, draw, r.CtrlLossProb) {
+			r.ctrs.CtrlDrops.Add(1)
+			return true
+		}
+	}
+	if !n.IsAlive(to) {
+		r.ctrs.Undeliver.Add(1)
+		return false
+	}
+	at := n.Sim.Now() + r.kj.OneWayDelayMSKeyed(int(from), int(to), draw)/1000
+	if ds := r.shardOf(to); ds != n.idx {
+		n.outbox[ds] = append(n.outbox[ds], xdelivery{at: at, from: from, to: to, m: m, idx: n.sendIdx})
+		n.sendIdx++
+		return true
+	}
+	n.scheduleDelivery(at, from, to, m)
+	return true
+}

@@ -1,0 +1,580 @@
+// The sharded engine: a conservative bounded-lookahead parallel
+// discrete-event core that produces byte-identical results to the serial
+// engine at every shard count.
+//
+// Peers are partitioned across S shards (slot mod S), each shard owning a
+// private event queue and running on its own goroutine. Execution
+// alternates between epochs and barriers:
+//
+//   - An epoch runs every shard forward to a shared horizon
+//     min-next-event + lookahead, where lookahead is the underlay's
+//     minimum one-way delay. Any message an event at time τ sends lands
+//     at τ + delay ≥ τ + lookahead ≥ horizon, so nothing a shard does
+//     inside the epoch can affect another shard within the same epoch —
+//     the classic conservative-lookahead argument.
+//   - At the barrier, cross-shard messages buffered in per-destination
+//     outboxes are exchanged into the destination queues in a
+//     deterministic total order (deliver-time, sender, send-index).
+//
+// Determinism does not come from the barriers alone: every random draw
+// that used to consume a shared stream in global event order (chunk loss,
+// control loss, delivery jitter, probe jitter) is keyed — a pure function
+// of (seed, edge, per-edge send index) — so the values cannot depend on
+// how events interleave across shards. The serial engine draws through
+// the same keyed path, which is why Shards=0, Shards=1 and Shards=S all
+// produce identical experiment output (guarded by
+// TestShardedRunsAreByteIdentical).
+//
+// Measurements, validation follow-ups and checkpoints run on the
+// controller at stop barriers, replicating the serial engine's
+// equal-time event ordering (setup-band events, then measures, then
+// follow-ups, then runtime events).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"sync"
+
+	"vdm/internal/eventq"
+	"vdm/internal/metrics"
+	"vdm/internal/obs"
+	"vdm/internal/overlay"
+	"vdm/internal/rng"
+	"vdm/internal/scenario"
+	"vdm/internal/underlay"
+	"vdm/internal/vdist"
+)
+
+// runtimeSeqBase separates setup-scheduled events (tick starter, scenario
+// script) from events created while the simulation runs. At a stop
+// barrier the shards fire exactly the setup band of that instant
+// (eventq.RunBand), the controller then measures, and runtime events at
+// the same instant fire afterwards — the same equal-time order the serial
+// engine gets from its monotone sequence numbers.
+const runtimeSeqBase = uint64(1) << 40
+
+// Membership-plan actions. The serial engine ignores a join for an
+// already-alive slot and a leave for a dead slot (or the source); the
+// plan precomputes those decisions so every shard sees the same
+// membership ordinals without coordination.
+const (
+	actNone = iota
+	actSpawn
+	actLeave
+)
+
+type plannedEvent struct {
+	ev     scenario.Event
+	act    int
+	memIdx int // membership ordinal for actSpawn (source = 0)
+}
+
+// aliveSpan is one membership of a slot: [join, leave).
+type aliveSpan struct{ join, leave float64 }
+
+// membershipPlan is the precomputed membership timeline. It exists so a
+// sender can answer "is the destination registered at virtual time t?"
+// without touching the destination shard: leaves unregister synchronously
+// in the serial engine, so registration is a pure function of the
+// scenario script.
+type membershipPlan struct {
+	events    []plannedEvent
+	spans     [][]aliveSpan // by slot
+	totalMems int
+}
+
+func planMemberships(scn *scenario.Scenario) *membershipPlan {
+	p := &membershipPlan{
+		events: make([]plannedEvent, len(scn.Events)),
+		spans:  make([][]aliveSpan, scn.PoolSize),
+	}
+	alive := make([]bool, scn.PoolSize)
+	alive[0] = true // the source is spawned at build time
+	p.spans[0] = []aliveSpan{{0, math.Inf(1)}}
+	next := 1
+	for i, ev := range scn.Events {
+		pe := plannedEvent{ev: ev, act: actNone, memIdx: -1}
+		if ev.Join {
+			if !alive[ev.Slot] {
+				alive[ev.Slot] = true
+				pe.act = actSpawn
+				pe.memIdx = next
+				next++
+				p.spans[ev.Slot] = append(p.spans[ev.Slot], aliveSpan{ev.T, math.Inf(1)})
+			}
+		} else if ev.Slot != 0 && alive[ev.Slot] {
+			alive[ev.Slot] = false
+			pe.act = actLeave
+			spans := p.spans[ev.Slot]
+			spans[len(spans)-1].leave = ev.T
+		}
+		p.events[i] = pe
+	}
+	p.totalMems = next
+	return p
+}
+
+// aliveAt reports whether slot id is registered at time t. A membership
+// spans [join, leave): the join event registers at its own timestamp, the
+// leave unregisters at its.
+func (p *membershipPlan) aliveAt(id overlay.NodeID, t float64) bool {
+	spans := p.spans[int(id)]
+	lo, hi := 0, len(spans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if spans[mid].join <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo > 0 && t < spans[lo-1].leave
+}
+
+// lockedSink serializes trace emission across shard goroutines.
+type lockedSink struct {
+	mu sync.Mutex
+	s  obs.Sink
+}
+
+func (l *lockedSink) Emit(e obs.Event) {
+	l.mu.Lock()
+	l.s.Emit(e)
+	l.mu.Unlock()
+}
+
+// Epoch commands sent to shard workers.
+const (
+	cmdBefore    = iota // RunBefore(t): fire events strictly before t
+	cmdBand             // RunBand(t, runtimeSeqBase): before t plus t's setup band
+	cmdInclusive        // Run(t): everything up to and including t
+)
+
+type epochCmd struct {
+	mode int
+	t    float64
+}
+
+type shardWorker struct {
+	sim  *eventq.Sim
+	cmds chan epochCmd
+}
+
+type followupCheck struct {
+	fireT float64 // measure time + 5 s, the serial re-check delay
+	measT float64
+	first map[string]bool
+}
+
+type shardedSession struct {
+	cfg    Config
+	scn    *scenario.Scenario
+	u      underlay.Underlay
+	metric vdist.Metric
+
+	degrees   []int
+	protoSeed int64
+	dataDT    float64
+
+	plan    *membershipPlan
+	router  *overlay.ShardRouter
+	workers []*shardWorker
+	done    chan error
+
+	// bySlot and allByMem are written by shard goroutines at disjoint
+	// indices (a slot belongs to exactly one shard; membership ordinals
+	// are precomputed) and read by the controller only at barriers, where
+	// the done-channel handshake provides the happens-before edge.
+	bySlot   []overlay.Protocol
+	allByMem []*overlay.Peer
+
+	samples    []Sample
+	invErrs    []string
+	ctrlEvents uint64 // controller-fired measures + follow-ups, for Processed parity
+}
+
+func runSharded(cfg Config) (*Result, error) {
+	S := cfg.Shards
+	if S < 1 {
+		return nil, fmt.Errorf("sim: Shards must be ≥ 0, got %d", S)
+	}
+	if cfg.Metric == "loss-est" {
+		return nil, fmt.Errorf("sim: metric %q draws from a shared estimator stream in query order and only runs on the serial engine (Shards=0)", cfg.Metric)
+	}
+	if cfg.CheckpointPath != "" && cfg.Validate {
+		return nil, fmt.Errorf("sim: CheckpointPath is incompatible with Validate (follow-up re-checks are runtime state a checkpoint does not capture)")
+	}
+
+	scn, cfg := buildScenario(cfg)
+	u, err := buildUnderlay(cfg, scn.PoolSize)
+	if err != nil {
+		return nil, err
+	}
+	kj, ok := u.(underlay.KeyedJitter)
+	if !ok {
+		return nil, fmt.Errorf("sim: underlay %T lacks keyed jitter; the sharded engine requires it", u)
+	}
+
+	plan := planMemberships(scn)
+	ss := &shardedSession{
+		cfg:       cfg,
+		scn:       scn,
+		u:         u,
+		metric:    buildMetric(cfg.Metric, u, rng.Derive(cfg.Seed, "estimator")),
+		degrees:   drawDegrees(cfg, scn.PoolSize, rng.Derive(cfg.Seed, "degrees")),
+		protoSeed: rng.DeriveSeed(cfg.Seed, "proto"),
+		dataDT:    1 / cfg.DataRate,
+		plan:      plan,
+		done:      make(chan error, S),
+		bySlot:    make([]overlay.Protocol, scn.PoolSize),
+		allByMem:  make([]*overlay.Peer, plan.totalMems),
+	}
+
+	sims := make([]*eventq.Sim, S)
+	for i := range sims {
+		sims[i] = eventq.New()
+		ss.workers = append(ss.workers, &shardWorker{sim: sims[i], cmds: make(chan epochCmd)})
+	}
+	shardOf := func(id overlay.NodeID) int { return int(id) % S }
+	ss.router = overlay.NewShardRouter(u, rng.DeriveSeed(cfg.Seed, "net"), sims, shardOf, plan.aliveAt)
+	ss.router.CtrlLossProb = cfg.CtrlLossProb
+	if cfg.Trace != nil {
+		trace := cfg.Trace
+		ss.router.SetTraceFn(func(at float64, from, to overlay.NodeID, m overlay.Message) {
+			trace(at, int(from), int(to), fmt.Sprintf("%T", m))
+		})
+	}
+	sink := cfg.EventSink
+	if sink != nil {
+		sink = &lockedSink{s: sink}
+	}
+
+	// Setup band: the source, the data stream, the scenario script — same
+	// schedule order as the serial engine, so equal-time events on one
+	// shard keep their relative order.
+	ss.spawn(ss.router.Net(0), 0, 0, sink)
+	var tick func(seq int64)
+	tick = func(seq int64) {
+		if src := ss.bySlot[0]; src != nil {
+			src.Base().EmitChunk(seq)
+		}
+		sims[0].After(ss.dataDT, func() { tick(seq + 1) })
+	}
+	sims[0].At(0, func() { tick(0) })
+	for i := range plan.events {
+		pe := &plan.events[i]
+		sh := shardOf(overlay.NodeID(pe.ev.Slot))
+		net := ss.router.Net(sh)
+		sims[sh].At(pe.ev.T, func() { ss.applyEvent(net, pe, sink) })
+	}
+	for _, s := range sims {
+		s.SetSeqBase(runtimeSeqBase)
+	}
+
+	lookahead := math.Inf(1)
+	if S > 1 {
+		lookahead = kj.MinOneWayDelayMS() / 1000
+	}
+
+	ss.startWorkers()
+	defer ss.stopWorkers()
+	if err := ss.controllerLoop(lookahead); err != nil {
+		return nil, err
+	}
+	return ss.finish()
+}
+
+// spawn mirrors session.spawn for one shard-owned slot.
+func (ss *shardedSession) spawn(net *overlay.ShardNet, slot, memIdx int, sink obs.Sink) {
+	p := buildProtocol(ss.cfg, net, ss.metric, ss.degrees, slot, memIdx, ss.protoSeed, sink)
+	if ss.cfg.StatusPeriodS > 0 {
+		if slot == 0 && ss.cfg.StatusHandler != nil {
+			p.Base().SetStatusHandler(ss.cfg.StatusHandler)
+		}
+		p.Base().EnableStatusReports(ss.cfg.StatusPeriodS)
+	}
+	net.Register(overlay.NodeID(slot), p)
+	ss.bySlot[slot] = p
+	ss.allByMem[memIdx] = p.Base()
+	if slot != 0 {
+		p.StartJoin()
+	}
+}
+
+// applyEvent executes one scenario event on its owning shard. No-op
+// events still fire (and count), exactly as in the serial engine.
+func (ss *shardedSession) applyEvent(net *overlay.ShardNet, pe *plannedEvent, sink obs.Sink) {
+	switch pe.act {
+	case actSpawn:
+		ss.spawn(net, pe.ev.Slot, pe.memIdx, sink)
+	case actLeave:
+		p := ss.bySlot[pe.ev.Slot]
+		ss.bySlot[pe.ev.Slot] = nil
+		p.Leave()
+	}
+}
+
+func (ss *shardedSession) startWorkers() {
+	for _, w := range ss.workers {
+		go func(w *shardWorker) {
+			for cmd := range w.cmds {
+				ss.done <- runEpochCmd(w.sim, cmd)
+			}
+		}(w)
+	}
+}
+
+func (ss *shardedSession) stopWorkers() {
+	for _, w := range ss.workers {
+		close(w.cmds)
+	}
+}
+
+func runEpochCmd(sim *eventq.Sim, cmd epochCmd) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: shard worker panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	switch cmd.mode {
+	case cmdBefore:
+		sim.RunBefore(cmd.t)
+	case cmdBand:
+		sim.RunBand(cmd.t, runtimeSeqBase)
+	case cmdInclusive:
+		sim.Run(cmd.t)
+	}
+	return nil
+}
+
+// phase dispatches one epoch command to every shard that has work before
+// the horizon and waits for all of them. Shards with nothing to do are
+// skipped (their clock lags, which is harmless: every event they will
+// ever receive is timestamped at or after the horizon).
+func (ss *shardedSession) phase(mode int, t float64) error {
+	n := 0
+	for _, w := range ss.workers {
+		at, ok := w.sim.NextAt()
+		if !ok || at > t || (mode == cmdBefore && at == t) {
+			continue
+		}
+		w.cmds <- epochCmd{mode: mode, t: t}
+		n++
+	}
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if err := <-ss.done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (ss *shardedSession) eventsProcessed() uint64 {
+	total := ss.ctrlEvents
+	for _, w := range ss.workers {
+		total += w.sim.Processed()
+	}
+	return total
+}
+
+// controllerLoop advances the shard fleet epoch by epoch, stopping at
+// measurement instants, follow-up re-checks and the session end.
+func (ss *shardedSession) controllerLoop(lookahead float64) error {
+	cfg := ss.cfg
+	duration := cfg.DurationS
+
+	// Measurement instants in firing order: the serial event queue fires
+	// them by (time, schedule order).
+	measures := make([]float64, 0, len(ss.scn.MeasureTimes))
+	for _, t := range ss.scn.MeasureTimes {
+		if t <= duration {
+			measures = append(measures, t)
+		}
+	}
+	sort.Stable(sort.Float64Slice(measures))
+	mIdx := 0
+
+	var followups []followupCheck
+
+	cp, resume, err := ss.loadCheckpoint()
+	if err != nil {
+		return err
+	}
+
+	var lastProgress, lastCp float64
+	lastProgress, lastCp = math.Inf(-1), math.Inf(-1)
+	progress := func(t float64) {
+		if cfg.Progress == nil || t-lastProgress < cfg.ProgressEveryS {
+			return
+		}
+		lastProgress = t
+		cfg.Progress(t, ss.eventsProcessed())
+	}
+
+	for {
+		nextStop := duration
+		if mIdx < len(measures) && measures[mIdx] < nextStop {
+			nextStop = measures[mIdx]
+		}
+		if len(followups) > 0 && followups[0].fireT < nextStop {
+			nextStop = followups[0].fireT
+		}
+
+		tmin := math.Inf(1)
+		for _, w := range ss.workers {
+			if at, ok := w.sim.NextAt(); ok && at < tmin {
+				tmin = at
+			}
+		}
+
+		if horizon := tmin + lookahead; horizon < nextStop {
+			// Plain epoch: no measurement inside, just advance and
+			// exchange. Every cross-shard delivery sent by an event at
+			// τ ≥ tmin lands at τ + delay ≥ horizon, after the barrier.
+			if err := ss.phase(cmdBefore, horizon); err != nil {
+				return err
+			}
+			ss.router.Exchange()
+			progress(horizon)
+			continue
+		}
+
+		// Stop barrier at nextStop: fire everything before it plus its
+		// setup band, then run the controller work for this instant.
+		t := nextStop
+		if err := ss.phase(cmdBand, t); err != nil {
+			return err
+		}
+		ss.router.Exchange()
+
+		for mIdx < len(measures) && measures[mIdx] == t {
+			ss.ctrlEvents++
+			if resume == nil || t > resume.T {
+				followups = ss.measure(t, followups, duration)
+			}
+			mIdx++
+		}
+		for len(followups) > 0 && followups[0].fireT == t {
+			ss.ctrlEvents++
+			ss.recheck(followups[0])
+			followups = followups[1:]
+		}
+
+		if resume != nil && t >= resume.T {
+			if err := ss.verifyResume(resume, t, mIdx); err != nil {
+				return err
+			}
+			resume = nil
+			lastCp = t // the on-disk checkpoint is already this barrier
+		} else if cp != nil && resume == nil && mIdx > 0 && measures[mIdx-1] == t {
+			if t-lastCp >= cfg.CheckpointEveryS {
+				if err := cp.write(ss, t, mIdx); err != nil {
+					return err
+				}
+				lastCp = t
+			}
+		}
+		progress(t)
+
+		if t == duration {
+			// The serial Run(duration) is inclusive: runtime events at
+			// exactly the end instant still fire (their sends schedule
+			// deliveries that never run — discard the sharded analogue).
+			if err := ss.phase(cmdInclusive, duration); err != nil {
+				return err
+			}
+			ss.router.DiscardOutboxes()
+			progress(duration)
+			return nil
+		}
+	}
+}
+
+// measure mirrors session.measure at a controller barrier, returning the
+// (possibly extended) follow-up queue.
+func (ss *shardedSession) measure(t float64, followups []followupCheck, duration float64) []followupCheck {
+	views := ss.views()
+	snap := metrics.Collect(views, 0, ss.u)
+	ss.samples = append(ss.samples, Sample{
+		T:        t,
+		Tree:     snap,
+		Loss:     lossOverPeers(ss.allByMem, ss.dataDT, t),
+		Overhead: ss.router.Overhead(),
+	})
+	if !ss.cfg.Validate {
+		return followups
+	}
+	errs := ss.validate()
+	if len(errs) == 0 {
+		return followups
+	}
+	// Same grace the serial engine gives: only violations still present
+	// 5 s later are real. Re-checks past the session end never fire.
+	if t+5 > duration {
+		return followups
+	}
+	first := make(map[string]bool, len(errs))
+	for _, e := range errs {
+		first[e] = true
+	}
+	return append(followups, followupCheck{fireT: t + 5, measT: t, first: first})
+}
+
+func (ss *shardedSession) recheck(f followupCheck) {
+	for _, e := range ss.validate() {
+		if f.first[e] {
+			ss.invErrs = append(ss.invErrs, fmt.Sprintf("t=%.0f: %s", f.measT, e))
+		}
+	}
+}
+
+func (ss *shardedSession) validate() []string {
+	return metrics.Validate(ss.views(), 0, func(id overlay.NodeID) int { return ss.degrees[int(id)] })
+}
+
+// views lists the live protocol instances in ascending slot order — the
+// same order session.views produces from its sorted instance map.
+func (ss *shardedSession) views() []overlay.TreeView {
+	out := make([]overlay.TreeView, 0, len(ss.bySlot))
+	for _, p := range ss.bySlot {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// finish reuses the serial aggregation verbatim by assembling a session
+// view of the finished run; only the processed-event count differs (the
+// sum over shard queues plus the controller's barrier work).
+func (ss *shardedSession) finish() (*Result, error) {
+	fin := &session{
+		cfg:     ss.cfg,
+		sim:     eventq.New(),
+		net:     &overlay.Network{}, // counters live on the router; overridden below
+		u:       ss.u,
+		metric:  ss.metric,
+		degrees: ss.degrees,
+		insts:   make(map[int]*instance),
+		all:     ss.allByMem,
+		dataDT:  ss.dataDT,
+		samples: ss.samples,
+		invErrs: ss.invErrs,
+	}
+	for slot, p := range ss.bySlot {
+		if p != nil {
+			fin.insts[slot] = &instance{slot: slot, proto: p}
+		}
+	}
+	res, err := fin.finish(ss.cfg, ss.scn)
+	if err != nil {
+		return nil, err
+	}
+	res.Overhead = ss.router.Overhead()
+	res.EventsProcessed = ss.eventsProcessed()
+	return res, nil
+}

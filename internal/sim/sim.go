@@ -150,6 +150,28 @@ type Config struct {
 
 	// Scenario overrides the generated workload when non-nil.
 	Scenario *scenario.Scenario
+
+	// Shards selects the execution engine: 0 (the default) runs the
+	// serial single-queue engine; S ≥ 1 runs the sharded conservative-
+	// lookahead engine with S shards (S = 1 included — it exercises the
+	// same epoch machinery with one worker). The engines produce
+	// byte-identical results at every S; see internal/sim/sharded.go.
+	Shards int
+
+	// Progress, when set, receives the virtual time and cumulative event
+	// count at epoch barriers, roughly every ProgressEveryS simulated
+	// seconds (sharded engine only; default 0 disables).
+	Progress       func(virtualT float64, events uint64)
+	ProgressEveryS float64
+
+	// CheckpointPath enables checkpoint/resume on the sharded engine:
+	// the session writes a checkpoint there at measurement barriers
+	// (every CheckpointEveryS simulated seconds; 0 = every measurement),
+	// and a run finding a compatible checkpoint resumes from it by
+	// deterministic replay, verifying the state hash at the checkpointed
+	// barrier. Incompatible with Validate.
+	CheckpointPath   string
+	CheckpointEveryS float64
 }
 
 func (c Config) withDefaults() Config {
@@ -253,25 +275,24 @@ type instance struct {
 }
 
 type session struct {
-	cfg      Config
-	sim      *eventq.Sim
-	net      *overlay.Network
-	u        underlay.Underlay
-	metric   vdist.Metric
-	degrees  []int
-	insts    map[int]*instance
-	all      []*overlay.Peer // every membership's peer base, in spawn order
-	protoRnd *rng.Stream
-	dataDT   float64
-	samples  []Sample
-	invErrs  []string
+	cfg       Config
+	sim       *eventq.Sim
+	net       *overlay.Network
+	u         underlay.Underlay
+	metric    vdist.Metric
+	degrees   []int
+	insts     map[int]*instance
+	all       []*overlay.Peer // every membership's peer base, in spawn order
+	protoSeed int64
+	dataDT    float64
+	samples   []Sample
+	invErrs   []string
 }
 
-// Run executes one session and returns its aggregated result.
-func Run(cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	master := rng.New(cfg.Seed)
-
+// buildScenario resolves the session script: the override if given, else
+// a generated workload. It returns the (possibly adjusted) config: the
+// batch workload derives the session duration from the script.
+func buildScenario(cfg Config) (*scenario.Scenario, Config) {
 	scn := cfg.Scenario
 	if scn == nil {
 		if cfg.BatchSize > 0 {
@@ -305,21 +326,33 @@ func Run(cfg Config) (*Result, error) {
 			}, rng.Derive(cfg.Seed, "scenario"))
 		}
 	}
+	return scn, cfg
+}
 
-	u, err := buildUnderlay(cfg, scn.PoolSize, master)
+// Run executes one session and returns its aggregated result.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards != 0 {
+		return runSharded(cfg)
+	}
+
+	scn, cfg := buildScenario(cfg)
+
+	u, err := buildUnderlay(cfg, scn.PoolSize)
 	if err != nil {
 		return nil, err
 	}
 
 	s := &session{
-		cfg:      cfg,
-		sim:      eventq.New(),
-		u:        u,
-		insts:    make(map[int]*instance),
-		protoRnd: rng.Derive(cfg.Seed, "proto"),
-		dataDT:   1 / cfg.DataRate,
+		cfg:       cfg,
+		sim:       eventq.New(),
+		u:         u,
+		insts:     make(map[int]*instance),
+		protoSeed: rng.DeriveSeed(cfg.Seed, "proto"),
+		dataDT:    1 / cfg.DataRate,
 	}
 	s.net = overlay.NewNetwork(s.sim, u, rng.Derive(cfg.Seed, "net"))
+	s.net.SetKeyedDraws(rng.DeriveSeed(cfg.Seed, "net"))
 	s.net.CtrlLossProb = cfg.CtrlLossProb
 	if cfg.Trace != nil {
 		trace := cfg.Trace
@@ -363,7 +396,20 @@ func Run(cfg Config) (*Result, error) {
 	return s.finish(cfg, scn)
 }
 
-func buildUnderlay(cfg Config, pool int, master *rng.Stream) (underlay.Underlay, error) {
+// routerCacheBudgets bounds the lazy SPT and path-loss caches relative to
+// the graph: generous enough that paper-scale topologies never evict, but
+// a hard ceiling so very large graphs cannot hold every tree and path at
+// once.
+func routerCacheBudgets(numRouters int) (spts, pathLoss int) {
+	spts = 4 * numRouters
+	if spts < 4096 {
+		spts = 4096
+	}
+	pathLoss = 1 << 21
+	return spts, pathLoss
+}
+
+func buildUnderlay(cfg Config, pool int) (underlay.Underlay, error) {
 	switch cfg.Underlay {
 	case Router:
 		ts, err := topology.GenerateTransitStub(
@@ -378,20 +424,22 @@ func buildUnderlay(cfg Config, pool int, master *rng.Stream) (underlay.Underlay,
 		}
 		attach := ts.AttachHosts(pool, rng.Derive(cfg.Seed, "attach"))
 		u := underlay.NewRouter(ts.Graph, attach)
+		u.WithCacheBudget(routerCacheBudgets(ts.Graph.NumRouters()))
 		sigma := cfg.RouterJitterSigma
 		if sigma == 0 {
 			sigma = 0.1
 		}
-		if sigma > 0 {
-			u.WithJitter(rng.Derive(cfg.Seed, "routerjitter"), sigma)
-		}
+		// Keyed jitter for both engines: the draw for a send depends on
+		// the edge and the sender's send count, not on global send order,
+		// so serial and sharded runs see identical delays.
+		u.WithKeyedJitter(rng.DeriveSeed(cfg.Seed, "routerjitter"), sigma)
 		return u, nil
 	case Geo:
 		if cfg.GeoModel != nil && cfg.GeoSites != nil {
 			if len(cfg.GeoSites) < pool {
 				return nil, fmt.Errorf("sim: scenario needs %d host slots, %d sites supplied", pool, len(cfg.GeoSites))
 			}
-			return underlay.NewGeo(cfg.GeoModel, cfg.GeoSites[:pool], rng.Derive(cfg.Seed, "jitter")), nil
+			return underlay.NewGeoKeyed(cfg.GeoModel, cfg.GeoSites[:pool], rng.DeriveSeed(cfg.Seed, "jitter")), nil
 		}
 		gcfg := geo.DefaultConfig()
 		if cfg.GeoCfg != nil {
@@ -422,7 +470,7 @@ func buildUnderlay(cfg Config, pool int, master *rng.Stream) (underlay.Underlay,
 		rest := candidates[1:]
 		pickRnd.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
 		sites := candidates[:pool]
-		return underlay.NewGeo(model, sites, rng.Derive(cfg.Seed, "jitter")), nil
+		return underlay.NewGeoKeyed(model, sites, rng.DeriveSeed(cfg.Seed, "jitter")), nil
 	default:
 		return nil, fmt.Errorf("sim: unknown underlay %q", cfg.Underlay)
 	}
@@ -493,44 +541,54 @@ func drawDegrees(cfg Config, pool int, rnd *rng.Stream) []int {
 	return degrees
 }
 
-func (s *session) spawn(slot int) {
-	if _, alive := s.insts[slot]; alive {
-		return
-	}
+// buildProtocol constructs the protocol instance for one membership,
+// identically in both engines. The per-membership random stream is
+// derived statelessly from (protoSeed, slot, membership ordinal), so the
+// stream a peer gets does not depend on which other peers were built
+// first — a prerequisite for sharded/serial parity.
+func buildProtocol(cfg Config, bus overlay.Bus, metric vdist.Metric, degrees []int, slot, memIdx int, protoSeed int64, sink obs.Sink) overlay.Protocol {
 	pc := overlay.PeerConfig{
 		ID:        overlay.NodeID(slot),
 		Source:    0,
-		MaxDegree: s.degrees[slot],
+		MaxDegree: degrees[slot],
 		IsSource:  slot == 0,
-		Metric:    s.metric,
+		Metric:    metric,
 	}
 	var p overlay.Protocol
-	switch s.cfg.Protocol {
+	switch cfg.Protocol {
 	case HMTP:
-		p = hmtp.New(s.net, pc, hmtp.Config{RefinePeriodS: s.cfg.HMTPRefinePeriodS}, s.protoRnd.Derive(fmt.Sprintf("hmtp-%d-%d", slot, len(s.all))))
+		p = hmtp.New(bus, pc, hmtp.Config{RefinePeriodS: cfg.HMTPRefinePeriodS}, rng.Derive(protoSeed, fmt.Sprintf("hmtp-%d-%d", slot, memIdx)))
 	case BTP:
-		p = btp.New(s.net, pc, btp.Config{SwitchPeriodS: s.cfg.BTPSwitchPeriodS}, s.protoRnd.Derive(fmt.Sprintf("btp-%d-%d", slot, len(s.all))))
+		p = btp.New(bus, pc, btp.Config{SwitchPeriodS: cfg.BTPSwitchPeriodS}, rng.Derive(protoSeed, fmt.Sprintf("btp-%d-%d", slot, memIdx)))
 	case NICE:
 		// NICE has no per-member degree bound; cluster size (3K−1) is
 		// the capacity notion, applied uniformly.
 		ncfg := nice.Config{}
 		pc.MaxDegree = ncfg.MaxCluster()
-		s.degrees[slot] = pc.MaxDegree
-		p = nice.New(s.net, pc, ncfg, s.protoRnd.Derive(fmt.Sprintf("nice-%d-%d", slot, len(s.all))))
+		degrees[slot] = pc.MaxDegree
+		p = nice.New(bus, pc, ncfg, rng.Derive(protoSeed, fmt.Sprintf("nice-%d-%d", slot, memIdx)))
 	case Random:
-		p = randjoin.New(s.net, pc, randjoin.Config{}, s.protoRnd.Derive(fmt.Sprintf("rand-%d-%d", slot, len(s.all))))
+		p = randjoin.New(bus, pc, randjoin.Config{}, rng.Derive(protoSeed, fmt.Sprintf("rand-%d-%d", slot, memIdx)))
 	default:
-		n := core.New(s.net, pc, core.Config{
-			Gamma:             s.cfg.Gamma,
-			RefinePeriodS:     s.cfg.VDMRefinePeriodS,
-			ReconnectAtSource: s.cfg.VDMReconnectAtSrc,
-			FosterJoin:        s.cfg.VDMFosterJoin,
-		}, s.protoRnd.Derive(fmt.Sprintf("vdm-%d-%d", slot, len(s.all))))
-		if s.cfg.EventSink != nil {
-			n.SetTracer(obs.NewTracer(s.cfg.EventSink, "vdm", pc.ID, s.net.Now))
+		n := core.New(bus, pc, core.Config{
+			Gamma:             cfg.Gamma,
+			RefinePeriodS:     cfg.VDMRefinePeriodS,
+			ReconnectAtSource: cfg.VDMReconnectAtSrc,
+			FosterJoin:        cfg.VDMFosterJoin,
+		}, rng.Derive(protoSeed, fmt.Sprintf("vdm-%d-%d", slot, memIdx)))
+		if sink != nil {
+			n.SetTracer(obs.NewTracer(sink, "vdm", pc.ID, bus.Now))
 		}
 		p = n
 	}
+	return p
+}
+
+func (s *session) spawn(slot int) {
+	if _, alive := s.insts[slot]; alive {
+		return
+	}
+	p := buildProtocol(s.cfg, s.net, s.metric, s.degrees, slot, len(s.all), s.protoSeed, s.cfg.EventSink)
 	if s.cfg.StatusPeriodS > 0 {
 		if slot == 0 && s.cfg.StatusHandler != nil {
 			p.Base().SetStatusHandler(s.cfg.StatusHandler)
@@ -601,25 +659,30 @@ func (s *session) validate() []string {
 	return metrics.Validate(s.views(), 0, func(id overlay.NodeID) int { return s.degrees[int(id)] })
 }
 
-// expectedChunks counts the chunks the source emitted during [a, b).
-func (s *session) expectedChunks(a, b float64) int64 {
+// expectedChunksIn counts the chunks the source emitted during [a, b)
+// at one chunk per dataDT seconds.
+func expectedChunksIn(dataDT, a, b float64) int64 {
 	if b <= a {
 		return 0
 	}
-	kmin := int64(math.Ceil(a / s.dataDT))
-	kmax := int64(math.Ceil(b/s.dataDT)) - 1
+	kmin := int64(math.Ceil(a / dataDT))
+	kmax := int64(math.Ceil(b/dataDT)) - 1
 	if kmax < kmin {
 		return 0
 	}
 	return kmax - kmin + 1
 }
 
-// lossSoFar averages, over every membership that ever connected, the
+// lossOverPeers averages, over every membership that ever connected, the
 // fraction of the chunks emitted during its membership that it missed —
-// the paper's loss metric.
-func (s *session) lossSoFar(now float64) float64 {
+// the paper's loss metric. Nil entries (memberships not yet spawned, in
+// the sharded engine's preallocated roster) are skipped.
+func lossOverPeers(all []*overlay.Peer, dataDT, now float64) float64 {
 	var rates []float64
-	for _, p := range s.all {
+	for _, p := range all {
+		if p == nil {
+			continue
+		}
 		st := p.Stats()
 		if p.IsSource() || st.Startup < 0 {
 			continue
@@ -628,7 +691,7 @@ func (s *session) lossSoFar(now float64) float64 {
 		if st.LeftAt >= 0 {
 			end = st.LeftAt
 		}
-		exp := s.expectedChunks(st.MemberSince, end)
+		exp := expectedChunksIn(dataDT, st.MemberSince, end)
 		if exp <= 0 {
 			continue
 		}
@@ -639,6 +702,10 @@ func (s *session) lossSoFar(now float64) float64 {
 		rates = append(rates, 1-float64(recv)/float64(exp))
 	}
 	return stats.Mean(rates)
+}
+
+func (s *session) lossSoFar(now float64) float64 {
+	return lossOverPeers(s.all, s.dataDT, now)
 }
 
 func (s *session) finish(cfg Config, scn *scenario.Scenario) (*Result, error) {

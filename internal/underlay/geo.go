@@ -1,6 +1,9 @@
 package underlay
 
 import (
+	"math"
+	"sync"
+
 	"vdm/internal/geo"
 	"vdm/internal/rng"
 	"vdm/internal/topology"
@@ -12,18 +15,37 @@ import (
 // so PathLinks returns nil and the stress metric is unavailable (the
 // chapter-5 experiments use resource usage instead, exactly as the paper
 // does on PlanetLab).
+//
+// NewGeo draws jitter from a sequential stream (single event loop only);
+// NewGeoKeyed draws it as a pure function of (edge, draw index), which
+// both simulation engines use — see KeyedJitter.
 type GeoUnderlay struct {
 	m     *geo.Model
 	sites []int // host -> site id
 	rnd   *rng.Stream
+
+	keyed     bool
+	keyedSeed int64
+	rttMu     sync.Mutex
+	rttDraws  map[uint64]uint64
+
+	minOnce   sync.Once
+	minOneWay float64
 }
 
 var _ Underlay = (*GeoUnderlay)(nil)
+var _ KeyedJitter = (*GeoUnderlay)(nil)
 
 // NewGeo builds an underlay over the given sites of model m. The stream
 // drives measurement jitter.
 func NewGeo(m *geo.Model, sites []int, rnd *rng.Stream) *GeoUnderlay {
 	return &GeoUnderlay{m: m, sites: sites, rnd: rnd}
+}
+
+// NewGeoKeyed builds an underlay whose jitter is keyed under seed instead
+// of drawn from a stream (see KeyedJitter).
+func NewGeoKeyed(m *geo.Model, sites []int, seed int64) *GeoUnderlay {
+	return &GeoUnderlay{m: m, sites: sites, keyed: true, keyedSeed: seed, rttDraws: make(map[uint64]uint64)}
 }
 
 // NumHosts reports the number of hosts.
@@ -42,17 +64,79 @@ func (u *GeoUnderlay) BaseRTT(a, b int) float64 {
 
 // RTT returns one noisy RTT measurement in ms.
 func (u *GeoUnderlay) RTT(a, b int) float64 {
+	if u.keyed {
+		base := u.BaseRTT(a, b)
+		if u.m.JitterSigma <= 0 {
+			return base
+		}
+		u.rttMu.Lock()
+		k := pairKey(a, b)
+		n := u.rttDraws[k]
+		u.rttDraws[k] = n + 1
+		u.rttMu.Unlock()
+		return base * rng.KeyedLogNormal(u.keyedSeed, uint64(uint32(a)), uint64(uint32(b)), keyedStreamRTT, n, 0, u.m.JitterSigma)
+	}
 	return u.m.SampleRTT(u.sites[a], u.sites[b], u.rnd)
 }
 
 // OneWayDelayMS returns a noisy one-way delivery delay in ms; lazy
-// destination sites add their think time.
+// destination sites add their think time. In keyed mode this returns the
+// jitter-free delay; keyed callers use OneWayDelayMSKeyed.
 func (u *GeoUnderlay) OneWayDelayMS(a, b int) float64 {
+	if u.keyed {
+		return u.BaseRTT(a, b) / 2
+	}
 	d := u.m.SampleRTT(u.sites[a], u.sites[b], u.rnd) / 2
 	if u.m.Sites[u.sites[b]].Lazy {
 		d += u.rnd.Exp(u.m.LazyExtraMS)
 	}
 	return d
+}
+
+// OneWayDelayMSKeyed returns the delivery delay for draw number `draw` on
+// edge a→b, keyed under the underlay's seed. Lazy destination sites add
+// keyed-exponential think time (which only increases the delay, so the
+// MinOneWayDelayMS bound still holds).
+func (u *GeoUnderlay) OneWayDelayMSKeyed(a, b int, draw uint64) float64 {
+	d := u.BaseRTT(a, b) / 2
+	if u.keyed && u.m.JitterSigma > 0 {
+		d *= rng.KeyedLogNormal(u.keyedSeed, uint64(uint32(a)), uint64(uint32(b)), keyedStreamDelay, draw, 0, u.m.JitterSigma)
+	}
+	if u.m.Sites[u.sites[b]].Lazy {
+		d += rng.KeyedExp(u.keyedSeed, uint64(uint32(a)), uint64(uint32(b)), keyedStreamLazy, draw, u.m.LazyExtraMS)
+	}
+	if d < MinDelayFloorMS {
+		d = MinDelayFloorMS
+	}
+	return d
+}
+
+// MinOneWayDelayMS returns the lower bound on keyed delivery delay over
+// all distinct host pairs: the smallest base one-way delay among the
+// chosen sites scaled by the clamped jitter minimum. Computed once, on
+// first use.
+func (u *GeoUnderlay) MinOneWayDelayMS() float64 {
+	u.minOnce.Do(func() {
+		min := math.Inf(1)
+		for i := range u.sites {
+			for j := range u.sites {
+				if i == j {
+					continue
+				}
+				if d := u.BaseRTT(i, j) / 2; d < min {
+					min = d
+				}
+			}
+		}
+		if u.keyed && u.m.JitterSigma > 0 {
+			min *= math.Exp(-rng.NormalClamp * u.m.JitterSigma)
+		}
+		if !(min > MinDelayFloorMS) {
+			min = MinDelayFloorMS
+		}
+		u.minOneWay = min
+	})
+	return u.minOneWay
 }
 
 // LossRate returns the per-chunk loss probability between hosts.

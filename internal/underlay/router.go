@@ -1,7 +1,9 @@
 package underlay
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"vdm/internal/rng"
 	"vdm/internal/topology"
@@ -11,16 +13,26 @@ import (
 // Hosts on the same router still measure a small positive RTT.
 const hostAccessMS = 0.5
 
+// sptEntry is one cached shortest-path tree plus its last-use stamp for
+// budget eviction. The stamp is atomic so read hits can refresh it under
+// the read lock.
+type sptEntry struct {
+	t    *topology.SPT
+	last atomic.Uint64
+}
+
 // RouterUnderlay routes host-to-host traffic over a router graph along
 // shortest-delay paths. Shortest-path trees are computed lazily per
-// attachment router and cached.
+// attachment router and cached; WithCacheBudget bounds both caches so a
+// very large topology cannot hold every tree and path-loss entry at once.
 //
 // The deterministic query methods (BaseRTT, LossRate, PathLinks, and the
 // accessors) are safe for concurrent use: the lazy SPT and path-loss
 // caches are guarded so one underlay can back many concurrent sessions
-// without duplicating Dijkstra work. The jittered measurement methods
-// (RTT, OneWayDelayMS) draw from a single random stream and must stay
-// within one session's event loop.
+// without duplicating Dijkstra work. The stream-jitter measurement
+// methods (WithJitter) draw from a single random stream and must stay
+// within one session's event loop; the keyed-jitter mode (WithKeyedJitter)
+// is safe for concurrent use and is what the sharded engine requires.
 type RouterUnderlay struct {
 	g      *topology.Graph
 	attach []topology.RouterID // host -> router
@@ -28,14 +40,29 @@ type RouterUnderlay struct {
 	// mu guards the two lazy caches below. Writes (cache misses) take the
 	// full lock and re-check, so each SPT is computed exactly once.
 	mu   sync.RWMutex
-	spts map[topology.RouterID]*topology.SPT
+	spts map[topology.RouterID]*sptEntry
 	// pathLoss caches end-to-end loss per (router,router) pair.
 	pathLoss map[[2]topology.RouterID]float64
+
+	// Cache budgets: 0 means unlimited. Eviction only changes what is
+	// cached, never a value — evicted entries recompute deterministically.
+	sptBudget      int
+	pathLossBudget int
+	sptClock       atomic.Uint64
 
 	// Measurement jitter: application-level pings observe queueing and
 	// processing variation on top of propagation delay.
 	jitterRnd   *rng.Stream
 	jitterSigma float64
+
+	// Keyed jitter (see KeyedJitter): pure-function draws replace the
+	// shared stream. RTT measurements key on a per-pair counter — each
+	// pair is only ever probed from one peer's event loop at a time, but
+	// the map itself needs a lock under concurrent shards.
+	keyed     bool
+	keyedSeed int64
+	rttMu     sync.Mutex
+	rttDraws  map[uint64]uint64
 }
 
 // WithJitter makes RTT *measurements* (not deliveries or base values)
@@ -44,17 +71,52 @@ type RouterUnderlay struct {
 func (u *RouterUnderlay) WithJitter(rnd *rng.Stream, sigma float64) *RouterUnderlay {
 	u.jitterRnd = rnd
 	u.jitterSigma = sigma
+	u.keyed = false
 	return u
 }
 
+// WithKeyedJitter switches measurement and delivery jitter to keyed
+// draws under the given seed (sigma ≤ 0 means jitter-free but still
+// keyed-deterministic). This is the mode both simulation engines use:
+// draw values depend only on each sender's own send count per edge, so
+// serial and sharded executions observe identical delays.
+func (u *RouterUnderlay) WithKeyedJitter(seed int64, sigma float64) *RouterUnderlay {
+	u.keyed = true
+	u.keyedSeed = seed
+	u.jitterSigma = sigma
+	u.jitterRnd = nil
+	if u.rttDraws == nil {
+		u.rttDraws = make(map[uint64]uint64)
+	}
+	return u
+}
+
+// WithCacheBudget bounds the lazy caches: at most spts shortest-path
+// trees and pathLoss loss entries stay resident, with least-recently-used
+// trees evicted first. Zero leaves a cache unlimited.
+func (u *RouterUnderlay) WithCacheBudget(spts, pathLoss int) *RouterUnderlay {
+	u.sptBudget = spts
+	u.pathLossBudget = pathLoss
+	return u
+}
+
+// CacheStats reports the resident entry counts of the SPT and path-loss
+// caches.
+func (u *RouterUnderlay) CacheStats() (spts, pathLoss int) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return len(u.spts), len(u.pathLoss)
+}
+
 var _ Underlay = (*RouterUnderlay)(nil)
+var _ KeyedJitter = (*RouterUnderlay)(nil)
 
 // NewRouter attaches hosts to the given routers of graph g.
 func NewRouter(g *topology.Graph, attach []topology.RouterID) *RouterUnderlay {
 	return &RouterUnderlay{
 		g:        g,
 		attach:   attach,
-		spts:     make(map[topology.RouterID]*topology.SPT),
+		spts:     make(map[topology.RouterID]*sptEntry),
 		pathLoss: make(map[[2]topology.RouterID]float64),
 	}
 }
@@ -70,23 +132,39 @@ func (u *RouterUnderlay) AttachmentRouter(h int) topology.RouterID { return u.at
 
 func (u *RouterUnderlay) spt(r topology.RouterID) *topology.SPT {
 	u.mu.RLock()
-	t, ok := u.spts[r]
+	e, ok := u.spts[r]
 	u.mu.RUnlock()
 	if ok {
-		return t
+		e.last.Store(u.sptClock.Add(1))
+		return e.t
 	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	if t, ok := u.spts[r]; ok {
-		return t // another goroutine computed it while we waited
+	if e, ok := u.spts[r]; ok {
+		e.last.Store(u.sptClock.Add(1))
+		return e.t // another goroutine computed it while we waited
 	}
-	t = u.g.ShortestPaths(r)
-	u.spts[r] = t
-	return t
+	if u.sptBudget > 0 {
+		for len(u.spts) >= u.sptBudget {
+			var victim topology.RouterID
+			oldest := uint64(math.MaxUint64)
+			for id, e := range u.spts {
+				if last := e.last.Load(); last < oldest {
+					oldest, victim = last, id
+				}
+			}
+			delete(u.spts, victim)
+		}
+	}
+	e = &sptEntry{t: u.g.ShortestPaths(r)}
+	e.last.Store(u.sptClock.Add(1))
+	u.spts[r] = e
+	return e.t
 }
 
-// Precompute eagerly fills the SPT cache for every attachment router, so
-// subsequent concurrent queries never take the write lock.
+// Precompute eagerly fills the SPT cache for every attachment router (up
+// to the configured budget), so subsequent concurrent queries rarely take
+// the write lock.
 func (u *RouterUnderlay) Precompute() {
 	seen := make(map[topology.RouterID]bool, len(u.attach))
 	for _, r := range u.attach {
@@ -109,11 +187,25 @@ func (u *RouterUnderlay) oneWay(a, b int) float64 {
 // BaseRTT returns the deterministic round-trip time in ms.
 func (u *RouterUnderlay) BaseRTT(a, b int) float64 { return 2 * u.oneWay(a, b) }
 
+// pairKey packs an ordered host pair for the RTT draw counters.
+func pairKey(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
 // RTT returns one round-trip-time measurement, with lognormal jitter when
 // configured.
 func (u *RouterUnderlay) RTT(a, b int) float64 {
 	base := u.BaseRTT(a, b)
-	if u.jitterRnd == nil || u.jitterSigma <= 0 {
+	if u.jitterSigma <= 0 {
+		return base
+	}
+	if u.keyed {
+		u.rttMu.Lock()
+		k := pairKey(a, b)
+		n := u.rttDraws[k]
+		u.rttDraws[k] = n + 1
+		u.rttMu.Unlock()
+		return base * rng.KeyedLogNormal(u.keyedSeed, uint64(uint32(a)), uint64(uint32(b)), keyedStreamRTT, n, 0, u.jitterSigma)
+	}
+	if u.jitterRnd == nil {
 		return base
 	}
 	return base * u.jitterRnd.LogNormal(0, u.jitterSigma)
@@ -121,13 +213,43 @@ func (u *RouterUnderlay) RTT(a, b int) float64 {
 
 // OneWayDelayMS returns the message delivery delay in ms, with queueing
 // jitter when configured (this is what makes probe measurements noisy:
-// probes time actual message exchanges).
+// probes time actual message exchanges). In keyed mode this returns the
+// jitter-free delay; keyed callers pass their draw index to
+// OneWayDelayMSKeyed instead.
 func (u *RouterUnderlay) OneWayDelayMS(a, b int) float64 {
 	d := u.oneWay(a, b)
 	if u.jitterRnd == nil || u.jitterSigma <= 0 {
 		return d
 	}
 	return d * u.jitterRnd.LogNormal(0, u.jitterSigma)
+}
+
+// OneWayDelayMSKeyed returns the delivery delay for draw number `draw` on
+// edge a→b: jitter is a pure function of (seed, edge, draw), never below
+// MinOneWayDelayMS for distinct hosts.
+func (u *RouterUnderlay) OneWayDelayMSKeyed(a, b int, draw uint64) float64 {
+	d := u.oneWay(a, b)
+	if u.keyed && u.jitterSigma > 0 {
+		d *= rng.KeyedLogNormal(u.keyedSeed, uint64(uint32(a)), uint64(uint32(b)), keyedStreamDelay, draw, 0, u.jitterSigma)
+	}
+	if d < MinDelayFloorMS {
+		d = MinDelayFloorMS
+	}
+	return d
+}
+
+// MinOneWayDelayMS returns the conservative lower bound on keyed delivery
+// delay between distinct hosts: the smallest possible base (two hosts on
+// one router: both access links) scaled by the clamped jitter minimum.
+func (u *RouterUnderlay) MinOneWayDelayMS() float64 {
+	min := 2 * hostAccessMS
+	if u.keyed && u.jitterSigma > 0 {
+		min *= math.Exp(-rng.NormalClamp * u.jitterSigma)
+	}
+	if min < MinDelayFloorMS {
+		min = MinDelayFloorMS
+	}
+	return min
 }
 
 // LossRate returns the end-to-end loss probability along the routed path:
@@ -156,6 +278,14 @@ func (u *RouterUnderlay) LossRate(a, b int) float64 {
 	}
 	p = 1 - survive
 	u.mu.Lock()
+	if u.pathLossBudget > 0 && len(u.pathLoss) >= u.pathLossBudget {
+		// Evict an arbitrary resident entry: which one is cached never
+		// affects a value, only whether the next query recomputes it.
+		for k := range u.pathLoss {
+			delete(u.pathLoss, k)
+			break
+		}
+	}
 	u.pathLoss[key] = p
 	u.mu.Unlock()
 	return p

@@ -39,3 +39,33 @@ type Underlay interface {
 	// model.
 	NumLinks() int
 }
+
+// MinDelayFloorMS is the smallest one-way delivery delay a keyed underlay
+// reports. Conservative shard synchronization needs a strictly positive
+// lower bound on cross-shard message latency; 10 µs is far below any
+// modeled path, so the floor only exists to keep the bound positive.
+const MinDelayFloorMS = 0.01
+
+// KeyedJitter is the capability the sharded simulation engine requires of
+// an underlay: delivery jitter drawn as a pure function of the edge and a
+// caller-supplied draw index, rather than from a shared sequential stream.
+// Keyed draws make delay values independent of global event interleaving
+// (each sender advances its own draw counters), and the guaranteed
+// minimum delay is the engine's conservative lookahead.
+type KeyedJitter interface {
+	// OneWayDelayMSKeyed is OneWayDelayMS with the jitter decided by the
+	// draw index instead of stream order.
+	OneWayDelayMSKeyed(a, b int, draw uint64) float64
+	// MinOneWayDelayMS returns a hard lower bound (> 0) on
+	// OneWayDelayMSKeyed over all host pairs a ≠ b and draws.
+	MinOneWayDelayMS() float64
+}
+
+// Stream ids for keyed draws, shared by the underlay implementations.
+// Each (seed, edge, stream, draw) tuple is an independent value, so the
+// ids only need to be distinct within one underlay's seed.
+const (
+	keyedStreamDelay uint32 = 1
+	keyedStreamRTT   uint32 = 2
+	keyedStreamLazy  uint32 = 3
+)

@@ -33,10 +33,11 @@ import (
 // DataNack, Parity, Pushback); version 5 added the sampled in-band chunk
 // trace tag (one flag byte on every DataChunk, origin timestamp + hop
 // count when tagged) and the StatusReport flow-telemetry section
-// (per-child sender flow state plus uplink repair deltas). Decoding is
-// strict, so older-version frames are rejected rather than
+// (per-child sender flow state plus uplink repair deltas); version 6
+// added the starvation watchdog's ParentCheck/ParentCheckAck exchange.
+// Decoding is strict, so older-version frames are rejected rather than
 // half-understood.
-const Version = 5
+const Version = 6
 
 // headerLen is the fixed frame header size.
 const headerLen = 1 + 1 + 4 + 4 + 4 + 4
@@ -120,6 +121,8 @@ const (
 	typeDataNack        = 16
 	typeParity          = 17
 	typePushback        = 18
+	typeParentCheck     = 19
+	typeParentCheckAck  = 20
 )
 
 // MaxNackRanges bounds the ranges of one DataNack — far above what the
@@ -412,6 +415,11 @@ func AppendMessage(dst []byte, m overlay.Message) ([]byte, error) {
 		return appendIDList(dst, v.Path)
 	case overlay.Detach:
 		return append(dst, typeDetach), nil
+	case overlay.ParentCheck:
+		return append(dst, typeParentCheck), nil
+	case overlay.ParentCheckAck:
+		dst = append(dst, typeParentCheckAck)
+		return appendBool(dst, v.IsChild), nil
 	case overlay.LeaveNotify:
 		dst = append(dst, typeLeaveNotify)
 		return appendID(dst, v.GrandparentHint), nil
@@ -640,6 +648,15 @@ func decodeMessage(r *reader) (overlay.Message, error) {
 		return overlay.PathUpdate{Path: path}, err
 	case typeDetach:
 		return overlay.Detach{}, nil
+	case typeParentCheck:
+		return overlay.ParentCheck{}, nil
+	case typeParentCheckAck:
+		var m overlay.ParentCheckAck
+		var err error
+		if m.IsChild, err = r.boolean(); err != nil {
+			return nil, err
+		}
+		return m, nil
 	case typeLeaveNotify:
 		hint, err := r.id()
 		return overlay.LeaveNotify{GrandparentHint: hint}, err

@@ -50,6 +50,9 @@ func everyMessage() []overlay.Message {
 		overlay.PathUpdate{Path: []overlay.NodeID{0, 1, 2, 3}},
 		overlay.PathUpdate{},
 		overlay.Detach{},
+		overlay.ParentCheck{},
+		overlay.ParentCheckAck{IsChild: true},
+		overlay.ParentCheckAck{IsChild: false},
 		overlay.LeaveNotify{GrandparentHint: overlay.None},
 		overlay.LeaveNotify{GrandparentHint: 17},
 		overlay.Reassign{To: 99},
