@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet fuzz bench bench-compare bench-experiments bench-scale bench-scale-smoke
+.PHONY: check test build vet fuzz bench bench-compare bench-experiments bench-scale bench-scale-smoke bench-scale-profile profile-smoke
 
 # check is the pre-merge gate: vet + build + race-enabled tests.
 check:
@@ -62,8 +62,19 @@ bench-experiments:
 bench-scale:
 	$(GO) run ./cmd/benchscale -peers 1000,10000,100000 -shards 0,1,2,4 \
 		-duration 300 -join 150 -chapter -v \
+		-profileout BENCH_simprof.jsonl \
 		-out BENCH_scale.json -history BENCH_history.jsonl
-	@echo "wrote BENCH_scale.json"
+	@echo "wrote BENCH_scale.json BENCH_simprof.jsonl"
+
+# bench-scale-profile records the committed flight-recorder artifact: the
+# 10k-peer sharded cell with profiling on. BENCH_simprof.jsonl is the
+# recording vdmprof renders in the README quick-start (per-shard
+# barrier-wait share, horizon-advance distribution, event-storm peers).
+bench-scale-profile:
+	$(GO) run ./cmd/benchscale -peers 10000 -shards 4 -duration 300 -join 150 \
+		-profileout BENCH_simprof.jsonl -out /dev/null
+	$(GO) run ./cmd/vdmprof BENCH_simprof.jsonl
+	@echo "wrote BENCH_simprof.jsonl"
 
 # bench-scale-smoke is the CI variant: a small population swept over
 # serial / S=1 / S=4 in seconds. It still enforces the determinism
@@ -73,3 +84,13 @@ bench-scale-smoke:
 	$(GO) run ./cmd/benchscale -peers 500 -shards 0,1,4 -duration 120 -join 60 \
 		-gate 1.5 -out BENCH_scale.json
 	@echo "wrote BENCH_scale.json (smoke)"
+
+# profile-smoke exercises the whole flight-recorder path in seconds: a
+# short profiled sharded session, then vdmprof rendering the summary
+# (which fails if the recording is missing records or unparseable). CI
+# runs this and uploads profile_smoke.jsonl next to BENCH_scale.json.
+profile-smoke:
+	$(GO) run ./cmd/vdmsim -nodes 300 -routers 300 -duration 600 -join 200 \
+		-shards 4 -profileout profile_smoke.jsonl > /dev/null
+	$(GO) run ./cmd/vdmprof profile_smoke.jsonl
+	@echo "wrote profile_smoke.jsonl"

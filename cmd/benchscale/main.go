@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"vdm/internal/benchio"
+	"vdm/internal/obs/simprof"
 	"vdm/internal/sim"
 )
 
@@ -83,6 +85,9 @@ type report struct {
 	// ProcessPeakRSSMB is the process high-water mark (VmHWM) — an
 	// upper bound across all cells, unlike the per-cell heap peaks.
 	ProcessPeakRSSMB float64 `json:"process_peak_rss_mb,omitempty"`
+	// ProfileOut is where the largest cell's flight-recorder stream went
+	// (-profileout; empty when profiling was off).
+	ProfileOut string `json:"profile_out,omitempty"`
 
 	Chapter *chapterRun `json:"chapter,omitempty"`
 }
@@ -102,8 +107,22 @@ func main() {
 		out        = flag.String("out", "BENCH_scale.json", "output JSON path")
 		history    = flag.String("history", "", "append a summary line to this JSONL history file")
 		verbose    = flag.Bool("v", false, "progress to stderr during long cells")
+		profOut    = flag.String("profileout", "", "record the largest grid cell's flight-recorder JSONL here")
+		profS      = flag.Float64("profile", 0, "flight-recorder flush interval in simulated seconds (0 = default 10; needs -profileout)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep here")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	peers, err := parseInts(*peersList)
 	if err != nil {
@@ -142,14 +161,18 @@ func main() {
 		}
 		if *verbose {
 			start := time.Now()
-			cfg.Progress = func(t float64, events uint64) {
-				fmt.Fprintf(os.Stderr, "  n=%d s=%d  t=%.0fs  events=%d  wall=%.1fs\n",
-					n, s, t, events, time.Since(start).Seconds())
+			cfg.Progress = func(p sim.ProgressInfo) {
+				fmt.Fprintf(os.Stderr, "  n=%d s=%d  t=%.0fs  events=%d  epochs=%d  ev/s=%.0f  wall=%.1fs\n",
+					n, s, p.T, p.Events, p.Epochs, p.EventsPerSec, time.Since(start).Seconds())
 			}
 			cfg.ProgressEveryS = *duration / 10
 		}
 		return cfg
 	}
+
+	// The flight recorder attaches to the largest grid cell: the biggest
+	// population at the biggest shard count (the cell worth attributing).
+	profPeers, profShards := maxInt(peers), maxInt(shards)
 
 	// serialRef remembers the serial cell per population for the
 	// identical-output cross-check and the S=1 overhead ratio.
@@ -163,7 +186,22 @@ func main() {
 	for _, n := range peers {
 		for _, s := range shards {
 			fmt.Fprintf(os.Stderr, "cell peers=%d shards=%d...\n", n, s)
-			res, wall, peakMB, err := runCell(baseCfg(n, s))
+			cfg := baseCfg(n, s)
+			var profFile *os.File
+			if *profOut != "" && n == profPeers && s == profShards {
+				var err error
+				if profFile, err = os.Create(*profOut); err != nil {
+					fatal(err)
+				}
+				cfg.Profile = &simprof.Options{W: profFile, EveryS: *profS}
+				rep.ProfileOut = *profOut
+			}
+			res, wall, peakMB, err := runCell(cfg)
+			if profFile != nil {
+				if cerr := profFile.Close(); err == nil && cerr != nil {
+					err = cerr
+				}
+			}
 			if err != nil {
 				fatal(fmt.Errorf("peers=%d shards=%d: %w", n, s, err))
 			}
@@ -369,6 +407,16 @@ func parseInts(s string) ([]int, error) {
 		return nil, fmt.Errorf("empty list %q", s)
 	}
 	return out, nil
+}
+
+func maxInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 func maxPeers(cells []cell) int {

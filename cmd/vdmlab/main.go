@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"vdm/internal/lab"
+	"vdm/internal/obs/simprof"
 	"vdm/internal/parallel"
 	"vdm/internal/sim"
 )
@@ -38,7 +39,9 @@ func main() {
 		reps     = flag.Int("reps", 1, "repetitions with derived seeds; metrics are averaged")
 		jobs     = flag.Int("j", 0, "parallel workers for repetitions (0 = all cores, 1 = serial)")
 		shards   = flag.Int("shards", -1, "shard count per repetition (-1 = auto, 0 = serial)")
-		progress = flag.Float64("progress", 0, "print progress to stderr every N simulated seconds (single rep, sharded engine only)")
+		progress = flag.Float64("progress", 0, "print progress to stderr every N simulated seconds (single rep only)")
+		profOut  = flag.String("profileout", "", "write the flight-recorder JSONL stream here (single rep only)")
+		profS    = flag.Float64("profile", 0, "flight-recorder flush interval in simulated seconds (0 = default 10; needs -profileout)")
 	)
 	flag.Parse()
 
@@ -53,13 +56,24 @@ func main() {
 			nshards = runtime.GOMAXPROCS(0)
 		}
 	}
-	var progressFn func(virtualT float64, events uint64)
+	var progressFn func(sim.ProgressInfo)
 	if *progress > 0 && *reps == 1 {
 		start := time.Now()
-		progressFn = func(t float64, events uint64) {
-			fmt.Fprintf(os.Stderr, "t=%.0fs/%.0fs  events=%d  wall=%.1fs\n",
-				t, *duration, events, time.Since(start).Seconds())
+		progressFn = func(p sim.ProgressInfo) {
+			fmt.Fprintf(os.Stderr, "t=%.0fs/%.0fs  events=%d  epochs=%d  ev/s=%.0f  wall=%.1fs\n",
+				p.T, *duration, p.Events, p.Epochs, p.EventsPerSec, time.Since(start).Seconds())
 		}
+	}
+
+	var profile *simprof.Options
+	if *profOut != "" && *reps == 1 {
+		f, err := os.Create(*profOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		profile = &simprof.Options{W: f, EveryS: *profS}
 	}
 
 	cfg := lab.Config{
@@ -78,6 +92,7 @@ func main() {
 		Shards:         nshards,
 		Progress:       progressFn,
 		ProgressEveryS: *progress,
+		Profile:        profile,
 	}
 	if *reps < 1 {
 		*reps = 1

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"vdm/internal/obs"
+	"vdm/internal/obs/simprof"
 	"vdm/internal/scenario"
 	"vdm/internal/sim"
 )
@@ -42,9 +43,11 @@ func main() {
 		samples  = flag.Bool("samples", false, "print the per-measurement time series")
 		mstRatio = flag.Bool("mst", false, "compute tree/MST cost ratio")
 		shards   = flag.Int("shards", -1, "shard count for the parallel engine (-1 = one per core, 0 = serial)")
-		progress = flag.Float64("progress", 0, "print progress to stderr every N simulated seconds (sharded engine only, 0 = off)")
+		progress = flag.Float64("progress", 0, "print progress to stderr every N simulated seconds (0 = off)")
 		cpPath   = flag.String("checkpoint", "", "checkpoint file for the sharded engine (resumes if present)")
 		cpEvery  = flag.Float64("checkpoint-every", 0, "simulated seconds between checkpoints (0 = every measurement)")
+		profOut  = flag.String("profileout", "", "write the flight-recorder JSONL stream here (enables profiling)")
+		profS    = flag.Float64("profile", 0, "flight-recorder flush interval in simulated seconds (0 = default 10; needs -profileout)")
 	)
 	flag.Parse()
 
@@ -57,13 +60,24 @@ func main() {
 			nshards = 0
 		}
 	}
-	var progressFn func(virtualT float64, events uint64)
+	var progressFn func(sim.ProgressInfo)
 	if *progress > 0 {
 		start := time.Now()
-		progressFn = func(t float64, events uint64) {
-			fmt.Fprintf(os.Stderr, "t=%.0fs/%.0fs  events=%d  wall=%.1fs\n",
-				t, *duration, events, time.Since(start).Seconds())
+		progressFn = func(p sim.ProgressInfo) {
+			fmt.Fprintf(os.Stderr, "t=%.0fs/%.0fs  events=%d  epochs=%d  ev/s=%.0f  wall=%.1fs\n",
+				p.T, *duration, p.Events, p.Epochs, p.EventsPerSec, time.Since(start).Seconds())
 		}
+	}
+
+	var profile *simprof.Options
+	if *profOut != "" {
+		f, err := os.Create(*profOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		profile = &simprof.Options{W: f, EveryS: *profS}
 	}
 
 	var scn *scenario.Scenario
@@ -129,6 +143,7 @@ func main() {
 		Shards:            nshards,
 		Progress:          progressFn,
 		ProgressEveryS:    *progress,
+		Profile:           profile,
 		CheckpointPath:    *cpPath,
 		CheckpointEveryS:  *cpEvery,
 	})

@@ -52,11 +52,12 @@ func (h *eventHeap) Pop() any {
 // Sim is a single-threaded discrete-event simulator.
 // The zero value is not usable; call New.
 type Sim struct {
-	now       float64
-	seq       uint64
-	events    eventHeap
-	processed uint64
-	stopped   bool
+	now          float64
+	seq          uint64
+	events       eventHeap
+	processed    uint64
+	processedArg uint64
+	stopped      bool
 
 	// free holds fired events for reuse, so a steady-state simulation
 	// (every fired event schedules a successor) allocates no event
@@ -127,6 +128,12 @@ func (s *Sim) Now() float64 { return s.now }
 
 // Processed reports how many events have fired so far.
 func (s *Sim) Processed() uint64 { return s.processed }
+
+// ProcessedArg reports how many of the fired events were scheduled in the
+// arg-carrying form (AtArg/AfterArg). Message deliveries use that form and
+// timers/closures use the plain one, so the split is a cheap
+// delivery-vs-timer classification for the engine profiler.
+func (s *Sim) ProcessedArg() uint64 { return s.processedArg }
 
 // Pending reports how many events are scheduled but not yet fired.
 func (s *Sim) Pending() int { return len(s.events) }
@@ -204,6 +211,7 @@ func (s *Sim) fire() {
 	fn, fnArg, arg := next.fn, next.fnArg, next.arg
 	s.recycle(next)
 	if fnArg != nil {
+		s.processedArg++
 		fnArg(arg)
 	} else {
 		fn()

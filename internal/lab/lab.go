@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"vdm/internal/geo"
+	"vdm/internal/obs/simprof"
 	"vdm/internal/rng"
 	"vdm/internal/scenario"
 	"vdm/internal/sim"
@@ -106,10 +107,13 @@ type Config struct {
 	// serial engine, S >= 1 the sharded engine with S shards. Results are
 	// byte-identical either way.
 	Shards int
-	// Progress/ProgressEveryS forward to sim.Config for barrier-time
-	// progress reporting (sharded engine only).
-	Progress       func(virtualT float64, events uint64)
+	// Progress/ProgressEveryS forward to sim.Config for periodic
+	// progress reporting (both engines).
+	Progress       func(sim.ProgressInfo)
 	ProgressEveryS float64
+	// Profile forwards to sim.Config.Profile: the simulation flight
+	// recorder's options (nil = off).
+	Profile *simprof.Options
 }
 
 // Result couples the session result with the selection pipeline summary.
@@ -185,6 +189,7 @@ func Run(cfg Config) (*Result, error) {
 		Shards:            cfg.Shards,
 		Progress:          cfg.Progress,
 		ProgressEveryS:    cfg.ProgressEveryS,
+		Profile:           cfg.Profile,
 	})
 	if err != nil {
 		return nil, err

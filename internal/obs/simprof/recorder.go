@@ -1,0 +1,384 @@
+package simprof
+
+import (
+	"io"
+	"runtime"
+	"time"
+
+	"vdm/internal/obs"
+)
+
+// Options configures a Recorder.
+type Options struct {
+	// W receives the JSONL stream. Required: a nil W disables profiling
+	// (sim treats Profile with a nil writer as off).
+	W io.Writer
+	// EveryS is the flush interval in simulated seconds (default 10).
+	EveryS float64
+	// TopK bounds the hot-peer/hot-edge attribution lists (default 10;
+	// negative disables attribution entirely).
+	TopK int
+	// TreeEveryN takes the protocol tree sample every Nth record
+	// (default 1 = every record; negative disables). The sample walks
+	// every live peer, so very large runs with very short intervals can
+	// thin it out.
+	TreeEveryN int
+	// HeapEveryN samples runtime.MemStats every Nth record (default 1;
+	// negative disables).
+	HeapEveryN int
+	// Registry, when set, additionally exports the engine counters
+	// (epochs, barrier waits, cross-shard messages, queue/free depths)
+	// through the obs metrics registry, with standard HELP text.
+	Registry *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.EveryS <= 0 {
+		o.EveryS = 10
+	}
+	if o.TopK == 0 {
+		o.TopK = 10
+	}
+	if o.TreeEveryN == 0 {
+		o.TreeEveryN = 1
+	}
+	if o.HeapEveryN == 0 {
+		o.HeapEveryN = 1
+	}
+	return o
+}
+
+// RunInfo is the run shape the engine hands the recorder for the header
+// record.
+type RunInfo struct {
+	Engine     string // "serial" | "sharded"
+	Shards     int    // 0 for the serial engine
+	Pool       int    // scenario host-slot pool size
+	LookaheadS float64
+	Protocol   string
+	Nodes      int
+	Seed       int64
+	DurationS  float64
+}
+
+// ShardState is one event queue's cumulative state, read by the engine at
+// a flush barrier. The serial engine passes a single entry.
+type ShardState struct {
+	Processed    uint64 // events fired so far
+	ProcessedArg uint64 // arg-form (delivery) events fired so far
+	Queue        int    // pending events
+	Free         int    // recycled events on the free list
+}
+
+// EngineMetrics are the registry-exported engine counters. All methods on
+// the handles are safe for concurrent scrapes; the recorder updates them
+// only at flush barriers.
+type EngineMetrics struct {
+	Epochs        *obs.Counter
+	BarrierWaitMS *obs.Counter
+	BusyMS        *obs.Counter
+	XShardMsgs    *obs.Counter
+	Events        *obs.Counter
+	QueueDepth    *obs.Gauge
+	FreeLen       *obs.Gauge
+}
+
+// RegisterEngineMetrics registers the engine-counter families (with their
+// standard HELP text) on reg and returns the handles.
+func RegisterEngineMetrics(reg *obs.Registry) *EngineMetrics {
+	obs.RegisterSimprofHelp(reg)
+	return &EngineMetrics{
+		Epochs:        reg.Counter("vdm_sim_epochs_total"),
+		BarrierWaitMS: reg.Counter("vdm_sim_barrier_wait_ms_total"),
+		BusyMS:        reg.Counter("vdm_sim_busy_ms_total"),
+		XShardMsgs:    reg.Counter("vdm_sim_xshard_msgs_total"),
+		Events:        reg.Counter("vdm_sim_events_total"),
+		QueueDepth:    reg.Gauge("vdm_sim_eventq_depth"),
+		FreeLen:       reg.Gauge("vdm_sim_eventq_free"),
+	}
+}
+
+// Recorder accumulates engine and protocol telemetry between flush
+// barriers and writes interval records. It is owned by the engine
+// controller: every method except the probes' ObserveSend must be called
+// single-threaded, with shard workers paused.
+type Recorder struct {
+	opts Options
+	info RunInfo
+	w    *Writer
+
+	probes []*Probe
+
+	// Cumulative per-queue readings at the previous flush.
+	prevEvents []uint64
+	prevArg    []uint64
+
+	// Interval accumulators (reset at each flush). busyNS/waitNS cover
+	// only the timing-sampled epochs (timedEpochs of epochs); Flush scales
+	// them up to whole-interval estimates.
+	busyNS      []int64
+	waitNS      []int64
+	epochs      uint64
+	timedEpochs uint64
+	xshard      uint64
+	horizon     Dist
+
+	// Merge buffers for probe draining.
+	msgs  [numKinds]uint64
+	peers []uint64
+	edges map[uint64]uint64
+
+	lastT     float64
+	nextFlush float64
+	lastWall  time.Time
+	recIdx    int
+
+	metrics *EngineMetrics
+}
+
+// NewRecorder builds a recorder for the given run and writes the header
+// record. queues is the number of event queues (shards; 1 for serial).
+func NewRecorder(opts Options, info RunInfo, queues int) *Recorder {
+	opts = opts.withDefaults()
+	r := &Recorder{
+		opts:       opts,
+		info:       info,
+		w:          NewWriter(opts.W),
+		prevEvents: make([]uint64, queues),
+		prevArg:    make([]uint64, queues),
+		busyNS:     make([]int64, queues),
+		waitNS:     make([]int64, queues),
+		peers:      make([]uint64, info.Pool),
+		edges:      make(map[uint64]uint64),
+		nextFlush:  opts.EveryS,
+		lastWall:   time.Now(),
+	}
+	for i := 0; i < queues; i++ {
+		r.probes = append(r.probes, newProbe(info.Pool))
+	}
+	if opts.Registry != nil {
+		r.metrics = RegisterEngineMetrics(opts.Registry)
+	}
+	h := Header{
+		Engine:    info.Engine,
+		Shards:    info.Shards,
+		Pool:      info.Pool,
+		IntervalS: opts.EveryS,
+		Protocol:  info.Protocol,
+		Nodes:     info.Nodes,
+		Seed:      info.Seed,
+		DurationS: info.DurationS,
+	}
+	// Inf (S=1: unbounded lookahead) is not representable in JSON; omit.
+	if la := info.LookaheadS; la > 0 && la < 1e18 {
+		h.LookaheadS = la
+	}
+	r.w.WriteHeader(h)
+	return r
+}
+
+// Probe returns queue i's send tap, to attach via SetSendProbe.
+func (r *Recorder) Probe(i int) *Probe { return r.probes[i] }
+
+// IntervalS reports the resolved flush interval.
+func (r *Recorder) IntervalS() float64 { return r.opts.EveryS }
+
+// NoteEpoch folds one sharded-engine epoch into the current interval:
+// the horizon advance (simulated seconds the round covered), the
+// cross-shard messages exchanged at its barrier — and, on timing-sampled
+// rounds (epochWallNS >= 0), the round's wall time and each shard's busy
+// wall time within it. Shards that had no work this round pass 0 busy and
+// are accounted as waiting the whole round.
+func (r *Recorder) NoteEpoch(advS float64, moved int, epochWallNS int64, busyDeltaNS []int64) {
+	r.epochs++
+	r.xshard += uint64(moved)
+	if advS >= 0 && advS < 1e18 {
+		r.horizon.add(advS * 1000)
+	}
+	if epochWallNS < 0 {
+		return
+	}
+	r.timedEpochs++
+	for i, busy := range busyDeltaNS {
+		r.busyNS[i] += busy
+		if wait := epochWallNS - busy; wait > 0 {
+			r.waitNS[i] += wait
+		}
+	}
+}
+
+// Due reports whether simulated time t has crossed the next flush
+// boundary.
+func (r *Recorder) Due(t float64) bool { return t >= r.nextFlush }
+
+// Flush cuts the interval record ending at simulated time t. states are
+// the cumulative per-queue engine readings; protoFn, when non-nil, is
+// invoked per the TreeEveryN cadence to take the protocol sample.
+func (r *Recorder) Flush(t float64, states []ShardState, protoFn func() Proto) {
+	now := time.Now()
+	rec := Record{
+		T:      t,
+		DT:     t - r.lastT,
+		WallMS: float64(now.Sub(r.lastWall)) / float64(time.Millisecond),
+	}
+
+	// Busy/wait were measured on timedEpochs of the interval's epochs;
+	// scale them to whole-interval estimates.
+	scale := 1.0
+	if r.timedEpochs > 0 && r.timedEpochs < r.epochs {
+		scale = float64(r.epochs) / float64(r.timedEpochs)
+	}
+	var rows []ShardRow
+	for i, st := range states {
+		ev := st.Processed - r.prevEvents[i]
+		rec.Events += ev
+		rec.Deliveries += st.ProcessedArg - r.prevArg[i]
+		rec.Queue += st.Queue
+		rec.Free += st.Free
+		rows = append(rows, ShardRow{
+			Events: ev,
+			Queue:  st.Queue,
+			Free:   st.Free,
+			BusyMS: float64(r.busyNS[i]) * scale / 1e6,
+			WaitMS: float64(r.waitNS[i]) * scale / 1e6,
+		})
+		r.prevEvents[i] = st.Processed
+		r.prevArg[i] = st.ProcessedArg
+		r.busyNS[i], r.waitNS[i] = 0, 0
+	}
+	rec.Timers = rec.Events - rec.Deliveries
+	if wallS := float64(now.Sub(r.lastWall)) / float64(time.Second); wallS > 0 {
+		rec.EventsPerSec = float64(rec.Events) / wallS
+	}
+	if r.info.Shards > 0 {
+		rec.Shards = rows
+		rec.Epochs = r.epochs
+		rec.XShardMsgs = r.xshard
+		if r.horizon.N > 0 {
+			h := r.horizon
+			h.finalize()
+			rec.HorizonAdvMS = &h
+		}
+	}
+
+	if r.opts.HeapEveryN > 0 && r.recIdx%r.opts.HeapEveryN == 0 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		rec.HeapMB = float64(ms.HeapAlloc) / 1e6
+	}
+	if protoFn != nil && r.opts.TreeEveryN > 0 && r.recIdx%r.opts.TreeEveryN == 0 {
+		p := protoFn()
+		rec.Proto = &p
+	}
+
+	for _, p := range r.probes {
+		p.drainInto(&r.msgs, r.peers, r.edges)
+	}
+	mix := make(map[string]uint64)
+	for k, n := range r.msgs {
+		if n != 0 {
+			mix[kindNames[k]] = n
+		}
+		r.msgs[k] = 0
+	}
+	if len(mix) > 0 {
+		rec.Msgs = mix
+	}
+	if r.opts.TopK > 0 {
+		rec.TopPeers = topPeers(r.peers, r.opts.TopK)
+		rec.TopEdges = topEdges(r.edges, r.opts.TopK)
+	}
+	for i := range r.peers {
+		r.peers[i] = 0
+	}
+	clear(r.edges)
+
+	if r.metrics != nil {
+		m := r.metrics
+		m.Events.Add(int64(rec.Events))
+		m.Epochs.Add(int64(r.epochs))
+		m.XShardMsgs.Add(int64(r.xshard))
+		var busy, wait float64
+		for _, row := range rows {
+			busy += row.BusyMS
+			wait += row.WaitMS
+		}
+		m.BusyMS.Add(int64(busy))
+		m.BarrierWaitMS.Add(int64(wait))
+		m.QueueDepth.Set(float64(rec.Queue))
+		m.FreeLen.Set(float64(rec.Free))
+	}
+
+	r.w.WriteRecord(rec)
+	r.epochs, r.timedEpochs, r.xshard, r.horizon = 0, 0, 0, Dist{}
+	r.lastT, r.lastWall = t, now
+	r.recIdx++
+	for r.nextFlush <= t {
+		r.nextFlush += r.opts.EveryS
+	}
+}
+
+// Close flushes the underlying writer and reports the first write error.
+func (r *Recorder) Close() error { return r.w.Flush() }
+
+// topSel selects the K largest (msgs, then lowest id) entries from a
+// stream without materialising or sorting the full candidate set: a
+// bounded insertion list, O(n·K) with K small instead of O(n log n) over
+// every peer/edge the interval touched. Flush-time cost matters — it runs
+// single-threaded on the engine controller.
+type topSel struct {
+	ids  []uint64
+	msgs []uint64
+	k    int
+}
+
+func newTopSel(k int) *topSel {
+	return &topSel{ids: make([]uint64, 0, k), msgs: make([]uint64, 0, k), k: k}
+}
+
+// offer considers one candidate. Ties on msgs keep the lower id, so the
+// selection is deterministic regardless of offer order.
+func (s *topSel) offer(id, msgs uint64) {
+	if n := len(s.msgs); n == s.k {
+		if last := s.msgs[n-1]; msgs < last || (msgs == last && id > s.ids[n-1]) {
+			return
+		}
+		s.ids, s.msgs = s.ids[:n-1], s.msgs[:n-1]
+	}
+	i := len(s.msgs)
+	for i > 0 && (msgs > s.msgs[i-1] || (msgs == s.msgs[i-1] && id < s.ids[i-1])) {
+		i--
+	}
+	s.ids = append(s.ids, 0)
+	s.msgs = append(s.msgs, 0)
+	copy(s.ids[i+1:], s.ids[i:])
+	copy(s.msgs[i+1:], s.msgs[i:])
+	s.ids[i], s.msgs[i] = id, msgs
+}
+
+func topPeers(peers []uint64, k int) []PeerCount {
+	sel := newTopSel(k)
+	for id, n := range peers {
+		if n != 0 {
+			sel.offer(uint64(id), n)
+		}
+	}
+	out := make([]PeerCount, len(sel.ids))
+	for i, id := range sel.ids {
+		out[i] = PeerCount{Peer: int(id), Msgs: sel.msgs[i]}
+	}
+	return out
+}
+
+func topEdges(edges map[uint64]uint64, k int) []EdgeCount {
+	sel := newTopSel(k)
+	for e, n := range edges {
+		sel.offer(e, n)
+	}
+	out := make([]EdgeCount, len(sel.ids))
+	for i, e := range sel.ids {
+		from, to := edgeEndpoints(e)
+		out[i] = EdgeCount{From: from, To: to, Msgs: sel.msgs[i]}
+	}
+	return out
+}

@@ -242,9 +242,9 @@ type Summary struct {
 	MaxDepth int     `json:"max_depth"`
 	AvgDepth float64 `json:"avg_depth"`
 	// DepthCounts[d] is the number of reachable peers at depth d+1.
-	DepthCounts      []int   `json:"depth_counts"`
-	StretchProxyAvg  float64 `json:"stretch_proxy_avg"`
-	StretchProxyMax  float64 `json:"stretch_proxy_max"`
+	DepthCounts     []int   `json:"depth_counts"`
+	StretchProxyAvg float64 `json:"stretch_proxy_avg"`
+	StretchProxyMax float64 `json:"stretch_proxy_max"`
 	// MaxFanout and AvgFanout describe per-peer copy load (children per
 	// forwarding peer) — the overlay-level stress on reporting hosts.
 	MaxFanout int     `json:"max_fanout"`
@@ -439,7 +439,7 @@ func (a *Aggregator) RegisterMetrics(reg *obs.Registry) {
 		for d, n := range s.DepthCounts {
 			samples = append(samples, obs.Sample{
 				Name:   "vdm_tree_depth_peers",
-				Labels: []obs.Label{obs.L("depth", strconv.Itoa(d + 1))},
+				Labels: []obs.Label{obs.L("depth", strconv.Itoa(d+1))},
 				Value:  float64(n),
 			})
 		}

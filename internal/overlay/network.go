@@ -40,6 +40,12 @@ type Network struct {
 	// debugging tap, not part of the protocol.
 	TraceFn func(at float64, from, to NodeID, m Message)
 
+	// probe, when set, observes every send for the engine profiler
+	// (message-mix and hot-peer accounting). Unlike TraceFn it is meant
+	// to stay attached for whole sessions, so implementations must be
+	// cheap: a few counter bumps, no locks, no allocation.
+	probe SendProbe
+
 	// Keyed-draw mode (SetKeyedDraws): loss outcomes and delivery jitter
 	// become pure functions of (seed, edge, per-edge send index) instead
 	// of consuming the shared stream in send order. The sharded engine
@@ -65,6 +71,18 @@ const (
 func edgeKey(from, to NodeID) uint64 {
 	return uint64(uint32(from))<<32 | uint64(uint32(to))
 }
+
+// SendProbe observes every Send on a simulated bus, including sends the
+// network subsequently drops — the profiling tap behind the simulation
+// flight recorder. It runs on the hot path of every message, so
+// implementations must be cheap and, on a sharded bus, are per-shard
+// (never shared across goroutines).
+type SendProbe interface {
+	ObserveSend(from, to NodeID, m Message)
+}
+
+// SetSendProbe attaches (or, with nil, detaches) the profiling tap.
+func (n *Network) SetSendProbe(p SendProbe) { n.probe = p }
 
 // SetKeyedDraws switches loss and jitter decisions to keyed draws under
 // seed. The underlay must implement KeyedJitter for delivery jitter to be
@@ -144,6 +162,9 @@ func (n *Network) Counters() *Counters { return &n.ctrs }
 func (n *Network) Send(from, to NodeID, m Message) bool {
 	if n.TraceFn != nil {
 		n.TraceFn(n.Sim.Now(), from, to, m)
+	}
+	if n.probe != nil {
+		n.probe.ObserveSend(from, to, m)
 	}
 	var draw uint64
 	if n.keyed {

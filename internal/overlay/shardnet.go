@@ -167,7 +167,16 @@ type ShardNet struct {
 	outbox    [][]xdelivery
 	sendIdx   uint64
 	freeDel   *sdelivery
+
+	// probe is this shard's profiling tap (see Network.SetSendProbe).
+	// Each shard owns a private probe, so the hot path needs no locks;
+	// the controller merges them at epoch barriers.
+	probe SendProbe
 }
+
+// SetSendProbe attaches this shard's profiling tap. Call before the
+// shard workers start, or only from the controller at a barrier.
+func (n *ShardNet) SetSendProbe(p SendProbe) { n.probe = p }
 
 var _ Bus = (*ShardNet)(nil)
 
@@ -242,6 +251,9 @@ func (n *ShardNet) Send(from, to NodeID, m Message) bool {
 		r.traceMu.Lock()
 		r.traceFn(n.Sim.Now(), from, to, m)
 		r.traceMu.Unlock()
+	}
+	if n.probe != nil {
+		n.probe.ObserveSend(from, to, m)
 	}
 	k := edgeKey(from, to)
 	draw := n.edgeDraws[k]

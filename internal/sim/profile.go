@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"math"
+	"time"
+
+	"vdm/internal/eventq"
+	"vdm/internal/obs/simprof"
+	"vdm/internal/overlay"
+	"vdm/internal/scenario"
+	"vdm/internal/underlay"
+)
+
+// ProgressInfo is one progress callback's payload.
+type ProgressInfo struct {
+	T            float64 // virtual time reached
+	Events       uint64  // cumulative events fired
+	Epochs       uint64  // cumulative epoch barriers (0 on the serial engine)
+	EventsPerSec float64 // wall-clock event throughput since the previous callback
+}
+
+// progressReporter rate-limits Progress callbacks and computes the
+// wall-clock event throughput between them. A nil reporter is inert.
+type progressReporter struct {
+	fn         func(ProgressInfo)
+	everyS     float64
+	lastT      float64
+	lastWall   time.Time
+	lastEvents uint64
+}
+
+func newProgressReporter(cfg Config) *progressReporter {
+	if cfg.Progress == nil {
+		return nil
+	}
+	return &progressReporter{
+		fn:       cfg.Progress,
+		everyS:   cfg.ProgressEveryS,
+		lastT:    math.Inf(-1),
+		lastWall: time.Now(),
+	}
+}
+
+func (p *progressReporter) report(t float64, events, epochs uint64) {
+	if p == nil || t-p.lastT < p.everyS {
+		return
+	}
+	now := time.Now()
+	var rate float64
+	if d := now.Sub(p.lastWall).Seconds(); d > 0 {
+		rate = float64(events-p.lastEvents) / d
+	}
+	p.fn(ProgressInfo{T: t, Events: events, Epochs: epochs, EventsPerSec: rate})
+	p.lastT, p.lastWall, p.lastEvents = t, now, events
+}
+
+// newSessionRecorder builds the flight recorder for a session, or nil when
+// profiling is off (no Profile options or no destination writer).
+func newSessionRecorder(cfg Config, scn *scenario.Scenario, engine string, shards int, lookaheadS float64, queues int) *simprof.Recorder {
+	if cfg.Profile == nil || cfg.Profile.W == nil {
+		return nil
+	}
+	return simprof.NewRecorder(*cfg.Profile, simprof.RunInfo{
+		Engine:     engine,
+		Shards:     shards,
+		Pool:       scn.PoolSize,
+		LookaheadS: lookaheadS,
+		Protocol:   string(cfg.Protocol),
+		Nodes:      cfg.Nodes,
+		Seed:       cfg.Seed,
+		DurationS:  cfg.DurationS,
+	}, queues)
+}
+
+// queueState snapshots one event queue for a profiler flush.
+func queueState(q *eventq.Sim) simprof.ShardState {
+	return simprof.ShardState{
+		Processed:    q.Processed(),
+		ProcessedArg: q.ProcessedArg(),
+		Queue:        q.Pending(),
+		Free:         q.FreeLen(),
+	}
+}
+
+// protoSample takes the flight recorder's protocol-level sample: live
+// population and attachment, session-cumulative orphan/reconnect counts,
+// and a tree cost/depth pass over the reachable peers (the same memoized
+// depth walk finalTree uses). all may contain nil entries (the sharded
+// engine's preallocated membership roster).
+func protoSample(views []overlay.TreeView, all []*overlay.Peer, u underlay.Underlay) simprof.Proto {
+	var p simprof.Proto
+	p.Alive = len(views)
+
+	byID := make(map[overlay.NodeID]overlay.TreeView, len(views))
+	for _, v := range views {
+		byID[v.ID()] = v
+	}
+	depth := map[overlay.NodeID]int{0: 0}
+	var depthOf func(id overlay.NodeID) int
+	depthOf = func(id overlay.NodeID) int {
+		if d, ok := depth[id]; ok {
+			return d
+		}
+		v, ok := byID[id]
+		if !ok || v.ParentID() == overlay.None {
+			depth[id] = -1
+			return -1
+		}
+		depth[id] = len(views) + 1 // cycle guard while recursing
+		pd := depthOf(v.ParentID())
+		if pd < 0 {
+			depth[id] = -1
+		} else {
+			depth[id] = pd + 1
+		}
+		return depth[id]
+	}
+
+	var depthSum, reachNonSrc int
+	for _, v := range views {
+		if v.IsSource() {
+			p.Reachable++
+			continue
+		}
+		if v.ParentID() == overlay.None {
+			p.Unattached++
+			continue
+		}
+		d := depthOf(v.ID())
+		if d < 0 {
+			continue
+		}
+		p.Reachable++
+		reachNonSrc++
+		depthSum += d
+		if d > p.DepthMax {
+			p.DepthMax = d
+		}
+		p.TreeCostMS += u.BaseRTT(int(v.ID()), int(v.ParentID()))
+	}
+	if reachNonSrc > 0 {
+		p.DepthMean = float64(depthSum) / float64(reachNonSrc)
+	}
+
+	for _, peer := range all {
+		if peer == nil {
+			continue
+		}
+		st := peer.Stats()
+		p.Orphans += st.OrphanCount
+		p.Reconnects += len(st.Reconnects)
+	}
+	return p
+}
+
+// drive runs the serial event loop to the session end. Without profiling
+// or progress reporting it is the single inclusive Run it always was; with
+// either, it steps the queue through interval boundaries — an identical
+// total event order (Run(t1); Run(t2) fires exactly the events one
+// Run(t2) would, in the same sequence), cutting a flight-recorder record
+// and/or a progress callback at each boundary.
+func (s *session) drive(cfg Config, scn *scenario.Scenario) error {
+	rec := newSessionRecorder(cfg, scn, "serial", 0, math.Inf(1), 1)
+	prog := newProgressReporter(cfg)
+	if rec == nil && prog == nil {
+		s.sim.Run(cfg.DurationS)
+		return nil
+	}
+	if rec != nil {
+		s.net.SetSendProbe(rec.Probe(0))
+		defer s.net.SetSendProbe(nil)
+	}
+
+	step := cfg.DurationS
+	if rec != nil {
+		step = rec.IntervalS()
+	}
+	if prog != nil {
+		if prog.everyS > 0 {
+			if prog.everyS < step {
+				step = prog.everyS
+			}
+		} else if step > 1 {
+			step = 1
+		}
+	}
+
+	for t := step; ; t += step {
+		if t > cfg.DurationS {
+			t = cfg.DurationS
+		}
+		s.sim.Run(t)
+		if rec != nil && (rec.Due(t) || t == cfg.DurationS) {
+			rec.Flush(t, []simprof.ShardState{queueState(s.sim)}, func() simprof.Proto {
+				return protoSample(s.views(), s.all, s.u)
+			})
+		}
+		prog.report(t, s.sim.Processed(), 0)
+		if t == cfg.DurationS {
+			break
+		}
+	}
+	if rec != nil {
+		return rec.Close()
+	}
+	return nil
+}
+
+// epochSampleEvery is the flight recorder's epoch-timing sample rate:
+// wall clocks are read on every Nth barrier round and the busy/wait
+// totals scaled back up at flush. The engine runs hundreds of thousands
+// of sub-millisecond epochs per session, so timing each one would cost
+// more than everything it measures; at 1-in-8 the per-interval estimate
+// still averages thousands of sampled rounds.
+const epochSampleEvery = 8
+
+// shardProf couples the flight recorder to the sharded controller: it
+// tracks per-worker cumulative busy-time snapshots between barriers and
+// cuts records at flush barriers. A nil *shardProf is inert, so the
+// controller calls it unconditionally.
+type shardProf struct {
+	rec       *simprof.Recorder
+	prevBusy  []int64
+	busyDelta []int64
+	states    []simprof.ShardState
+	lastT     float64
+	epochIdx  uint64
+}
+
+func newShardProf(rec *simprof.Recorder, shards int) *shardProf {
+	if rec == nil {
+		return nil
+	}
+	return &shardProf{
+		rec:       rec,
+		prevBusy:  make([]int64, shards),
+		busyDelta: make([]int64, shards),
+		states:    make([]simprof.ShardState, shards),
+	}
+}
+
+// beginEpoch decides whether the coming barrier round is timing-sampled
+// and publishes the decision to the workers (via ss.timeEpoch, ordered by
+// the command-channel sends). Nil-safe: off means never sampled.
+func (sp *shardProf) beginEpoch(ss *shardedSession) bool {
+	if sp == nil {
+		return false
+	}
+	timed := sp.epochIdx%epochSampleEvery == 0
+	sp.epochIdx++
+	ss.timeEpoch = timed
+	return timed
+}
+
+// epochWall converts a sampled round's start time into the wall-clock
+// argument noteEpoch expects (negative = round not sampled).
+func epochWall(timed bool, t0 time.Time) int64 {
+	if !timed {
+		return -1
+	}
+	return int64(time.Since(t0))
+}
+
+// noteEpoch folds one barrier round ending at virtual time t. Worker
+// busy-time fields are read after the done-channel handshake, which orders
+// the reads after the workers' writes.
+func (sp *shardProf) noteEpoch(ss *shardedSession, t float64, moved int, wallNS int64) {
+	if sp == nil {
+		return
+	}
+	busy := sp.busyDelta[:0:0]
+	if wallNS >= 0 {
+		for i, w := range ss.workers {
+			sp.busyDelta[i] = w.busyNS - sp.prevBusy[i]
+			sp.prevBusy[i] = w.busyNS
+		}
+		busy = sp.busyDelta
+	}
+	adv := t - sp.lastT
+	if sp.lastT > t {
+		adv = 0
+	}
+	sp.rec.NoteEpoch(adv, moved, wallNS, busy)
+	sp.lastT = t
+}
+
+// maybeFlush cuts a record at virtual time t when one is due (or forced,
+// at the session end).
+func (sp *shardProf) maybeFlush(ss *shardedSession, t float64, force bool) {
+	if sp == nil || (!force && !sp.rec.Due(t)) {
+		return
+	}
+	for i, w := range ss.workers {
+		sp.states[i] = queueState(w.sim)
+	}
+	sp.rec.Flush(t, sp.states, func() simprof.Proto {
+		return protoSample(ss.views(), ss.allByMem, ss.u)
+	})
+}
+
+func (sp *shardProf) close() error {
+	if sp == nil {
+		return nil
+	}
+	return sp.rec.Close()
+}

@@ -37,6 +37,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"vdm/internal/eventq"
 	"vdm/internal/metrics"
@@ -161,6 +162,16 @@ type epochCmd struct {
 type shardWorker struct {
 	sim  *eventq.Sim
 	cmds chan epochCmd
+
+	// timed turns on busy-time accounting for the flight recorder (set
+	// before the worker goroutine starts). busyNS is cumulative wall time
+	// spent executing epoch commands on sampled epochs (the controller
+	// raises timeEpoch on every Nth epoch; clock reads on each of the
+	// engine's very small epochs would dominate the recorder's overhead).
+	// The worker writes busyNS before the done handshake and the
+	// controller reads it after, so no atomics needed.
+	timed  bool
+	busyNS int64
 }
 
 type followupCheck struct {
@@ -194,6 +205,11 @@ type shardedSession struct {
 	samples    []Sample
 	invErrs    []string
 	ctrlEvents uint64 // controller-fired measures + follow-ups, for Processed parity
+
+	// timeEpoch marks the current epoch as timing-sampled. The controller
+	// writes it before dispatching the epoch's commands and workers read
+	// it after receiving them, so the channel send orders the accesses.
+	timeEpoch bool
 }
 
 func runSharded(cfg Config) (*Result, error) {
@@ -279,9 +295,24 @@ func runSharded(cfg Config) (*Result, error) {
 		lookahead = kj.MinOneWayDelayMS() / 1000
 	}
 
+	// Flight recorder: per-shard send probes (lock-free; merged at
+	// barriers) and busy-time accounting on the workers.
+	prof := newShardProf(newSessionRecorder(cfg, scn, "sharded", S, lookahead, S), S)
+	if prof != nil {
+		for i := 0; i < S; i++ {
+			ss.router.Net(i).SetSendProbe(prof.rec.Probe(i))
+		}
+		for _, w := range ss.workers {
+			w.timed = true
+		}
+	}
+
 	ss.startWorkers()
 	defer ss.stopWorkers()
-	if err := ss.controllerLoop(lookahead); err != nil {
+	if err := ss.controllerLoop(lookahead, prof); err != nil {
+		return nil, err
+	}
+	if err := prof.close(); err != nil {
 		return nil, err
 	}
 	return ss.finish()
@@ -321,7 +352,15 @@ func (ss *shardedSession) startWorkers() {
 	for _, w := range ss.workers {
 		go func(w *shardWorker) {
 			for cmd := range w.cmds {
-				ss.done <- runEpochCmd(w.sim, cmd)
+				var err error
+				if w.timed && ss.timeEpoch {
+					t0 := time.Now()
+					err = runEpochCmd(w.sim, cmd)
+					w.busyNS += int64(time.Since(t0))
+				} else {
+					err = runEpochCmd(w.sim, cmd)
+				}
+				ss.done <- err
 			}
 		}(w)
 	}
@@ -382,8 +421,10 @@ func (ss *shardedSession) eventsProcessed() uint64 {
 }
 
 // controllerLoop advances the shard fleet epoch by epoch, stopping at
-// measurement instants, follow-up re-checks and the session end.
-func (ss *shardedSession) controllerLoop(lookahead float64) error {
+// measurement instants, follow-up re-checks and the session end. prof,
+// when non-nil, records engine telemetry at barriers (it never schedules
+// events, so profiled and unprofiled runs fire the identical sequence).
+func (ss *shardedSession) controllerLoop(lookahead float64, prof *shardProf) error {
 	cfg := ss.cfg
 	duration := cfg.DurationS
 
@@ -405,14 +446,11 @@ func (ss *shardedSession) controllerLoop(lookahead float64) error {
 		return err
 	}
 
-	var lastProgress, lastCp float64
-	lastProgress, lastCp = math.Inf(-1), math.Inf(-1)
+	lastCp := math.Inf(-1)
+	prog := newProgressReporter(cfg)
+	var epochs uint64
 	progress := func(t float64) {
-		if cfg.Progress == nil || t-lastProgress < cfg.ProgressEveryS {
-			return
-		}
-		lastProgress = t
-		cfg.Progress(t, ss.eventsProcessed())
+		prog.report(t, ss.eventsProcessed(), epochs)
 	}
 
 	for {
@@ -435,10 +473,20 @@ func (ss *shardedSession) controllerLoop(lookahead float64) error {
 			// Plain epoch: no measurement inside, just advance and
 			// exchange. Every cross-shard delivery sent by an event at
 			// τ ≥ tmin lands at τ + delay ≥ horizon, after the barrier.
+			timedEpoch := prof.beginEpoch(ss)
+			var t0 time.Time
+			if timedEpoch {
+				t0 = time.Now()
+			}
 			if err := ss.phase(cmdBefore, horizon); err != nil {
 				return err
 			}
-			ss.router.Exchange()
+			moved := ss.router.Exchange()
+			epochs++
+			if prof != nil {
+				prof.noteEpoch(ss, horizon, moved, epochWall(timedEpoch, t0))
+				prof.maybeFlush(ss, horizon, false)
+			}
 			progress(horizon)
 			continue
 		}
@@ -446,10 +494,19 @@ func (ss *shardedSession) controllerLoop(lookahead float64) error {
 		// Stop barrier at nextStop: fire everything before it plus its
 		// setup band, then run the controller work for this instant.
 		t := nextStop
+		timedEpoch := prof.beginEpoch(ss)
+		var t0 time.Time
+		if timedEpoch {
+			t0 = time.Now()
+		}
 		if err := ss.phase(cmdBand, t); err != nil {
 			return err
 		}
-		ss.router.Exchange()
+		moved := ss.router.Exchange()
+		epochs++
+		if prof != nil {
+			prof.noteEpoch(ss, t, moved, epochWall(timedEpoch, t0))
+		}
 
 		for mIdx < len(measures) && measures[mIdx] == t {
 			ss.ctrlEvents++
@@ -478,16 +535,28 @@ func (ss *shardedSession) controllerLoop(lookahead float64) error {
 				lastCp = t
 			}
 		}
+		if prof != nil && t < duration {
+			prof.maybeFlush(ss, t, false)
+		}
 		progress(t)
 
 		if t == duration {
 			// The serial Run(duration) is inclusive: runtime events at
 			// exactly the end instant still fire (their sends schedule
 			// deliveries that never run — discard the sharded analogue).
+			timedEpoch = prof.beginEpoch(ss)
+			if timedEpoch {
+				t0 = time.Now()
+			}
 			if err := ss.phase(cmdInclusive, duration); err != nil {
 				return err
 			}
 			ss.router.DiscardOutboxes()
+			epochs++
+			if prof != nil {
+				prof.noteEpoch(ss, duration, 0, epochWall(timedEpoch, t0))
+				prof.maybeFlush(ss, duration, true)
+			}
 			progress(duration)
 			return nil
 		}

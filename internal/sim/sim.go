@@ -21,6 +21,7 @@ import (
 	"vdm/internal/mst"
 	"vdm/internal/nice"
 	"vdm/internal/obs"
+	"vdm/internal/obs/simprof"
 	"vdm/internal/overlay"
 	"vdm/internal/randjoin"
 	"vdm/internal/rng"
@@ -158,11 +159,21 @@ type Config struct {
 	// byte-identical results at every S; see internal/sim/sharded.go.
 	Shards int
 
-	// Progress, when set, receives the virtual time and cumulative event
-	// count at epoch barriers, roughly every ProgressEveryS simulated
-	// seconds (sharded engine only; default 0 disables).
-	Progress       func(virtualT float64, events uint64)
+	// Progress, when set, receives a ProgressInfo roughly every
+	// ProgressEveryS simulated seconds: at epoch barriers on the sharded
+	// engine, at interval boundaries on the serial engine. ProgressEveryS
+	// = 0 reports at every opportunity.
+	Progress       func(ProgressInfo)
 	ProgressEveryS float64
+
+	// Profile, when non-nil with a destination writer, turns on the
+	// simulation flight recorder: a versioned JSONL stream of engine and
+	// protocol telemetry (see internal/obs/simprof), written per fixed
+	// interval of simulated time on the serial engine and per flush
+	// barrier on the sharded engine. Recording is strictly observational:
+	// profiled and unprofiled sessions produce byte-identical Results
+	// (pinned by TestProfiledRunsAreByteIdentical).
+	Profile *simprof.Options
 
 	// CheckpointPath enables checkpoint/resume on the sharded engine:
 	// the session writes a checkpoint there at measurement barriers
@@ -392,7 +403,9 @@ func Run(cfg Config) (*Result, error) {
 		s.sim.At(t, func() { s.measure(t) })
 	}
 
-	s.sim.Run(cfg.DurationS)
+	if err := s.drive(cfg, scn); err != nil {
+		return nil, err
+	}
 	return s.finish(cfg, scn)
 }
 
@@ -750,6 +763,9 @@ func (s *session) finish(cfg Config, scn *scenario.Scenario) (*Result, error) {
 
 	var startups, reconns []float64
 	for _, p := range s.all {
+		if p == nil { // sharded roster: slot never joined
+			continue
+		}
 		st := p.Stats()
 		if p.IsSource() {
 			continue
