@@ -55,16 +55,19 @@ bench-experiments:
 	@echo "wrote BENCH_experiments.json"
 
 # bench-scale sweeps the sharded engine's peers × shards grid up to the
-# 100k-peer scenario plus the chapter-3 session at 100× the paper's
-# population, and archives the scaling curve (BENCH_scale.json: wall
-# clock, peak heap, events/s per cell). Long — tens of minutes; the
-# committed artifact comes from this target on a quiet machine.
+# 100k-peer scenario, plus a single 500k-peer cell at the largest shard
+# count, and archives the scaling curve (BENCH_scale.json: wall clock
+# split join/steady, peak heap, bytes/peer, events/s per cell). The
+# memory gate then holds the 100k+ cells to the 6 KB/peer budget and
+# compares against the committed artifact from the previous quiet-machine
+# run. Long — an hour or more; the committed artifact comes from this
+# target on a quiet machine.
 bench-scale:
 	$(GO) run ./cmd/benchscale -peers 1000,10000,100000 -shards 0,1,2,4 \
-		-duration 300 -join 150 -chapter -v \
-		-profileout BENCH_simprof.jsonl \
+		-xpeers 500000 -duration 300 -join 150 -v \
 		-out BENCH_scale.json -history BENCH_history.jsonl
-	@echo "wrote BENCH_scale.json BENCH_simprof.jsonl"
+	$(GO) run ./cmd/benchgate -scale BENCH_scale.json -maxbpp 6000
+	@echo "wrote BENCH_scale.json"
 
 # bench-scale-profile records the committed flight-recorder artifact: the
 # 10k-peer sharded cell with profiling on. BENCH_simprof.jsonl is the
@@ -76,14 +79,22 @@ bench-scale-profile:
 	$(GO) run ./cmd/vdmprof BENCH_simprof.jsonl
 	@echo "wrote BENCH_simprof.jsonl"
 
-# bench-scale-smoke is the CI variant: a small population swept over
-# serial / S=1 / S=4 in seconds. It still enforces the determinism
-# cross-check (sharded output == serial output) and fails if the pure
-# epoch-machinery overhead at S=1 exceeds 1.5× serial wall clock.
+# bench-scale-smoke is the CI variant: small populations swept over
+# serial / S=1 / S=4 in seconds, written to their own file so the
+# committed full-grid BENCH_scale.json is never overwritten by a smoke
+# run. It enforces the determinism cross-check (sharded output == serial
+# output), fails if the pure epoch-machinery overhead at S=1 exceeds
+# 1.5× serial wall clock, holds the smoke cells to a generous absolute
+# bytes-per-peer ceiling (small cells are fixed-cost-dominated, so the
+# ceiling only catches order-of-magnitude leaks), and re-asserts the
+# committed artifact's 100k/500k cells against the 6 KB/peer budget so a
+# regressed committed report fails CI even without a long re-run.
 bench-scale-smoke:
-	$(GO) run ./cmd/benchscale -peers 500 -shards 0,1,4 -duration 120 -join 60 \
-		-gate 1.5 -out BENCH_scale.json
-	@echo "wrote BENCH_scale.json (smoke)"
+	$(GO) run ./cmd/benchscale -peers 500,1000 -shards 0,1,4 -duration 120 -join 60 \
+		-gate 1.5 -out BENCH_scale_smoke.json
+	$(GO) run ./cmd/benchgate -scale BENCH_scale_smoke.json -maxbpp 120000
+	$(GO) run ./cmd/benchgate -scale BENCH_scale.json -maxbpp 6000
+	@echo "wrote BENCH_scale_smoke.json"
 
 # profile-smoke exercises the whole flight-recorder path in seconds: a
 # short profiled sharded session, then vdmprof rendering the summary

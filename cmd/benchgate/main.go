@@ -10,6 +10,16 @@
 // source's emit loop throttled differently per pass proves nothing and
 // fails as invalid rather than passing silently.
 //
+// With -scale the gate switches to the simulation-scale report written
+// by cmd/benchscale and enforces the memory budget instead: every cell
+// at or above the population floor must stay under the absolute
+// bytes-per-peer cap (-maxbpp), and — when a baseline report is given
+// via -scalebase and was produced by an identically-configured sweep —
+// must not regress more than -bpptol relative to the matching
+// (peers, shards) baseline cell. Peak heap only means anything at equal
+// GC settings, so a baseline with a different GOGC (or sweep shape) is
+// skipped with a note rather than compared.
+//
 // A missing report is a skip, not a failure: fresh checkouts gate on the
 // committed report, while CI regenerates it in the step before this one.
 package main
@@ -52,7 +62,17 @@ func main() {
 	in := flag.String("in", "BENCH_dataplane.json", "benchpump report to gate on")
 	slack := flag.Float64("slack", 0.02, "absolute delivery-ratio noise floor: fail only if batched < baseline - slack")
 	loadTol := flag.Float64("loadtol", 0.2, "max relative offered-load mismatch between passes before the run is invalid")
+	scale := flag.String("scale", "", "gate a benchscale report's memory budget instead of the data plane")
+	scaleBase := flag.String("scalebase", "", "baseline benchscale report for the bytes-per-peer regression check")
+	maxBPP := flag.Float64("maxbpp", 0, "absolute bytes-per-peer cap for cells at/above -bppfloor (0 = no absolute check)")
+	bppTol := flag.Float64("bpptol", 0.10, "max relative bytes-per-peer regression vs the baseline cell")
+	bppFloor := flag.Int("bppfloor", 100_000, "population floor for memory checks; smaller cells are fixed-cost-dominated noise")
 	flag.Parse()
+
+	if *scale != "" {
+		gateScale(*scale, *scaleBase, *maxBPP, *bppTol, *bppFloor)
+		return
+	}
 
 	data, err := os.ReadFile(*in)
 	if err != nil {
@@ -113,6 +133,130 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: OK")
+}
+
+// scaleReport mirrors the cmd/benchscale fields the memory gate reads.
+type scaleReport struct {
+	DurationS       float64 `json:"duration_s"`
+	JoinPhaseS      float64 `json:"join_phase_s"`
+	DataRate        float64 `json:"data_rate"`
+	ChurnPct        float64 `json:"churn_pct"`
+	GOGC            int     `json:"gogc"`
+	IdenticalOutput bool    `json:"identical_output"`
+	Cells           []struct {
+		Peers        int     `json:"peers"`
+		Shards       int     `json:"shards"`
+		PeakHeapMB   float64 `json:"peak_heap_mb"`
+		BytesPerPeer float64 `json:"bytes_per_peer"`
+	} `json:"cells"`
+}
+
+// gateScale enforces the memory budget on a benchscale report: an
+// absolute bytes-per-peer cap, plus a relative regression check against
+// a baseline report when one is comparable (same sweep shape and GOGC).
+func gateScale(path, basePath string, maxBPP, bppTol float64, floor int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchgate: %s missing; nothing to gate (run `make bench-scale` first)\n", path)
+			return
+		}
+		fatal("read %s: %v", path, err)
+	}
+	var r scaleReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		fatal("parse %s: %v", path, err)
+	}
+	if len(r.Cells) == 0 {
+		fatal("%s has no cells; regenerate it", path)
+	}
+
+	failed := false
+	if !r.IdenticalOutput {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL %s recorded a serial/sharded output divergence\n", path)
+		failed = true
+	}
+
+	// Cells under the population floor are dominated by fixed costs
+	// (topology, routing caches) and would read as absurd per-peer
+	// numbers; gate only at scale. A sweep that never reaches the floor
+	// (CI smoke) still gets its largest population gated so -maxbpp
+	// asserts something everywhere.
+	gateAt := 0
+	for _, c := range r.Cells {
+		if c.Peers > gateAt {
+			gateAt = c.Peers
+		}
+	}
+	if gateAt > floor {
+		gateAt = floor
+	}
+	for _, c := range r.Cells {
+		if c.Peers < gateAt {
+			continue
+		}
+		fmt.Printf("benchgate: scale peers=%d shards=%d  %.1f MB peak  %.0f B/peer\n",
+			c.Peers, c.Shards, c.PeakHeapMB, c.BytesPerPeer)
+		if maxBPP > 0 && c.BytesPerPeer > maxBPP {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL peers=%d shards=%d uses %.0f B/peer, over the %.0f B/peer budget\n",
+				c.Peers, c.Shards, c.BytesPerPeer, maxBPP)
+			failed = true
+		}
+	}
+
+	if basePath != "" {
+		failed = gateScaleRegression(&r, basePath, bppTol, gateAt) || failed
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
+
+// gateScaleRegression compares bytes-per-peer against the matching
+// (peers, shards) cells of a baseline report, returning whether any cell
+// regressed beyond tol. Reports produced under different sweep settings
+// are incomparable and skipped with a note.
+func gateScaleRegression(r *scaleReport, basePath string, tol float64, floor int) bool {
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchgate: baseline %s missing; skipping regression check\n", basePath)
+			return false
+		}
+		fatal("read %s: %v", basePath, err)
+	}
+	var base scaleReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal("parse %s: %v", basePath, err)
+	}
+	if base.DurationS != r.DurationS || base.JoinPhaseS != r.JoinPhaseS ||
+		base.DataRate != r.DataRate || base.ChurnPct != r.ChurnPct || base.GOGC != r.GOGC {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline %s ran a different sweep (duration/join/rate/churn/gogc); skipping regression check\n", basePath)
+		return false
+	}
+	type key struct{ peers, shards int }
+	baseBPP := map[key]float64{}
+	for _, c := range base.Cells {
+		baseBPP[key{c.Peers, c.Shards}] = c.BytesPerPeer
+	}
+	failed := false
+	for _, c := range r.Cells {
+		if c.Peers < floor {
+			continue
+		}
+		want, ok := baseBPP[key{c.Peers, c.Shards}]
+		if !ok || want <= 0 {
+			continue
+		}
+		if c.BytesPerPeer > want*(1+tol) {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL peers=%d shards=%d regressed to %.0f B/peer (baseline %.0f, tolerance %.0f%%)\n",
+				c.Peers, c.Shards, c.BytesPerPeer, want, 100*tol)
+			failed = true
+		}
+	}
+	return failed
 }
 
 func relDiff(a, b float64) float64 {

@@ -1,16 +1,21 @@
 // Command benchscale is the simulation-scale harness: it sweeps a
 // peers × shards grid of chapter-3-style sessions through sim.Run and
-// records wall-clock, peak heap, and event throughput per cell —
-// the scaling curve of the sharded discrete-event engine. Cells with
+// records wall-clock (split into join-storm and steady-state shares),
+// peak heap, bytes-per-peer, and event throughput per cell — the
+// scaling curve of the sharded discrete-event engine. Cells with
 // shards=0 run the serial engine, so the grid carries its own baseline
 // and the report includes the S=1 sharding overhead ratio a PR gate can
 // key on (-gate). Serial and sharded cells at the same population are
 // also cross-checked for identical output (the engines' determinism
-// contract), and -chapter appends a chapter-3 experiment re-run at 100×
-// the paper's population (200 → 20,000 peers).
+// contract); -xpeers adds outsized single cells (e.g. 500k peers) at
+// the largest shard count only; and -chapter appends a chapter-3
+// experiment re-run at 100× the paper's population (200 → 20,000
+// peers). The sweep pins GOGC (-gogc, default 50) so peak-heap numbers
+// are reproducible; cmd/benchgate consumes bytes_per_peer as a memory
+// regression gate.
 //
-//	benchscale -peers 1000,10000,100000 -shards 0,1,4 -out BENCH_scale.json
-//	benchscale -peers 500 -shards 0,1,4 -duration 120 -gate 1.5   # CI smoke
+//	benchscale -peers 1000,10000,100000 -shards 0,1,4 -xpeers 500000 -out BENCH_scale.json
+//	benchscale -peers 500,1000 -shards 0,1,4 -duration 120 -gate 1.5  # CI smoke
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -31,12 +37,21 @@ import (
 
 // cell is one measured grid point.
 type cell struct {
-	Peers          int     `json:"peers"`
-	Shards         int     `json:"shards"` // 0 = serial engine
-	WallSec        float64 `json:"wall_sec"`
-	Events         uint64  `json:"events"`
-	EventsPerSec   float64 `json:"events_per_sec"`
-	PeakHeapMB     float64 `json:"peak_heap_mb"`
+	Peers   int     `json:"peers"`
+	Shards  int     `json:"shards"` // 0 = serial engine
+	WallSec float64 `json:"wall_sec"`
+	// JoinWallSec/SteadyWallSec split the wall clock at the instant the
+	// simulated clock crosses the join phase: the join storm is the
+	// allocation- and event-densest part of a session, so the split
+	// shows where scaling work actually lands.
+	JoinWallSec   float64 `json:"join_wall_sec"`
+	SteadyWallSec float64 `json:"steady_wall_sec"`
+	Events        uint64  `json:"events"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	PeakHeapMB    float64 `json:"peak_heap_mb"`
+	// BytesPerPeer is the sampled peak heap divided by the population —
+	// the per-peer memory cost the scale roadmap budgets against.
+	BytesPerPeer   float64 `json:"bytes_per_peer"`
 	FinalAlive     int     `json:"final_alive"`
 	FinalReachable int     `json:"final_reachable"`
 	Loss           float64 `json:"loss"`
@@ -73,6 +88,9 @@ type report struct {
 	JoinPhaseS  float64 `json:"join_phase_s"`
 	DataRate    float64 `json:"data_rate"`
 	ChurnPct    float64 `json:"churn_pct"`
+	// GOGC records the garbage-collector target the sweep ran under
+	// (see -gogc): peak-heap numbers are only comparable at equal GOGC.
+	GOGC int `json:"gogc"`
 
 	Cells []cell `json:"cells"`
 	// IdenticalOutput is true when every sharded cell reproduced its
@@ -95,6 +113,7 @@ type report struct {
 func main() {
 	var (
 		peersList  = flag.String("peers", "1000,10000,100000", "comma-separated overlay populations")
+		xpeersList = flag.String("xpeers", "", "extra populations run only at the largest shard count (big single cells without the full grid cost)")
 		shardsList = flag.String("shards", "0,1,2,4", "comma-separated shard counts (0 = serial engine)")
 		duration   = flag.Float64("duration", 300, "simulated session length (s)")
 		joinS      = flag.Float64("join", 150, "join phase length (s)")
@@ -110,8 +129,16 @@ func main() {
 		profOut    = flag.String("profileout", "", "record the largest grid cell's flight-recorder JSONL here")
 		profS      = flag.Float64("profile", 0, "flight-recorder flush interval in simulated seconds (0 = default 10; needs -profileout)")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep here")
+		gogc       = flag.Int("gogc", 50, "GC target percent for the sweep (0 = leave the runtime default); the memory-lean setting the scale roadmap budgets against")
 	)
 	flag.Parse()
+
+	// Peak heap scales with GOGC (a GOGC=100 peak is roughly 2× the live
+	// set); the sweep pins it so bytes_per_peer is a property of the
+	// simulator, not of whoever ran the harness. Recorded in the report.
+	if *gogc > 0 {
+		debug.SetGCPercent(*gogc)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -132,6 +159,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var xpeers []int
+	if *xpeersList != "" {
+		if xpeers, err = parseInts(*xpeersList); err != nil {
+			fatal(err)
+		}
+	}
 
 	rep := report{
 		Kind:        "scale",
@@ -144,6 +177,7 @@ func main() {
 		JoinPhaseS:  *joinS,
 		DataRate:    *rate,
 		ChurnPct:    *churn,
+		GOGC:        *gogc,
 	}
 
 	baseCfg := func(n, s int) sim.Config {
@@ -196,7 +230,7 @@ func main() {
 				cfg.Profile = &simprof.Options{W: profFile, EveryS: *profS}
 				rep.ProfileOut = *profOut
 			}
-			res, wall, peakMB, err := runCell(cfg)
+			res, wall, joinWall, peakMB, err := runCell(cfg)
 			if profFile != nil {
 				if cerr := profFile.Close(); err == nil && cerr != nil {
 					err = cerr
@@ -209,9 +243,12 @@ func main() {
 				Peers:          n,
 				Shards:         s,
 				WallSec:        wall,
+				JoinWallSec:    joinWall,
+				SteadyWallSec:  wall - joinWall,
 				Events:         res.EventsProcessed,
 				EventsPerSec:   float64(res.EventsProcessed) / wall,
 				PeakHeapMB:     peakMB,
+				BytesPerPeer:   peakMB * 1e6 / float64(n),
 				FinalAlive:     res.FinalAlive,
 				FinalReachable: res.FinalReachable,
 				Loss:           res.Loss,
@@ -231,6 +268,33 @@ func main() {
 		}
 	}
 
+	// Extra populations (-xpeers) run once, at the largest shard count:
+	// the half-million-peer style cells whose point is "does it complete
+	// and at what per-peer cost", not the full engine-comparison grid.
+	for _, n := range xpeers {
+		s := maxInt(shards)
+		fmt.Fprintf(os.Stderr, "cell peers=%d shards=%d (extra)...\n", n, s)
+		res, wall, joinWall, peakMB, err := runCell(baseCfg(n, s))
+		if err != nil {
+			fatal(fmt.Errorf("xpeers=%d shards=%d: %w", n, s, err))
+		}
+		rep.Cells = append(rep.Cells, cell{
+			Peers:          n,
+			Shards:         s,
+			WallSec:        wall,
+			JoinWallSec:    joinWall,
+			SteadyWallSec:  wall - joinWall,
+			Events:         res.EventsProcessed,
+			EventsPerSec:   float64(res.EventsProcessed) / wall,
+			PeakHeapMB:     peakMB,
+			BytesPerPeer:   peakMB * 1e6 / float64(n),
+			FinalAlive:     res.FinalAlive,
+			FinalReachable: res.FinalReachable,
+			Loss:           res.Loss,
+			Stress:         res.Stress,
+		})
+	}
+
 	if *chapter {
 		// Chapter 3 evaluates 200 peers over a 10,000 s session; this is
 		// the same session (vdmsim defaults: 2,000 s join phase, 1 chunk/s,
@@ -244,7 +308,7 @@ func main() {
 			cfg.ProgressEveryS = cfg.DurationS / 20
 		}
 		fmt.Fprintf(os.Stderr, "chapter ch3-100x peers=%d shards=%d...\n", chapterPeers, cfg.Shards)
-		res, wall, peakMB, err := runCell(cfg)
+		res, wall, _, peakMB, err := runCell(cfg)
 		if err != nil {
 			fatal(fmt.Errorf("chapter re-run: %w", err))
 		}
@@ -314,11 +378,11 @@ func main() {
 	}
 }
 
-// runCell executes one configuration and measures wall time plus peak
-// heap, sampled concurrently (ReadMemStats each tick, max HeapAlloc).
-// The GC runs first so the sample floor is this cell's live set, not the
-// previous cell's garbage.
-func runCell(cfg sim.Config) (*sim.Result, float64, float64, error) {
+// runCell executes one configuration and measures wall time, the
+// join-phase share of it, and peak heap, sampled concurrently
+// (ReadMemStats each tick, max HeapAlloc). The GC runs first so the
+// sample floor is this cell's live set, not the previous cell's garbage.
+func runCell(cfg sim.Config) (*sim.Result, float64, float64, float64, error) {
 	runtime.GC()
 	stop := make(chan struct{})
 	peak := make(chan uint64)
@@ -340,13 +404,38 @@ func runCell(cfg sim.Config) (*sim.Result, float64, float64, error) {
 			}
 		}
 	}()
+	// Split the wall clock at the join-phase boundary by piggybacking on
+	// the progress callback; both engines invoke it in simulated-time
+	// order, so the first callback at or past JoinPhaseS marks the storm's
+	// end. Progress granularity does not perturb event order (the engines'
+	// determinism tests run with and without it), only sampling precision.
 	start := time.Now()
+	var joinWall float64
+	if js := cfg.JoinPhaseS; js > 0 {
+		prev, prevEvery := cfg.Progress, cfg.ProgressEveryS
+		if prevEvery <= 0 || prevEvery > js/10 {
+			cfg.ProgressEveryS = js / 10
+		}
+		crossed := false
+		lastPrev := -prevEvery // first callback always passes through
+		cfg.Progress = func(p sim.ProgressInfo) {
+			if !crossed && p.T >= js {
+				crossed = true
+				joinWall = time.Since(start).Seconds()
+			}
+			// Keep the caller's callback at its own, coarser cadence.
+			if prev != nil && p.T-lastPrev >= prevEvery {
+				lastPrev = p.T
+				prev(p)
+			}
+		}
+	}
 	res, err := sim.Run(cfg)
 	wall := time.Since(start).Seconds()
 	close(stop)
 	peakB := <-peak
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	// A very fast cell can finish between ticks; floor at the live heap.
 	var ms runtime.MemStats
@@ -354,7 +443,7 @@ func runCell(cfg sim.Config) (*sim.Result, float64, float64, error) {
 	if ms.HeapAlloc > peakB {
 		peakB = ms.HeapAlloc
 	}
-	return res, wall, float64(peakB) / 1e6, nil
+	return res, wall, joinWall, float64(peakB) / 1e6, nil
 }
 
 // sameOutput cross-checks the determinism contract on the metrics the

@@ -75,6 +75,95 @@ type joinState struct {
 	case2buf []overlay.NodeID
 }
 
+// joinTimer carries one join timeout (info or conn stage) through an
+// ArgBus timer. Records are free-listed on the node, so the thousands of
+// timeouts a join storm schedules reuse a handful of structs instead of
+// allocating a closure each.
+type joinTimer struct {
+	n     *Node
+	js    *joinState
+	tok   int
+	stage stage
+	next  *joinTimer
+}
+
+// joinTimerFire is the shared timeout callback (arg: *joinTimer). The
+// token fences off stale timers exactly as the captured token did in the
+// closure form: tokens are node-monotonic and never reused, so a recycled
+// joinState pointer cannot satisfy a stale record's check.
+func joinTimerFire(a any) {
+	t := a.(*joinTimer)
+	n, js, tok, st := t.n, t.js, t.tok, t.stage
+	t.js = nil
+	// Recycle only while a join is in flight: a settled node would
+	// otherwise re-pin every straggler record (stage timeouts outlive
+	// the stages they guard) for the rest of the run.
+	if n.join != nil {
+		t.next = n.timerFree
+		n.timerFree = t
+	}
+	if n.join != js || js.token != tok || js.stage != st {
+		return
+	}
+	joinTimeoutExpired(n, js, st)
+}
+
+// armTimeout schedules the stage timeout for the current attempt,
+// preferring the bus's arg-carrying timer when available.
+func (n *Node) armTimeout(js *joinState, d float64) {
+	if n.argBus == nil {
+		tok, st := js.token, js.stage
+		n.Net().After(d, func() {
+			if n.join == js && js.stage == st && js.token == tok {
+				joinTimeoutExpired(n, js, st)
+			}
+		})
+		return
+	}
+	t := n.timerFree
+	if t == nil {
+		t = &joinTimer{n: n}
+	} else {
+		n.timerFree = t.next
+		t.next = nil
+	}
+	t.js = js
+	t.tok = js.token
+	t.stage = js.stage
+	n.argBus.AfterArg(d, joinTimerFire, t)
+}
+
+// joinTimeoutExpired is the closure-path body of a fired stage timeout
+// (the guard already passed).
+func joinTimeoutExpired(n *Node, js *joinState, st stage) {
+	switch st {
+	case stageInfo:
+		n.onTargetUnusable(js)
+	case stageConn:
+		if js.purpose == purposeRefine {
+			n.EndSwitch()
+			n.endJoin(js)
+			n.fosterRetry()
+			return
+		}
+		n.restart(js)
+	}
+}
+
+// releaseJoinScratch drops the recycled join attempt, timer records, and
+// probe sessions once the node has settled: a population that joined in
+// one storm would otherwise pin a full set of join scratch per peer for
+// the rest of the run. The next join (churn reconnect, refinement) simply
+// reallocates.
+func (n *Node) releaseJoinScratch() {
+	if n.join != nil {
+		return
+	}
+	n.joinFree = nil
+	n.timerFree = nil
+	n.Prober().Trim()
+}
+
 // newJoinState returns a blank attempt state, reusing the previous
 // attempt's allocations when possible. A node runs at most one join
 // procedure at a time, so a one-slot free list suffices; stale closures
@@ -142,12 +231,7 @@ func (n *Node) sendInfo(js *joinState, target overlay.NodeID) {
 	n.emit(obs.EvJoinStep, obs.Event{Target: int64(target), Step: len(js.visited), Detail: js.purpose.String()})
 	n.Net().Send(n.ID(), target, overlay.InfoRequest{Token: js.token, JoinID: n.curJoin})
 
-	tok := js.token
-	n.Net().After(n.InfoTimeoutS, func() {
-		if n.join == js && js.stage == stageInfo && js.token == tok {
-			n.onTargetUnusable(js)
-		}
-	})
+	n.armTimeout(js, n.InfoTimeoutS)
 }
 
 // onTargetUnusable handles a dead or disconnected query target: an orphan
@@ -283,18 +367,7 @@ func (n *Node) connect(js *joinState, to overlay.NodeID, kind overlay.ConnKind, 
 		JoinID: n.curJoin,
 	})
 
-	tok := js.token
-	n.Net().After(n.ConnTimeoutS, func() {
-		if n.join == js && js.stage == stageConn && js.token == tok {
-			if js.purpose == purposeRefine {
-				n.EndSwitch()
-				n.endJoin(js)
-				n.fosterRetry()
-				return
-			}
-			n.restart(js)
-		}
-	})
+	n.armTimeout(js, n.ConnTimeoutS)
 }
 
 func (n *Node) distTo(js *joinState, to overlay.NodeID) float64 {
@@ -330,6 +403,7 @@ func (n *Node) onConnResponse(from overlay.NodeID, m overlay.ConnResponse) {
 			n.endJoin(js)
 			n.fostered = false // promoted or moved to a proper slot
 			n.emit(obs.EvRefineSwitch, obs.Event{Target: int64(from), Value: dist})
+			n.releaseJoinScratch()
 			return
 		}
 		n.ApplyConnect(from, dist, m.RootPath)
@@ -354,6 +428,9 @@ func (n *Node) onConnResponse(from overlay.NodeID, m overlay.ConnResponse) {
 			n.begin(purposeRefine, n.Source())
 		}
 		n.maybeScheduleRefine()
+		// A foster quick-start started a refinement above; the guard in
+		// releaseJoinScratch keeps its scratch alive in that case.
+		n.releaseJoinScratch()
 		return
 	}
 

@@ -57,9 +57,18 @@ type Node struct {
 	token  int
 	tracer *obs.Tracer
 
+	// argBus is the bus's arg-carrying timer capability, when present
+	// (simulator buses). Join timeouts and the refine ticker schedule
+	// through it as recycled records instead of fresh closures, so a
+	// join storm's timer traffic stops churning the heap.
+	argBus overlay.ArgBus
+
 	// joinFree recycles the previous attempt's joinState (maps and
 	// scratch slices included); see newJoinState.
 	joinFree *joinState
+
+	// timerFree recycles join timeout records for argBus scheduling.
+	timerFree *joinTimer
 
 	// joinSeq counts join procedures started by this node; curJoin is the
 	// correlation id of the current (or most recent) procedure, stamped
@@ -162,6 +171,7 @@ func New(net overlay.Bus, pc overlay.PeerConfig, cfg Config, rnd *rng.Stream) *N
 		cfg:  cfg.withDefaults(),
 		rnd:  rnd,
 	}
+	n.argBus, _ = net.(overlay.ArgBus)
 	n.Peer.SetHooks(n)
 	return n
 }
@@ -235,14 +245,22 @@ func (n *Node) scheduleRefine() {
 	if n.rnd != nil {
 		period *= n.rnd.Uniform(0.9, 1.1)
 	}
-	n.Net().After(period, func() {
-		if !n.Alive() {
-			return
-		}
-		if n.Connected() && n.join == nil && !n.Switching() {
-			n.nextJoinID()
-			n.begin(purposeRefine, n.Source())
-		}
-		n.scheduleRefine()
-	})
+	if n.argBus != nil {
+		n.argBus.AfterArg(period, refineTick, n)
+		return
+	}
+	n.Net().After(period, func() { refineTick(n) })
+}
+
+// refineTick is the shared refinement-timer callback (arg: *Node).
+func refineTick(a any) {
+	n := a.(*Node)
+	if !n.Alive() {
+		return
+	}
+	if n.Connected() && n.join == nil && !n.Switching() {
+		n.nextJoinID()
+		n.begin(purposeRefine, n.Source())
+	}
+	n.scheduleRefine()
 }

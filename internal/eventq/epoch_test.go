@@ -89,8 +89,8 @@ func TestFreeListShrinksAfterSpike(t *testing.T) {
 		s.At(float64(i), func() {})
 	}
 	s.Drain()
-	if got := s.FreeLen(); got > freeSlack {
-		t.Fatalf("free list holds %d events after the spike drained, want ≤ %d", got, freeSlack)
+	if got := s.FreeLen(); got > DefaultFreeSlack {
+		t.Fatalf("free list holds %d events after the spike drained, want ≤ %d", got, DefaultFreeSlack)
 	}
 
 	// Steady state afterwards still reuses events rather than allocating:
@@ -105,7 +105,7 @@ func TestFreeListShrinksAfterSpike(t *testing.T) {
 	}
 	s.After(1, tick)
 	s.Drain()
-	if got := s.FreeLen(); got > freeSlack {
-		t.Fatalf("free list grew to %d in steady state, want ≤ %d", got, freeSlack)
+	if got := s.FreeLen(); got > DefaultFreeSlack {
+		t.Fatalf("free list grew to %d in steady state, want ≤ %d", got, DefaultFreeSlack)
 	}
 }

@@ -22,6 +22,7 @@ type event struct {
 	fn    func()
 	fnArg func(any)
 	arg   any
+	timer bool   // arg-form event that is a timer, not a delivery
 	next  *event // free-list link while recycled
 }
 
@@ -66,13 +67,23 @@ type Sim struct {
 	// of the run.
 	free    *event
 	freeLen int
+
+	// freeSlack overrides DefaultFreeSlack when positive (SetFreeSlack).
+	freeSlack int
 }
 
-// freeSlack is how many recycled events the free list may hold beyond the
-// current pending count before trimming releases the excess to the GC. A
-// small cushion avoids alloc/free churn when load oscillates; anything
-// beyond it is spike residue.
-const freeSlack = 256
+// DefaultFreeSlack is how many recycled events the free list may hold
+// beyond the current pending count before trimming releases the excess to
+// the GC. A small cushion avoids alloc/free churn when load oscillates;
+// anything beyond it is spike residue — which matters after a join storm,
+// when the pending count collapses from its burst peak.
+const DefaultFreeSlack = 256
+
+// SetFreeSlack tunes the free-list decay cap (n <= 0 restores the
+// default). Large-population sessions set a tighter cap than the default
+// once their join phase drains, so burst residue is returned to the GC
+// instead of being pinned for the steady-state remainder of the run.
+func (s *Sim) SetFreeSlack(n int) { s.freeSlack = n }
 
 // trimInterval is how often (in processed events) the run loops check the
 // free list, as a power-of-two mask.
@@ -82,7 +93,11 @@ const trimInterval = 4096 - 1
 // slack cushion. Without this, a burst that grows the heap to N pins ~N
 // recycled event structs for the rest of the run.
 func (s *Sim) trimFree() {
-	limit := len(s.events) + freeSlack
+	slack := s.freeSlack
+	if slack <= 0 {
+		slack = DefaultFreeSlack
+	}
+	limit := len(s.events) + slack
 	for s.freeLen > limit {
 		e := s.free
 		s.free = e.next
@@ -112,7 +127,7 @@ func (s *Sim) alloc(at float64, fn func()) *event {
 // recycle puts a fired event on the free list. The callback and argument
 // are dropped immediately so recycled events never pin their captures.
 func (s *Sim) recycle(e *event) {
-	e.fn, e.fnArg, e.arg = nil, nil, nil
+	e.fn, e.fnArg, e.arg, e.timer = nil, nil, nil, false
 	e.next = s.free
 	s.free = e
 	s.freeLen++
@@ -176,6 +191,28 @@ func (s *Sim) AfterArg(d float64, fn func(any), arg any) {
 	s.AtArg(s.now+d, fn, arg)
 }
 
+// AtTimer schedules fn(arg) at absolute time t like AtArg, but keeps the
+// event out of the ProcessedArg (delivery) count: it is a timer that
+// merely uses the allocation-free arg-carrying form. Protocol timeouts
+// and periodic ticks use this so the engine profiler's delivery-vs-timer
+// split stays truthful.
+func (s *Sim) AtTimer(t float64, fn func(any), arg any) {
+	if t < s.now {
+		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", t, s.now))
+	}
+	e := s.alloc(t, nil)
+	e.fnArg, e.arg, e.timer = fn, arg, true
+	heap.Push(&s.events, e)
+}
+
+// AfterTimer schedules fn(arg) d seconds from now (see AtTimer).
+func (s *Sim) AfterTimer(d float64, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.AtTimer(s.now+d, fn, arg)
+}
+
 // Stop aborts a Run in progress after the current event returns.
 func (s *Sim) Stop() { s.stopped = true }
 
@@ -208,10 +245,12 @@ func (s *Sim) fire() {
 	if s.processed&trimInterval == 0 {
 		s.trimFree()
 	}
-	fn, fnArg, arg := next.fn, next.fnArg, next.arg
+	fn, fnArg, arg, timer := next.fn, next.fnArg, next.arg, next.timer
 	s.recycle(next)
 	if fnArg != nil {
-		s.processedArg++
+		if !timer {
+			s.processedArg++
+		}
 		fnArg(arg)
 	} else {
 		fn()

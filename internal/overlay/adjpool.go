@@ -1,0 +1,213 @@
+package overlay
+
+// AdjPool is a shared slab for the small (id, distance) sets every peer
+// keeps: children and fosters. Per-peer Go maps cost ~300 bytes each
+// even when empty — two per peer across 100k peers is real memory — and
+// scatter entries across the heap. The pool instead stores entries in
+// fixed-size chunks inside one growable slab, linked by int32 indices,
+// so a peer's set is a 8-byte handle (head index + count) and the
+// whole population's adjacency lives in a few contiguous allocations
+// the GC scans without chasing pointers.
+//
+// Layout: each chunk holds up to adjChunkCap entries (struct-of-arrays
+// inside the chunk) plus a link to the peer's next chunk. Freed chunks
+// go on an intrusive free list and are reused, so steady-state churn
+// (children joining and leaving) allocates nothing — pinned by
+// TestAdjPoolSteadyStateAllocs.
+//
+// Determinism: iteration order is insertion order, which is itself a
+// deterministic function of the event sequence — unlike Go map ranges,
+// which are intentionally randomized. Callers that need a canonical
+// order (snapshots, fanout) sort ids exactly as they did over maps, so
+// swapping maps for the pool cannot change simulation output.
+//
+// Concurrency: a pool is confined to one Bus's execution context (the
+// serial event loop, one shard's loop, or one live peer's mailbox);
+// there is no locking.
+type AdjPool struct {
+	chunks []adjChunk
+	free   int32 // head of free-chunk list, 0 if empty
+	inUse  int32 // chunks currently owned by sets (for tests/stats)
+}
+
+// adjChunkCap is the entries-per-chunk capacity. Tree fanout under the
+// default degree budgets is small (most peers have ≤4 children), so one
+// chunk covers the common case; deep-fanout peers chain a few.
+const adjChunkCap = 4
+
+// Chunk index 0 is reserved at first use and never handed out, so 0 is
+// the null index everywhere — set heads, chain links, and the free list —
+// and the zero AdjSet/AdjPool values are ready to use.
+
+type adjChunk struct {
+	ids  [adjChunkCap]NodeID
+	dist [adjChunkCap]float64
+	n    int32
+	next int32
+}
+
+// AdjSet is one peer's handle into the pool: a chunk-list head plus the
+// total entry count. The zero value is an empty set.
+type AdjSet struct {
+	head  int32
+	count int32
+}
+
+// alloc returns a cleared chunk index.
+func (p *AdjPool) alloc() int32 {
+	p.inUse++
+	if p.free != 0 {
+		i := p.free
+		c := &p.chunks[i]
+		p.free = c.next
+		c.n = 0
+		c.next = 0
+		return i
+	}
+	if len(p.chunks) == 0 {
+		// Reserve index 0 so the zero AdjSet{head: 0} cannot alias a
+		// live chunk.
+		p.chunks = append(p.chunks, adjChunk{})
+	}
+	p.chunks = append(p.chunks, adjChunk{})
+	return int32(len(p.chunks) - 1)
+}
+
+// release pushes chunk i onto the free list.
+func (p *AdjPool) release(i int32) {
+	p.chunks[i] = adjChunk{next: p.free}
+	p.free = i
+	p.inUse--
+}
+
+// Len returns the number of entries in s.
+func (p *AdjPool) Len(s *AdjSet) int { return int(s.count) }
+
+// Get returns the distance stored for id and whether it is present.
+func (p *AdjPool) Get(s *AdjSet, id NodeID) (float64, bool) {
+	for i := s.head; i > 0; {
+		c := &p.chunks[i]
+		for j := int32(0); j < c.n; j++ {
+			if c.ids[j] == id {
+				return c.dist[j], true
+			}
+		}
+		i = c.next
+	}
+	return 0, false
+}
+
+// Has reports whether id is present.
+func (p *AdjPool) Has(s *AdjSet, id NodeID) bool {
+	_, ok := p.Get(s, id)
+	return ok
+}
+
+// Put inserts or updates id's distance.
+func (p *AdjPool) Put(s *AdjSet, id NodeID, dist float64) {
+	last := int32(0)
+	for i := s.head; i > 0; {
+		c := &p.chunks[i]
+		for j := int32(0); j < c.n; j++ {
+			if c.ids[j] == id {
+				c.dist[j] = dist
+				return
+			}
+		}
+		last = i
+		i = c.next
+	}
+	// Append: into the tail chunk if it has room, else a fresh chunk.
+	if last != 0 && p.chunks[last].n < adjChunkCap {
+		c := &p.chunks[last]
+		c.ids[c.n] = id
+		c.dist[c.n] = dist
+		c.n++
+		s.count++
+		return
+	}
+	ni := p.alloc()
+	c := &p.chunks[ni]
+	c.ids[0] = id
+	c.dist[0] = dist
+	c.n = 1
+	if last == 0 {
+		s.head = ni
+	} else {
+		p.chunks[last].next = ni
+	}
+	s.count++
+}
+
+// Delete removes id if present, reporting whether it was. The last entry
+// of the set's tail chunk backfills the hole, so chunks stay dense and
+// an emptied tail chunk returns to the free list.
+func (p *AdjPool) Delete(s *AdjSet, id NodeID) bool {
+	for i := s.head; i > 0; {
+		c := &p.chunks[i]
+		for j := int32(0); j < c.n; j++ {
+			if c.ids[j] != id {
+				continue
+			}
+			// Find the tail chunk and its owner link.
+			lastIdx, prev := s.head, int32(0)
+			for p.chunks[lastIdx].next > 0 {
+				prev = lastIdx
+				lastIdx = p.chunks[lastIdx].next
+			}
+			lc := &p.chunks[lastIdx]
+			c.ids[j] = lc.ids[lc.n-1]
+			c.dist[j] = lc.dist[lc.n-1]
+			lc.n--
+			if lc.n == 0 {
+				if prev == 0 {
+					s.head = 0
+				} else {
+					p.chunks[prev].next = 0
+				}
+				p.release(lastIdx)
+			}
+			s.count--
+			return true
+		}
+		i = c.next
+	}
+	return false
+}
+
+// Clear empties the set, returning all its chunks to the free list.
+func (p *AdjPool) Clear(s *AdjSet) {
+	for i := s.head; i > 0; {
+		next := p.chunks[i].next
+		p.release(i)
+		i = next
+	}
+	s.head = 0
+	s.count = 0
+}
+
+// Each calls fn for every entry in insertion order.
+func (p *AdjPool) Each(s *AdjSet, fn func(id NodeID, dist float64)) {
+	for i := s.head; i > 0; {
+		c := &p.chunks[i]
+		for j := int32(0); j < c.n; j++ {
+			fn(c.ids[j], c.dist[j])
+		}
+		i = c.next
+	}
+}
+
+// AppendIDs appends the set's ids to dst (insertion order) and returns
+// it — the zero-alloc snapshot primitive callers sort when they need a
+// canonical order.
+func (p *AdjPool) AppendIDs(s *AdjSet, dst []NodeID) []NodeID {
+	for i := s.head; i > 0; {
+		c := &p.chunks[i]
+		dst = append(dst, c.ids[:c.n]...)
+		i = c.next
+	}
+	return dst
+}
+
+// ChunksInUse returns the number of live chunks (test/stats hook).
+func (p *AdjPool) ChunksInUse() int { return int(p.inUse) }

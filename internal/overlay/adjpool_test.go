@@ -1,0 +1,83 @@
+package overlay
+
+import (
+	"testing"
+)
+
+// TestAdjPoolBasics exercises the chunk-chained set through grow, update,
+// backfill-delete and clear, checking contents and insertion order.
+func TestAdjPoolBasics(t *testing.T) {
+	var p AdjPool
+	var s AdjSet
+
+	// Fill past one chunk so the set chains.
+	const n = adjChunkCap*2 + 1
+	for i := 1; i <= n; i++ {
+		p.Put(&s, NodeID(i), float64(i))
+	}
+	if p.Len(&s) != n {
+		t.Fatalf("Len = %d, want %d", p.Len(&s), n)
+	}
+	if d, ok := p.Get(&s, NodeID(5)); !ok || d != 5 {
+		t.Fatalf("Get(5) = %v,%v", d, ok)
+	}
+	p.Put(&s, NodeID(5), 50) // update must not grow
+	if d, _ := p.Get(&s, NodeID(5)); d != 50 {
+		t.Fatalf("update lost: Get(5) = %v", d)
+	}
+	if p.Len(&s) != n {
+		t.Fatalf("update changed Len to %d", p.Len(&s))
+	}
+
+	// Insertion order survives a mid-set delete except for the backfilled
+	// hole, and the count tracks.
+	if !p.Delete(&s, NodeID(2)) || p.Delete(&s, NodeID(2)) {
+		t.Fatal("Delete(2) should succeed exactly once")
+	}
+	got := p.AppendIDs(&s, nil)
+	if len(got) != n-1 {
+		t.Fatalf("after delete: %d ids, want %d", len(got), n-1)
+	}
+	seen := map[NodeID]bool{}
+	for _, id := range got {
+		seen[id] = true
+	}
+	for i := 1; i <= n; i++ {
+		if want := i != 2; seen[NodeID(i)] != want {
+			t.Fatalf("after delete: presence of %d = %v, want %v", i, seen[NodeID(i)], want)
+		}
+	}
+
+	p.Clear(&s)
+	if p.Len(&s) != 0 || p.ChunksInUse() != 0 {
+		t.Fatalf("after Clear: len=%d inUse=%d", p.Len(&s), p.ChunksInUse())
+	}
+}
+
+// TestAdjPoolSteadyStateAllocs pins the promise in the AdjPool doc
+// comment: once the slab has grown to cover the working set, churn —
+// children joining and leaving — allocates nothing. This is what makes
+// the pool's handle-per-peer layout cheaper than maps not just in bytes
+// but in GC pressure at 100k-peer scale.
+func TestAdjPoolSteadyStateAllocs(t *testing.T) {
+	var p AdjPool
+	sets := make([]AdjSet, 8)
+
+	churn := func() {
+		for si := range sets {
+			s := &sets[si]
+			for i := 1; i <= adjChunkCap*3; i++ {
+				p.Put(s, NodeID(si*100+i), float64(i))
+			}
+			for i := 1; i <= adjChunkCap*2; i++ {
+				p.Delete(s, NodeID(si*100+i))
+			}
+			p.Clear(s)
+		}
+	}
+	churn() // warm: grow the slab to steady-state size
+
+	if allocs := testing.AllocsPerRun(100, churn); allocs != 0 {
+		t.Fatalf("steady-state churn allocates %.1f times per cycle, want 0", allocs)
+	}
+}

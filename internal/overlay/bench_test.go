@@ -33,7 +33,7 @@ func fanoutFixture(k int) (*eventq.Sim, *Network, *Peer, []*Peer) {
 		p.SetHooks(nopHooks{})
 		net.Register(NodeID(i), p)
 		p.ApplyConnect(0, 20, []NodeID{})
-		src.children[NodeID(i)] = 20
+		src.PutChild(NodeID(i), 20)
 		leaves = append(leaves, p)
 	}
 	return sim, net, src, leaves

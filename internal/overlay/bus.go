@@ -53,3 +53,16 @@ type FanoutBus interface {
 type DepthBus interface {
 	DataQueueDepth(to NodeID) int
 }
+
+// ArgBus is an optional Bus capability: schedule a timer as a shared
+// callback plus argument instead of a fresh closure. The simulator's
+// event queues recycle arg-carrying events through a free list, so
+// protocol timers scheduled this way allocate nothing in steady state —
+// which matters during join storms, when hundreds of thousands of
+// timeout timers are scheduled per virtual second. Buses without the
+// capability (the live runtime) take the closure path; callers must
+// treat AfterArg(d, fn, arg) as semantically identical to
+// After(d, func() { fn(arg) }).
+type ArgBus interface {
+	AfterArg(d float64, fn func(any), arg any)
+}

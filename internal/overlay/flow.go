@@ -223,11 +223,7 @@ func (f *flowState) tickLater() {
 func (f *flowState) run(now float64) {
 	p := f.p
 	for id, cf := range f.children {
-		if _, ok := p.children[id]; ok {
-			f.drain(id, cf, now)
-			continue
-		}
-		if _, ok := p.fosters[id]; ok {
+		if p.pool.Has(&p.children, id) || p.pool.Has(&p.fosters, id) {
 			f.drain(id, cf, now)
 			continue
 		}
@@ -312,8 +308,8 @@ func (f *flowState) noteSent(cf *childFlow, m Message) {
 // failure (mirroring forwardChunk). Reports whether the child survives.
 func (f *flowState) sendOne(c NodeID, cf *childFlow, m Message) bool {
 	if !f.p.net.Send(f.p.id, c, m) {
-		delete(f.p.children, c)
-		delete(f.p.fosters, c)
+		f.p.pool.Delete(&f.p.children, c)
+		f.p.pool.Delete(&f.p.fosters, c)
 		delete(f.children, c)
 		return false
 	}
@@ -330,15 +326,15 @@ func (f *flowState) forward(m Message) {
 	now := p.net.Now()
 	seq, isChunk := seqOf(m)
 	ids := f.sendIDs[:0]
-	for c := range p.children {
+	p.pool.Each(&p.children, func(c NodeID, _ float64) {
 		ids = f.routeOne(c, m, seq, isChunk, now, ids)
-	}
-	for c := range p.fosters {
-		if _, dup := p.children[c]; dup {
-			continue
+	})
+	p.pool.Each(&p.fosters, func(c NodeID, _ float64) {
+		if p.pool.Has(&p.children, c) {
+			return
 		}
 		ids = f.routeOne(c, m, seq, isChunk, now, ids)
-	}
+	})
 	f.sendIDs = ids[:0]
 	if len(ids) == 0 {
 		return
@@ -348,8 +344,8 @@ func (f *flowState) forward(m Message) {
 		failed := make(map[NodeID]bool, len(p.fanoutFail))
 		for _, c := range p.fanoutFail {
 			failed[c] = true
-			delete(p.children, c)
-			delete(p.fosters, c)
+			p.pool.Delete(&p.children, c)
+			p.pool.Delete(&p.fosters, c)
 			delete(f.children, c)
 		}
 		for _, c := range ids {

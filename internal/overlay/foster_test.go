@@ -45,8 +45,8 @@ func TestFosterExcludedFromInfoResponse(t *testing.T) {
 	s := r.addPeer(0, 2, true)
 	r.addPeer(1, 2, false)
 	w := r.addPeer(3, 2, false)
-	s.Peer.children[2] = 10
-	s.Peer.fosters[1] = 15
+	s.Peer.PutChild(2, 10)
+	s.Peer.PutFoster(1, 15)
 
 	r.net.Send(3, 0, InfoRequest{Token: 9})
 	r.sim.Run(1)
@@ -71,7 +71,7 @@ func TestFosterReceivesDataAndPathUpdates(t *testing.T) {
 	r := newRig(t, uniformRTT(3, 20))
 	s := r.addPeer(0, 1, true)
 	f := r.addPeer(1, 1, false)
-	s.Peer.fosters[1] = 20
+	s.Peer.PutFoster(1, 20)
 	f.ApplyConnect(0, 20, []NodeID{})
 
 	s.EmitChunk(0)
@@ -92,8 +92,8 @@ func TestFosterPromotionNeedsFreeDegree(t *testing.T) {
 	s := r.addPeer(0, 1, true)
 	r.addPeer(1, 1, false)
 	f := r.addPeer(2, 1, false)
-	s.Peer.children[1] = 20
-	s.Peer.fosters[2] = 20
+	s.Peer.PutChild(1, 20)
+	s.Peer.PutFoster(2, 20)
 
 	// Full: promotion refused, foster slot kept.
 	r.net.Send(2, 0, ConnRequest{Token: 5, Kind: ConnChild, Dist: 20})
@@ -108,7 +108,7 @@ func TestFosterPromotionNeedsFreeDegree(t *testing.T) {
 	}
 
 	// Slot frees: promotion succeeds and clears the foster entry.
-	delete(s.Peer.children, 1)
+	s.Peer.DelChild(1)
 	r.net.Send(2, 0, ConnRequest{Token: 6, Kind: ConnChild, Dist: 25})
 	r.sim.Run(2)
 	ok := false
@@ -133,7 +133,7 @@ func TestFosterLeaveNotified(t *testing.T) {
 	p := r.addPeer(1, 1, false)
 	f := r.addPeer(2, 1, false)
 	p.ApplyConnect(0, 20, []NodeID{})
-	p.Peer.fosters[2] = 20
+	p.Peer.PutFoster(2, 20)
 	f.ApplyConnect(1, 20, []NodeID{0})
 
 	p.Leave()

@@ -22,8 +22,16 @@ type Network struct {
 	Sim *eventq.Sim
 	U   underlay.Underlay
 
-	handlers map[NodeID]Handler
+	// handlers is indexed by NodeID (simulated ids are dense slot
+	// numbers); nil means not registered. A slice costs 8 bytes per slot
+	// against ~50 per map entry and makes the delivery-path lookup a
+	// bounds check instead of a hash probe.
+	handlers []Handler
 	rnd      *rng.Stream
+
+	// adj backs the children/fosters sets of every peer on this bus (see
+	// AdjPool): one shared chunk slab instead of two maps per peer.
+	adj AdjPool
 
 	ctrs Counters
 
@@ -54,7 +62,7 @@ type Network struct {
 	keyed     bool
 	drawSeed  int64
 	kj        underlay.KeyedJitter
-	edgeDraws map[uint64]uint64
+	edgeDraws rng.CounterTable
 
 	// freeDel recycles delivery records: every Send schedules one, so
 	// without reuse delivery closures dominate a session's allocations.
@@ -90,9 +98,6 @@ func (n *Network) SetSendProbe(p SendProbe) { n.probe = p }
 func (n *Network) SetKeyedDraws(seed int64) {
 	n.keyed = true
 	n.drawSeed = seed
-	if n.edgeDraws == nil {
-		n.edgeDraws = make(map[uint64]uint64)
-	}
 	n.kj, _ = n.U.(underlay.KeyedJitter)
 }
 
@@ -115,7 +120,7 @@ func deliver(a any) {
 	d.m = nil
 	d.next = n.freeDel
 	n.freeDel = d
-	if h, ok := n.handlers[to]; ok {
+	if h := n.handler(to); h != nil {
 		h.HandleMessage(from, m)
 	}
 }
@@ -128,30 +133,58 @@ func NewNetwork(sim *eventq.Sim, u underlay.Underlay, rnd *rng.Stream) *Network 
 	return &Network{
 		Sim:        sim,
 		U:          u,
-		handlers:   make(map[NodeID]Handler),
 		rnd:        rnd,
 		LossEnable: true,
 	}
 }
 
+// AdjPool returns the bus-shared adjacency slab peers on this network
+// store their children/fosters in.
+func (n *Network) AdjPool() *AdjPool { return &n.adj }
+
+// handler returns the handler for id, or nil.
+func (n *Network) handler(id NodeID) Handler {
+	if id < 0 || int(id) >= len(n.handlers) {
+		return nil
+	}
+	return n.handlers[id]
+}
+
 // Register attaches a handler for node id.
-func (n *Network) Register(id NodeID, h Handler) { n.handlers[id] = h }
+func (n *Network) Register(id NodeID, h Handler) {
+	if int(id) >= len(n.handlers) {
+		want := int(id) + 1
+		if min := 2 * len(n.handlers); want < min {
+			want = min
+		}
+		grown := make([]Handler, want)
+		copy(grown, n.handlers)
+		n.handlers = grown
+	}
+	n.handlers[id] = h
+}
 
 // Unregister removes node id; in-flight messages to it are dropped at
 // delivery time.
-func (n *Network) Unregister(id NodeID) { delete(n.handlers, id) }
+func (n *Network) Unregister(id NodeID) {
+	if id >= 0 && int(id) < len(n.handlers) {
+		n.handlers[id] = nil
+	}
+}
 
 // IsAlive reports whether id currently has a handler.
-func (n *Network) IsAlive(id NodeID) bool {
-	_, ok := n.handlers[id]
-	return ok
-}
+func (n *Network) IsAlive(id NodeID) bool { return n.handler(id) != nil }
 
 // Now returns the current virtual time in seconds.
 func (n *Network) Now() float64 { return n.Sim.Now() }
 
 // After schedules fn to run d virtual seconds from now.
 func (n *Network) After(d float64, fn func()) { n.Sim.After(d, fn) }
+
+// AfterArg schedules fn(arg) through the event queue's recycled
+// arg-carrying events (see ArgBus). It uses the timer-classified form so
+// the engine profiler's delivery-vs-timer split stays truthful.
+func (n *Network) AfterArg(d float64, fn func(any), arg any) { n.Sim.AfterTimer(d, fn, arg) }
 
 // Counters returns the network's shared traffic counters.
 func (n *Network) Counters() *Counters { return &n.ctrs }
@@ -168,9 +201,7 @@ func (n *Network) Send(from, to NodeID, m Message) bool {
 	}
 	var draw uint64
 	if n.keyed {
-		k := edgeKey(from, to)
-		draw = n.edgeDraws[k]
-		n.edgeDraws[k] = draw + 1
+		draw = n.edgeDraws.Next(edgeKey(from, to))
 	}
 	if _, data := m.(DataChunk); data {
 		n.ctrs.Data.Add(1)

@@ -393,9 +393,9 @@ func TestPathUpdatePropagatesDownTree(t *testing.T) {
 	c := r.addPeer(3, 2, false)
 	// Chain 0 -> 1 -> 2 -> 3 wired by hand, with stale paths below 1.
 	a.ApplyConnect(0, 20, []NodeID{})
-	a.Peer.children[2] = 20
+	a.Peer.PutChild(2, 20)
 	b.parent = 1
-	b.Peer.children[3] = 20
+	b.Peer.PutChild(3, 20)
 	c.parent = 2
 
 	// A path refresh at node 1 must reach node 3.
@@ -422,7 +422,7 @@ func TestLeaveNotifiesChildrenWithGrandparentHint(t *testing.T) {
 	p := r.addPeer(1, 2, false)
 	c := r.addPeer(2, 2, false)
 	p.ApplyConnect(0, 20, []NodeID{})
-	p.Peer.children[2] = 20
+	p.Peer.PutChild(2, 20)
 	c.ApplyConnect(1, 20, []NodeID{0})
 
 	p.Leave()
@@ -453,9 +453,9 @@ func TestDataForwardingAndDedup(t *testing.T) {
 	b := r.addPeer(2, 2, false)
 	// 0 -> 1 -> 2.
 	a.ApplyConnect(0, 20, []NodeID{})
-	s.Peer.children[1] = 20
+	s.Peer.PutChild(1, 20)
 	b.ApplyConnect(1, 20, []NodeID{0})
-	a.Peer.children[2] = 20
+	a.Peer.PutChild(2, 20)
 
 	for seq := int64(0); seq < 10; seq++ {
 		s.EmitChunk(seq)
@@ -483,7 +483,7 @@ func TestDeadChildReapedOnForward(t *testing.T) {
 	r := newRig(t, uniformRTT(3, 20))
 	s := r.addPeer(0, 2, true)
 	r.addPeer(1, 2, false)
-	s.Peer.children[1] = 20
+	s.Peer.PutChild(1, 20)
 	r.net.Unregister(1) // vanished without notice
 	s.EmitChunk(0)
 	if len(s.ChildIDs()) != 0 {
@@ -604,7 +604,7 @@ func TestInfoResponseContents(t *testing.T) {
 	r := newRig(t, uniformRTT(3, 20))
 	s := r.addPeer(0, 3, true)
 	b := r.addPeer(1, 2, false)
-	s.Peer.children[2] = 42
+	s.Peer.PutChild(2, 42)
 	r.net.Send(1, 0, InfoRequest{Token: 77})
 	r.sim.Run(1)
 	var ir *InfoResponse

@@ -61,6 +61,11 @@ type PeerConfig struct {
 	// fire-and-forget forwarding — which the simulator's byte-identical
 	// event traces require, so the sim never sets it.
 	Flow *flow.Config
+	// WindowSlots sizes the dedupe window (sequence slots tracked);
+	// 0 selects flow.DefaultWindowBits. The simulator shrinks it: its
+	// reorder span is milliseconds of virtual time, so a short window
+	// dedupes identically while costing 8× less per peer.
+	WindowSlots int
 }
 
 // Default protocol timeouts (seconds of virtual time). Wide-area RTTs stay
@@ -103,17 +108,24 @@ type Peer struct {
 	id        NodeID
 	source    NodeID
 	net       Bus
+	// argBus is net's ArgBus capability, nil when unsupported (live
+	// buses). Timers prefer it: arg-carrying events recycle through the
+	// event queue's free list instead of allocating a closure each.
+	argBus    ArgBus
 	maxDegree int
 	isSource  bool
 	metric    vdist.Metric
 
 	parent     NodeID
 	parentDist float64
-	children   map[NodeID]float64
+	// pool is the bus-shared adjacency slab children and fosters live
+	// in; each set is an 8-byte handle instead of a per-peer map.
+	pool     *AdjPool
+	children AdjSet
 	// fosters are temporary quick-start children served beyond the
 	// degree limit; they receive data and path updates but are not
 	// advertised in InfoResponses and do not consume degree.
-	fosters   map[NodeID]float64
+	fosters   AdjSet
 	rootPath  []NodeID
 	connected bool
 	switching bool
@@ -133,7 +145,8 @@ type Peer struct {
 	flow *flowState
 
 	// staleFrom counts consecutive chunks received from non-parents,
-	// per sender, for stale-edge pruning.
+	// per sender, for stale-edge pruning. Allocated lazily: stale edges
+	// are a churn-window anomaly, so most peers never pay for the map.
 	staleFrom map[NodeID]int
 
 	// Starvation watchdog (see checkStarvation): the virtual time of the
@@ -198,6 +211,10 @@ func NewPeer(net Bus, cfg PeerConfig) *Peer {
 	if cfg.MaxDegree < 1 {
 		cfg.MaxDegree = 1
 	}
+	winSlots := cfg.WindowSlots
+	if winSlots <= 0 {
+		winSlots = flow.DefaultWindowBits
+	}
 	p := &Peer{
 		id:            cfg.ID,
 		source:        cfg.Source,
@@ -206,17 +223,22 @@ func NewPeer(net Bus, cfg PeerConfig) *Peer {
 		isSource:      cfg.IsSource,
 		metric:        cfg.Metric,
 		parent:        None,
-		children:      make(map[NodeID]float64),
-		fosters:       make(map[NodeID]float64),
 		connected:     cfg.IsSource,
 		alive:         true,
 		InfoTimeoutS:  cfg.InfoTimeoutS,
 		ProbeTimeoutS: cfg.ProbeTimeoutS,
 		ConnTimeoutS:  cfg.ConnTimeoutS,
-		window:        flow.NewWindow(flow.DefaultWindowBits, flow.DefaultBackfill),
+		window:        flow.NewWindow(winSlots, flow.DefaultBackfill),
 		stats:         Stats{Startup: -1, orphanedAt: -1, LeftAt: -1},
-		staleFrom:     make(map[NodeID]int),
 	}
+	if ap, ok := net.(interface{ AdjPool() *AdjPool }); ok {
+		p.pool = ap.AdjPool()
+	} else {
+		// Live buses run one goroutine per peer, so they get private
+		// (tiny, initially empty) pools rather than a shared slab.
+		p.pool = new(AdjPool)
+	}
+	p.argBus, _ = net.(ArgBus)
 	if p.InfoTimeoutS <= 0 {
 		p.InfoTimeoutS = DefaultInfoTimeoutS
 	}
@@ -264,35 +286,47 @@ func (p *Peer) ParentDist() float64 { return p.parentDist }
 func (p *Peer) MaxDegree() int { return p.maxDegree }
 
 // FreeDegree returns the remaining child capacity.
-func (p *Peer) FreeDegree() int { return p.maxDegree - len(p.children) }
+func (p *Peer) FreeDegree() int { return p.maxDegree - p.pool.Len(&p.children) }
+
+// NumChildren returns the current regular-child count.
+func (p *Peer) NumChildren() int { return p.pool.Len(&p.children) }
 
 // ChildIDs returns the regular children sorted by id (deterministic
 // order). Foster children are excluded: they neither consume degree nor
 // appear in information responses.
 func (p *Peer) ChildIDs() []NodeID {
-	out := make([]NodeID, 0, len(p.children))
-	for c := range p.children {
-		out = append(out, c)
-	}
+	out := p.pool.AppendIDs(&p.children, make([]NodeID, 0, p.pool.Len(&p.children)))
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // FosterIDs returns the current foster children sorted by id.
 func (p *Peer) FosterIDs() []NodeID {
-	out := make([]NodeID, 0, len(p.fosters))
-	for c := range p.fosters {
-		out = append(out, c)
-	}
+	out := p.pool.AppendIDs(&p.fosters, make([]NodeID, 0, p.pool.Len(&p.fosters)))
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // ChildDist returns the stored distance to child c.
 func (p *Peer) ChildDist(c NodeID) (float64, bool) {
-	d, ok := p.children[c]
-	return d, ok
+	return p.pool.Get(&p.children, c)
 }
+
+// PutChild inserts or refreshes a regular child edge directly — the
+// test-seam equivalent of a completed adoption.
+func (p *Peer) PutChild(c NodeID, dist float64) { p.pool.Put(&p.children, c, dist) }
+
+// PutFoster inserts or refreshes a foster edge directly (test seam).
+func (p *Peer) PutFoster(c NodeID, dist float64) { p.pool.Put(&p.fosters, c, dist) }
+
+// DelChild removes a regular child edge directly (test seam).
+func (p *Peer) DelChild(c NodeID) { p.pool.Delete(&p.children, c) }
+
+// HasChild reports whether c is a regular child.
+func (p *Peer) HasChild(c NodeID) bool { return p.pool.Has(&p.children, c) }
+
+// HasFoster reports whether c is a foster child.
+func (p *Peer) HasFoster(c NodeID) bool { return p.pool.Has(&p.fosters, c) }
 
 // RootPath returns the peer's current ancestry, source first, parent last.
 func (p *Peer) RootPath() []NodeID {
@@ -387,18 +421,18 @@ func (p *Peer) HandleMessage(from NodeID, m Message) {
 		p.handleParentChange(from, msg)
 	case ParentChangeAck:
 		if !msg.OK {
-			delete(p.children, from)
+			p.pool.Delete(&p.children, from)
 		}
 	case PathUpdate:
 		if from == p.parent {
 			p.setRootPath(msg.Path)
 		}
 	case Detach:
-		delete(p.children, from)
-		delete(p.fosters, from)
+		p.pool.Delete(&p.children, from)
+		p.pool.Delete(&p.fosters, from)
 	case ParentCheck:
-		_, child := p.children[from]
-		_, foster := p.fosters[from]
+		child := p.pool.Has(&p.children, from)
+		foster := p.pool.Has(&p.fosters, from)
 		p.net.Send(p.id, from, ParentCheckAck{IsChild: child || foster})
 	case ParentCheckAck:
 		p.handleParentCheckAck(from, msg)
@@ -419,6 +453,9 @@ func (p *Peer) HandleMessage(from NodeID, m Message) {
 				// — and prune the stale edge once the pattern repeats
 				// (single occurrences are just in-flight reordering around
 				// a parent change).
+				if p.staleFrom == nil {
+					p.staleFrom = make(map[NodeID]int)
+				}
 				p.staleFrom[from]++
 				if p.staleFrom[from] >= staleChunkThreshold {
 					delete(p.staleFrom, from)
@@ -454,11 +491,11 @@ func (p *Peer) HandleMessage(from NodeID, m Message) {
 }
 
 func (p *Peer) childSnapshot() []ChildInfo {
-	ids := p.ChildIDs()
-	out := make([]ChildInfo, len(ids))
-	for i, c := range ids {
-		out[i] = ChildInfo{ID: c, Dist: p.children[c]}
-	}
+	out := make([]ChildInfo, 0, p.pool.Len(&p.children))
+	p.pool.Each(&p.children, func(id NodeID, d float64) {
+		out = append(out, ChildInfo{ID: id, Dist: d})
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -487,26 +524,26 @@ func (p *Peer) handleConnRequest(from NodeID, m ConnRequest) {
 	if m.Foster {
 		// Quick-start slot: granted beyond the degree limit; the child
 		// is expected to promote or move shortly.
-		delete(p.children, from)
-		p.fosters[from] = m.Dist
+		p.pool.Delete(&p.children, from)
+		p.pool.Put(&p.fosters, from, m.Dist)
 		accept(ConnResponse{RootPath: p.pathForChildren()})
 		return
 	}
-	if _, already := p.children[from]; already {
+	if p.pool.Has(&p.children, from) {
 		// Idempotent re-request (e.g. a retry after a lost ack window):
 		// refresh the distance and accept again.
-		p.children[from] = m.Dist
+		p.pool.Put(&p.children, from, m.Dist)
 		accept(ConnResponse{RootPath: p.pathForChildren()})
 		return
 	}
-	if _, fostered := p.fosters[from]; fostered {
+	if p.pool.Has(&p.fosters, from) {
 		// Promotion of a foster child to a regular slot.
 		if p.FreeDegree() <= 0 {
 			reject()
 			return
 		}
-		delete(p.fosters, from)
-		p.children[from] = m.Dist
+		p.pool.Delete(&p.fosters, from)
+		p.pool.Put(&p.children, from, m.Dist)
 		accept(ConnResponse{RootPath: p.pathForChildren()})
 		return
 	}
@@ -514,7 +551,7 @@ func (p *Peer) handleConnRequest(from NodeID, m ConnRequest) {
 	var adopted []NodeID
 	if m.Kind == ConnSplice {
 		for _, c := range m.Adopt {
-			if _, ok := p.children[c]; ok && c != from {
+			if c != from && p.pool.Has(&p.children, c) {
 				adopted = append(adopted, c)
 			}
 		}
@@ -524,9 +561,9 @@ func (p *Peer) handleConnRequest(from NodeID, m ConnRequest) {
 		return
 	}
 	for _, c := range adopted {
-		delete(p.children, c)
+		p.pool.Delete(&p.children, c)
 	}
-	p.children[from] = m.Dist
+	p.pool.Put(&p.children, from, m.Dist)
 	accept(ConnResponse{RootPath: p.pathForChildren(), Adopted: adopted})
 }
 
@@ -552,12 +589,12 @@ func (p *Peer) setRootPath(path []NodeID) {
 	next := p.pathForChildren()
 	for _, c := range p.ChildIDs() {
 		if !p.net.Send(p.id, c, PathUpdate{Path: next}) {
-			delete(p.children, c)
+			p.pool.Delete(&p.children, c)
 		}
 	}
 	for _, c := range p.FosterIDs() {
 		if !p.net.Send(p.id, c, PathUpdate{Path: next}) {
-			delete(p.fosters, c)
+			p.pool.Delete(&p.fosters, c)
 		}
 	}
 }
@@ -574,14 +611,24 @@ func (p *Peer) parentAcquired() {
 }
 
 func (p *Peer) scheduleStarveCheck() {
-	p.net.After(starveCheckPeriodS, func() {
-		if !p.alive {
-			p.starveTicking = false
-			return
-		}
-		p.checkStarvation()
-		p.scheduleStarveCheck()
-	})
+	if p.argBus != nil {
+		p.argBus.AfterArg(starveCheckPeriodS, starveTick, p)
+		return
+	}
+	p.net.After(starveCheckPeriodS, func() { starveTick(p) })
+}
+
+// starveTick is the shared watchdog callback (arg: *Peer); boxing a
+// pointer into any allocates nothing, so the recurring per-peer check
+// costs no heap churn on an ArgBus.
+func starveTick(a any) {
+	p := a.(*Peer)
+	if !p.alive {
+		p.starveTicking = false
+		return
+	}
+	p.checkStarvation()
+	p.scheduleStarveCheck()
 }
 
 // checkStarvation probes a silent parent. A parent that answers "not my
@@ -681,22 +728,39 @@ func (p *Peer) forwardChunk(m DataChunk) {
 		p.forwardChunkFanout(fb, m)
 		return
 	}
-	for _, c := range p.ChildIDs() {
+	ids := p.appendSortedChildren(p.fanoutIDs[:0])
+	nc := len(ids)
+	ids = p.appendSortedFosters(ids)
+	p.fanoutIDs = ids
+	for i, c := range ids {
 		if p.net.Send(p.id, c, m) {
 			p.stats.Forwarded++
-		} else {
+		} else if i < nc {
 			// Transport failure: the child silently vanished. Drop it
 			// so the degree slot frees up.
-			delete(p.children, c)
-		}
-	}
-	for _, c := range p.FosterIDs() {
-		if p.net.Send(p.id, c, m) {
-			p.stats.Forwarded++
+			p.pool.Delete(&p.children, c)
 		} else {
-			delete(p.fosters, c)
+			p.pool.Delete(&p.fosters, c)
 		}
 	}
+}
+
+// appendSortedChildren appends the regular children to dst in id order.
+func (p *Peer) appendSortedChildren(dst []NodeID) []NodeID {
+	n := len(dst)
+	dst = p.pool.AppendIDs(&p.children, dst)
+	tail := dst[n:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return dst
+}
+
+// appendSortedFosters appends the foster children to dst in id order.
+func (p *Peer) appendSortedFosters(dst []NodeID) []NodeID {
+	n := len(dst)
+	dst = p.pool.AppendIDs(&p.fosters, dst)
+	tail := dst[n:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return dst
 }
 
 // forwardChunkFanout is the batch forward: one SendFanout call covers
@@ -705,17 +769,8 @@ func (p *Peer) forwardChunk(m DataChunk) {
 // loop: every successful destination counts one Forwarded, every failed
 // one loses its tree slot.
 func (p *Peer) forwardChunkFanout(fb FanoutBus, m DataChunk) {
-	ids := p.fanoutIDs[:0]
-	for c := range p.children {
-		ids = append(ids, c)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	nc := len(ids)
-	for c := range p.fosters {
-		ids = append(ids, c)
-	}
-	fosters := ids[nc:]
-	sort.Slice(fosters, func(i, j int) bool { return fosters[i] < fosters[j] })
+	ids := p.appendSortedChildren(p.fanoutIDs[:0])
+	ids = p.appendSortedFosters(ids)
 	p.fanoutIDs = ids
 	if len(ids) == 0 {
 		return
@@ -723,8 +778,8 @@ func (p *Peer) forwardChunkFanout(fb FanoutBus, m DataChunk) {
 	p.fanoutFail = fb.SendFanout(p.id, ids, m, p.fanoutFail[:0])
 	p.stats.Forwarded += int64(len(ids) - len(p.fanoutFail))
 	for _, c := range p.fanoutFail {
-		delete(p.children, c)
-		delete(p.fosters, c)
+		p.pool.Delete(&p.children, c)
+		p.pool.Delete(&p.fosters, c)
 	}
 }
 
@@ -801,7 +856,7 @@ func (p *Peer) EndSwitch() { p.switching = false }
 // AdoptChild records a Case-II adoptee and sends it the parent-change
 // message with its new root path.
 func (p *Peer) AdoptChild(c NodeID, dist float64, oldParent NodeID, token int) {
-	p.children[c] = dist
+	p.pool.Put(&p.children, c, dist)
 	p.net.Send(p.id, c, ParentChange{
 		Token:     token,
 		OldParent: oldParent,
@@ -829,5 +884,13 @@ func (p *Peer) Leave() {
 	}
 	p.alive = false
 	p.connected = false
+	// Return the adjacency chunks to the shared slab and drop scratch:
+	// a churned-out peer must not pin pool memory for the rest of the
+	// session.
+	p.pool.Clear(&p.children)
+	p.pool.Clear(&p.fosters)
+	p.staleFrom = nil
+	p.fanoutIDs = nil
+	p.fanoutFail = nil
 	p.net.Unregister(p.id)
 }

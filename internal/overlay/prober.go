@@ -14,10 +14,42 @@ type Prober struct {
 	next     int
 	sessions map[int]*probeSession
 
-	// free recycles finished sessions (struct and pending map). The
-	// result map is handed to the round's callback, which may keep it,
-	// so it is always fresh.
+	// free recycles finished sessions (struct, pending map, and result
+	// map). The result map is only valid during the round's callback —
+	// every caller in-tree copies what it keeps into its own join
+	// scratch — so recycling it makes a steady-state Launch allocate
+	// nothing.
 	free *probeSession
+
+	// freeTO recycles round-timeout records for ArgBus scheduling.
+	freeTO *probeTimeout
+
+	// drop, set by Trim, stops finished sessions and timeout records
+	// from re-entering the free lists: rounds that were in flight when
+	// the peer settled would otherwise re-pin their maps for the rest of
+	// the run. The next Launch clears it — a reconnecting peer probes in
+	// bursts again and recycling pays once more.
+	drop bool
+}
+
+// probeTimeout carries one round's timeout through an ArgBus timer.
+type probeTimeout struct {
+	pr    *Prober
+	token int
+	next  *probeTimeout
+}
+
+// probeTimeoutFire is the shared timeout callback (arg: *probeTimeout).
+func probeTimeoutFire(a any) {
+	to := a.(*probeTimeout)
+	pr, token := to.pr, to.token
+	if !pr.drop {
+		to.next = pr.freeTO
+		pr.freeTO = to
+	}
+	if s, ok := pr.sessions[token]; ok && !s.finished {
+		pr.finish(token, s)
+	}
 }
 
 type probeSession struct {
@@ -37,14 +69,23 @@ func newProber(p *Peer) *Prober {
 func (pr *Prober) session(targets int) *probeSession {
 	sess := pr.free
 	if sess == nil {
-		sess = &probeSession{pending: make(map[NodeID]float64, targets)}
+		sess = &probeSession{
+			pending: make(map[NodeID]float64, targets),
+			results: make(ProbeResult, targets),
+		}
 	} else {
 		pr.free = sess.freeLink
 		sess.freeLink = nil
 		sess.finished = false
 		clear(sess.pending)
+		if sess.results == nil {
+			// The session was recycled while its previous result map was
+			// still being read by a finish callback (see finish).
+			sess.results = make(ProbeResult, targets)
+		} else {
+			clear(sess.results)
+		}
 	}
-	sess.results = make(ProbeResult, targets)
 	return sess
 }
 
@@ -54,6 +95,7 @@ func (pr *Prober) session(targets int) *probeSession {
 // empty result to keep caller control flow uniform.
 func (pr *Prober) Launch(targets []NodeID, timeoutS float64, done func(ProbeResult)) {
 	pr.next++
+	pr.drop = false
 	token := pr.next
 	sess := pr.session(len(targets))
 	sess.done = done
@@ -72,6 +114,18 @@ func (pr *Prober) Launch(targets []NodeID, timeoutS float64, done func(ProbeResu
 	}
 	if len(sess.pending) == 0 {
 		pr.finish(token, sess)
+		return
+	}
+	if ab := pr.peer.argBus; ab != nil {
+		to := pr.freeTO
+		if to == nil {
+			to = &probeTimeout{pr: pr}
+		} else {
+			pr.freeTO = to.next
+			to.next = nil
+		}
+		to.token = token
+		ab.AfterArg(timeoutS, probeTimeoutFire, to)
 		return
 	}
 	pr.peer.net.After(timeoutS, func() {
@@ -106,7 +160,30 @@ func (pr *Prober) finish(token int, sess *probeSession) {
 	delete(pr.sessions, token)
 	done, results := sess.done, sess.results
 	sess.done, sess.results = nil, nil
+	if pr.drop {
+		// The peer settled (Trim): let the session go to the collector
+		// instead of pinning its maps.
+		done(results)
+		return
+	}
+	// Detach the result map for the duration of the callback: the
+	// session is already on the free list, and a callback that launches
+	// a new round would otherwise clear the map it is iterating.
 	sess.freeLink = pr.free
 	pr.free = sess
 	done(results)
+	if sess.results == nil {
+		sess.results = results
+	}
+}
+
+// Trim drops the recycled-session free lists and stops in-flight rounds
+// from refilling them. Peers call it once their join procedure reaches
+// steady state, so a population that probed heavily during a join storm
+// does not pin one session's maps per peer for the rest of the run; the
+// next Launch turns recycling back on.
+func (pr *Prober) Trim() {
+	pr.drop = true
+	pr.free = nil
+	pr.freeTO = nil
 }

@@ -75,12 +75,10 @@ func NewShardRouter(u underlay.Underlay, drawSeed int64, sims []*eventq.Sim, sha
 	}
 	for i, s := range sims {
 		n := &ShardNet{
-			r:         r,
-			idx:       i,
-			Sim:       s,
-			handlers:  make(map[NodeID]Handler),
-			edgeDraws: make(map[uint64]uint64),
-			outbox:    make([][]xdelivery, len(sims)),
+			r:      r,
+			idx:    i,
+			Sim:    s,
+			outbox: make([][]xdelivery, len(sims)),
 		}
 		r.nets = append(r.nets, n)
 	}
@@ -159,14 +157,20 @@ func (r *ShardRouter) DiscardOutboxes() {
 // everything a peer does (message handling, timers) runs on the shard's
 // event queue.
 type ShardNet struct {
-	r         *ShardRouter
-	idx       int
-	Sim       *eventq.Sim
-	handlers  map[NodeID]Handler
-	edgeDraws map[uint64]uint64
+	r   *ShardRouter
+	idx int
+	Sim *eventq.Sim
+	// handlers is indexed by NodeID, like Network's; only slots owned by
+	// this shard are ever non-nil.
+	handlers  []Handler
+	edgeDraws rng.CounterTable
 	outbox    [][]xdelivery
 	sendIdx   uint64
 	freeDel   *sdelivery
+
+	// adj is this shard's adjacency slab (see AdjPool); shard-confined,
+	// so no locking.
+	adj AdjPool
 
 	// probe is this shard's profiling tap (see Network.SetSendProbe).
 	// Each shard owns a private probe, so the hot path needs no locks;
@@ -195,7 +199,7 @@ func sdeliver(a any) {
 	d.m = nil
 	d.next = n.freeDel
 	n.freeDel = d
-	if h, ok := n.handlers[to]; ok {
+	if h := n.handler(to); h != nil {
 		h.HandleMessage(from, m)
 	}
 }
@@ -214,19 +218,44 @@ func (n *ShardNet) scheduleDelivery(at float64, from, to NodeID, m Message) {
 	n.Sim.AtArg(at, sdeliver, del)
 }
 
+// AdjPool returns the shard-local adjacency slab.
+func (n *ShardNet) AdjPool() *AdjPool { return &n.adj }
+
+// handler returns the handler for id, or nil.
+func (n *ShardNet) handler(id NodeID) Handler {
+	if id < 0 || int(id) >= len(n.handlers) {
+		return nil
+	}
+	return n.handlers[id]
+}
+
 // Register attaches a handler for node id (must be owned by this shard).
-func (n *ShardNet) Register(id NodeID, h Handler) { n.handlers[id] = h }
+func (n *ShardNet) Register(id NodeID, h Handler) {
+	if int(id) >= len(n.handlers) {
+		want := int(id) + 1
+		if min := 2 * len(n.handlers); want < min {
+			want = min
+		}
+		grown := make([]Handler, want)
+		copy(grown, n.handlers)
+		n.handlers = grown
+	}
+	n.handlers[id] = h
+}
 
 // Unregister removes node id; in-flight messages to it are dropped at
 // delivery time.
-func (n *ShardNet) Unregister(id NodeID) { delete(n.handlers, id) }
+func (n *ShardNet) Unregister(id NodeID) {
+	if id >= 0 && int(id) < len(n.handlers) {
+		n.handlers[id] = nil
+	}
+}
 
 // IsAlive reports whether id has a handler (local) or is alive per the
 // membership timeline (remote).
 func (n *ShardNet) IsAlive(id NodeID) bool {
 	if n.r.shardOf(id) == n.idx {
-		_, ok := n.handlers[id]
-		return ok
+		return n.handler(id) != nil
 	}
 	return n.r.aliveAt(id, n.Sim.Now())
 }
@@ -236,6 +265,10 @@ func (n *ShardNet) Now() float64 { return n.Sim.Now() }
 
 // After schedules fn on this shard d virtual seconds from now.
 func (n *ShardNet) After(d float64, fn func()) { n.Sim.After(d, fn) }
+
+// AfterArg schedules fn(arg) through the shard queue's recycled
+// arg-carrying events (see ArgBus). Timer-classified, like Network's.
+func (n *ShardNet) AfterArg(d float64, fn func(any), arg any) { n.Sim.AfterTimer(d, fn, arg) }
 
 // Counters returns the fabric's shared counters.
 func (n *ShardNet) Counters() *Counters { return &n.r.ctrs }
@@ -255,9 +288,7 @@ func (n *ShardNet) Send(from, to NodeID, m Message) bool {
 	if n.probe != nil {
 		n.probe.ObserveSend(from, to, m)
 	}
-	k := edgeKey(from, to)
-	draw := n.edgeDraws[k]
-	n.edgeDraws[k] = draw + 1
+	draw := n.edgeDraws.Next(edgeKey(from, to))
 	if _, data := m.(DataChunk); data {
 		r.ctrs.Data.Add(1)
 		if r.LossEnable && rng.KeyedBool(r.drawSeed, uint64(uint32(from)), uint64(uint32(to)), drawStreamData, draw, r.u.LossRate(int(from), int(to))) {

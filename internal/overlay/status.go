@@ -97,13 +97,21 @@ func (p *Peer) EnableStatusReports(periodS float64) {
 }
 
 func (p *Peer) scheduleStatus() {
-	p.net.After(p.statusPeriodS, func() {
-		if !p.alive {
-			return
-		}
-		p.emitStatus()
-		p.scheduleStatus()
-	})
+	if p.argBus != nil {
+		p.argBus.AfterArg(p.statusPeriodS, statusTick, p)
+		return
+	}
+	p.net.After(p.statusPeriodS, func() { statusTick(p) })
+}
+
+// statusTick is the shared ticker callback (arg: *Peer).
+func statusTick(a any) {
+	p := a.(*Peer)
+	if !p.alive {
+		return
+	}
+	p.emitStatus()
+	p.scheduleStatus()
 }
 
 // emitStatus composes and delivers one report, advancing the delta

@@ -1,0 +1,91 @@
+package rng
+
+// CounterTable is a compact open-addressed map from uint64 key to a
+// monotonically increasing draw counter. It backs the per-edge draw
+// indices of the keyed RNG: a busy simulation tracks one counter per
+// directed (from, to) edge per stream, and a Go map at that scale costs
+// ~50 bytes per entry in buckets, overflow pointers, and padding. This
+// table stores 12 bytes per slot (8-byte key + 4-byte count) in two
+// parallel slabs at ≤75% load — roughly a 3× cut — and its Next is a
+// short linear probe with no hashing allocation.
+//
+// Semantics: counters only grow and entries are never deleted, which is
+// exactly the keyed-RNG contract (draw indices must never repeat or
+// rewind). A slot is empty iff its stored count is 0; occupied slots
+// store draws+1, so key 0 needs no sentinel and the zero table is ready
+// to use. Not safe for concurrent use; callers lock or own the table.
+type CounterTable struct {
+	keys []uint64
+	cnts []uint32
+	n    int // occupied slots
+}
+
+// counterMinSize is the initial table size on first insert (power of 2).
+const counterMinSize = 64
+
+// Len returns the number of distinct keys seen.
+func (t *CounterTable) Len() int { return t.n }
+
+// Next returns the number of draws already made for key and advances the
+// counter — the first call returns 0, the second 1, and so on. This is
+// the same sequence a `map[uint64]uint64` post-increment would produce.
+func (t *CounterTable) Next(key uint64) uint64 {
+	if len(t.keys) == 0 {
+		t.grow(counterMinSize)
+	} else if t.n >= len(t.keys)-len(t.keys)/4 {
+		t.grow(len(t.keys) * 2)
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := mix64(key) & mask
+	for {
+		if t.cnts[i] == 0 {
+			t.keys[i] = key
+			t.cnts[i] = 2 // draws=1 stored as draws+1
+			t.n++
+			return 0
+		}
+		if t.keys[i] == key {
+			d := uint64(t.cnts[i] - 1)
+			t.cnts[i]++
+			return d
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Peek returns the number of draws made so far for key without advancing.
+func (t *CounterTable) Peek(key uint64) uint64 {
+	if len(t.keys) == 0 {
+		return 0
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := mix64(key) & mask
+	for {
+		if t.cnts[i] == 0 {
+			return 0
+		}
+		if t.keys[i] == key {
+			return uint64(t.cnts[i] - 1)
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow rehashes into a table of the given power-of-2 size.
+func (t *CounterTable) grow(size int) {
+	oldKeys, oldCnts := t.keys, t.cnts
+	t.keys = make([]uint64, size)
+	t.cnts = make([]uint32, size)
+	mask := uint64(size - 1)
+	for j, c := range oldCnts {
+		if c == 0 {
+			continue
+		}
+		i := mix64(oldKeys[j]) & mask
+		for t.cnts[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.keys[i] = oldKeys[j]
+		t.cnts[i] = c
+	}
+}

@@ -28,6 +28,11 @@ func DeriveSeed(seed int64, name string) int64 {
 
 const golden = 0x9e3779b97f4a7c15
 
+// Mix64 is the splitmix64 finalizer — a cheap, well-distributed 64-bit
+// permutation. Exported for open-addressed tables elsewhere that need a
+// hash consistent with the keyed-draw machinery.
+func Mix64(x uint64) uint64 { return mix64(x) }
+
 // mix64 is the splitmix64 finalizer — a cheap, well-distributed 64-bit
 // permutation.
 func mix64(x uint64) uint64 {

@@ -206,6 +206,14 @@ type shardedSession struct {
 	invErrs    []string
 	ctrlEvents uint64 // controller-fired measures + follow-ups, for Processed parity
 
+	// sink is the (possibly lock-wrapped) trace sink shard spawns use.
+	sink obs.Sink
+	// scnFires and tick are the arg-carrying event slabs, mirroring the
+	// serial engine's join-storm flattening: one record per scenario
+	// event, one mutated ticker record, zero closures.
+	scnFires []shardFire
+	tick     shardTick
+
 	// timeEpoch marks the current epoch as timing-sampled. The controller
 	// writes it before dispatching the epoch's commands and workers read
 	// it after receiving them, so the channel send orders the accesses.
@@ -271,20 +279,16 @@ func runSharded(cfg Config) (*Result, error) {
 	// Setup band: the source, the data stream, the scenario script — same
 	// schedule order as the serial engine, so equal-time events on one
 	// shard keep their relative order.
+	ss.sink = sink
 	ss.spawn(ss.router.Net(0), 0, 0, sink)
-	var tick func(seq int64)
-	tick = func(seq int64) {
-		if src := ss.bySlot[0]; src != nil {
-			src.Base().EmitChunk(seq)
-		}
-		sims[0].After(ss.dataDT, func() { tick(seq + 1) })
-	}
-	sims[0].At(0, func() { tick(0) })
+	ss.tick = shardTick{ss: ss, sim: sims[0]}
+	sims[0].AtTimer(0, shardTickRun, &ss.tick)
+	ss.scnFires = make([]shardFire, len(plan.events))
 	for i := range plan.events {
 		pe := &plan.events[i]
 		sh := shardOf(overlay.NodeID(pe.ev.Slot))
-		net := ss.router.Net(sh)
-		sims[sh].At(pe.ev.T, func() { ss.applyEvent(net, pe, sink) })
+		ss.scnFires[i] = shardFire{ss: ss, net: ss.router.Net(sh), pe: pe}
+		sims[sh].AtTimer(pe.ev.T, shardFireRun, &ss.scnFires[i])
 	}
 	for _, s := range sims {
 		s.SetSeqBase(runtimeSeqBase)
@@ -316,6 +320,36 @@ func runSharded(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return ss.finish()
+}
+
+// shardTick is the sharded engine's chunk ticker record (see dataTick).
+type shardTick struct {
+	ss  *shardedSession
+	sim *eventq.Sim
+	seq int64
+}
+
+// shardTickRun emits the next chunk and reschedules (arg: *shardTick).
+func shardTickRun(a any) {
+	t := a.(*shardTick)
+	if src := t.ss.bySlot[0]; src != nil {
+		src.Base().EmitChunk(t.seq)
+	}
+	t.seq++
+	t.sim.AfterTimer(t.ss.dataDT, shardTickRun, t)
+}
+
+// shardFire carries one planned scenario event to its owning shard.
+type shardFire struct {
+	ss  *shardedSession
+	net *overlay.ShardNet
+	pe  *plannedEvent
+}
+
+// shardFireRun applies one scheduled membership event (arg: *shardFire).
+func shardFireRun(a any) {
+	f := a.(*shardFire)
+	f.ss.applyEvent(f.net, f.pe, f.ss.sink)
 }
 
 // spawn mirrors session.spawn for one shard-owned slot.
@@ -628,15 +662,15 @@ func (ss *shardedSession) finish() (*Result, error) {
 		u:       ss.u,
 		metric:  ss.metric,
 		degrees: ss.degrees,
-		insts:   make(map[int]*instance),
+		insts:   ss.bySlot,
 		all:     ss.allByMem,
 		dataDT:  ss.dataDT,
 		samples: ss.samples,
 		invErrs: ss.invErrs,
 	}
-	for slot, p := range ss.bySlot {
+	for _, p := range ss.bySlot {
 		if p != nil {
-			fin.insts[slot] = &instance{slot: slot, proto: p}
+			fin.alive++
 		}
 	}
 	res, err := fin.finish(ss.cfg, ss.scn)

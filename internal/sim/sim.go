@@ -279,25 +279,65 @@ type TreeEdge struct {
 	ParentLabel   string
 }
 
-// instance is one membership of a host slot.
-type instance struct {
-	slot  int
-	proto overlay.Protocol
-}
-
 type session struct {
-	cfg       Config
-	sim       *eventq.Sim
-	net       *overlay.Network
-	u         underlay.Underlay
-	metric    vdist.Metric
-	degrees   []int
-	insts     map[int]*instance
+	cfg    Config
+	sim    *eventq.Sim
+	net    *overlay.Network
+	u      underlay.Underlay
+	metric vdist.Metric
+	degrees []int
+	// insts is the live roster, indexed by host slot (nil = slot not
+	// alive). A dense slice instead of a map: lookups are hot (every data
+	// tick and scenario event), iteration is sorted for free, and the
+	// roster costs 8 bytes per slot instead of a map entry.
+	insts     []overlay.Protocol
+	alive     int
 	all       []*overlay.Peer // every membership's peer base, in spawn order
 	protoSeed int64
 	dataDT    float64
 	samples   []Sample
 	invErrs   []string
+
+	// scnFires and the tick record are the arg-carrying event slabs of
+	// the join-storm flattening: one contiguous allocation for the whole
+	// scenario instead of a closure per membership event, and a single
+	// mutated record for the data ticker.
+	scnFires []scnFire
+	tick     dataTick
+}
+
+// scnFire carries one scenario event through an arg-carrying timer.
+type scnFire struct {
+	s  *session
+	ev scenario.Event
+}
+
+// scnFireRun applies one scheduled membership event (arg: *scnFire).
+func scnFireRun(a any) {
+	f := a.(*scnFire)
+	if f.ev.Join {
+		f.s.spawn(f.ev.Slot)
+	} else {
+		f.s.leave(f.ev.Slot)
+	}
+}
+
+// dataTick is the source's chunk ticker: one record, mutated in place and
+// rescheduled, instead of a fresh closure pair per emitted chunk.
+type dataTick struct {
+	s   *session
+	seq int64
+}
+
+// dataTickRun emits the next chunk and reschedules (arg: *dataTick).
+func dataTickRun(a any) {
+	dt := a.(*dataTick)
+	s := dt.s
+	if src := s.insts[0]; src != nil {
+		src.Base().EmitChunk(dt.seq)
+	}
+	dt.seq++
+	s.sim.AfterTimer(s.dataDT, dataTickRun, dt)
 }
 
 // buildScenario resolves the session script: the override if given, else
@@ -358,7 +398,7 @@ func Run(cfg Config) (*Result, error) {
 		cfg:       cfg,
 		sim:       eventq.New(),
 		u:         u,
-		insts:     make(map[int]*instance),
+		insts:     make([]overlay.Protocol, scn.PoolSize),
 		protoSeed: rng.DeriveSeed(cfg.Seed, "proto"),
 		dataDT:    1 / cfg.DataRate,
 	}
@@ -378,25 +418,15 @@ func Run(cfg Config) (*Result, error) {
 	s.spawn(0)
 
 	// Data stream.
-	var tick func(seq int64)
-	tick = func(seq int64) {
-		if src, ok := s.insts[0]; ok {
-			src.proto.Base().EmitChunk(seq)
-		}
-		s.sim.After(s.dataDT, func() { tick(seq + 1) })
-	}
-	s.sim.At(0, func() { tick(0) })
+	s.tick = dataTick{s: s}
+	s.sim.AtTimer(0, dataTickRun, &s.tick)
 
-	// Scenario playback.
-	for _, e := range scn.Events {
-		ev := e
-		s.sim.At(ev.T, func() {
-			if ev.Join {
-				s.spawn(ev.Slot)
-			} else {
-				s.leave(ev.Slot)
-			}
-		})
+	// Scenario playback: one slab of arg records for the whole script,
+	// scheduled through the event queue's arg-carrying timer form.
+	s.scnFires = make([]scnFire, len(scn.Events))
+	for i, e := range scn.Events {
+		s.scnFires[i] = scnFire{s: s, ev: e}
+		s.sim.AtTimer(e.T, scnFireRun, &s.scnFires[i])
 	}
 	for _, mt := range scn.MeasureTimes {
 		t := mt
@@ -566,6 +596,10 @@ func buildProtocol(cfg Config, bus overlay.Bus, metric vdist.Metric, degrees []i
 		MaxDegree: degrees[slot],
 		IsSource:  slot == 0,
 		Metric:    metric,
+		// Simulated paths reorder chunks by at most a few in-flight
+		// sequence numbers, so a small dedupe window suffices; the live
+		// runtime keeps the wide default (flow.DefaultWindowBits).
+		WindowSlots: 256,
 	}
 	var p overlay.Protocol
 	switch cfg.Protocol {
@@ -598,7 +632,7 @@ func buildProtocol(cfg Config, bus overlay.Bus, metric vdist.Metric, degrees []i
 }
 
 func (s *session) spawn(slot int) {
-	if _, alive := s.insts[slot]; alive {
+	if s.insts[slot] != nil {
 		return
 	}
 	p := buildProtocol(s.cfg, s.net, s.metric, s.degrees, slot, len(s.all), s.protoSeed, s.cfg.EventSink)
@@ -609,7 +643,8 @@ func (s *session) spawn(slot int) {
 		p.Base().EnableStatusReports(s.cfg.StatusPeriodS)
 	}
 	s.net.Register(overlay.NodeID(slot), p)
-	s.insts[slot] = &instance{slot: slot, proto: p}
+	s.insts[slot] = p
+	s.alive++
 	s.all = append(s.all, p.Base())
 	if slot != 0 {
 		p.StartJoin()
@@ -617,23 +652,21 @@ func (s *session) spawn(slot int) {
 }
 
 func (s *session) leave(slot int) {
-	inst, ok := s.insts[slot]
-	if !ok || slot == 0 {
+	p := s.insts[slot]
+	if p == nil || slot == 0 {
 		return
 	}
-	inst.proto.Leave()
-	delete(s.insts, slot)
+	p.Leave()
+	s.insts[slot] = nil
+	s.alive--
 }
 
 func (s *session) views() []overlay.TreeView {
-	slots := make([]int, 0, len(s.insts))
-	for slot := range s.insts {
-		slots = append(slots, slot)
-	}
-	sort.Ints(slots)
-	out := make([]overlay.TreeView, 0, len(slots))
-	for _, slot := range slots {
-		out = append(out, s.insts[slot].proto)
+	out := make([]overlay.TreeView, 0, s.alive)
+	for _, p := range s.insts {
+		if p != nil {
+			out = append(out, p)
+		}
 	}
 	return out
 }

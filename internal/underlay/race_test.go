@@ -73,7 +73,7 @@ func TestRouterUnderlayPrecompute(t *testing.T) {
 	u.mu.RLock()
 	defer u.mu.RUnlock()
 	for r := range routers {
-		if _, ok := u.spts[r]; !ok {
+		if u.sptSlot[r] == 0 {
 			t.Fatalf("router %d SPT not precomputed", r)
 		}
 	}

@@ -13,12 +13,84 @@ import (
 // Hosts on the same router still measure a small positive RTT.
 const hostAccessMS = 0.5
 
-// sptEntry is one cached shortest-path tree plus its last-use stamp for
-// budget eviction. The stamp is atomic so read hits can refresh it under
-// the read lock.
-type sptEntry struct {
-	t    *topology.SPT
-	last atomic.Uint64
+// sptRow is one cached shortest-path tree plus its last-use stamp for
+// budget eviction. The stamp is accessed through the atomic functions
+// (not atomic.Uint64, which vet would flag when rows are appended) so
+// read hits can refresh it under the read lock. Rows live in a dense
+// slice indexed through sptSlot, so the cache adds two small arrays to
+// the SPTs themselves instead of a map of boxed entries.
+type sptRow struct {
+	router topology.RouterID
+	t      *topology.SPT
+	last   uint64
+}
+
+// lossTable is an open-addressed (router pair → end-to-end loss) cache.
+// Keys pack the ordered pair as lo<<32|hi with lo < hi, so key 0 cannot
+// occur (equal routers never enter the cache) and doubles as the empty
+// sentinel. 16 bytes per slot at ≤75% load replaces ~60 per map entry,
+// and hitting the budget wipes the whole table — which one entry is
+// resident never affects a value, only whether the next query recomputes.
+type lossTable struct {
+	keys []uint64
+	vals []float64
+	n    int
+}
+
+const lossTableMinSize = 64
+
+func (t *lossTable) get(key uint64) (float64, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := rng.Mix64(key) & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case key:
+			return t.vals[i], true
+		case 0:
+			return 0, false
+		}
+	}
+}
+
+func (t *lossTable) put(key uint64, val float64) {
+	if t.n >= len(t.keys)-len(t.keys)/4 {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := rng.Mix64(key) & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case key:
+			t.vals[i] = val
+			return
+		case 0:
+			t.keys[i] = key
+			t.vals[i] = val
+			t.n++
+			return
+		}
+	}
+}
+
+func (t *lossTable) grow() {
+	size := lossTableMinSize
+	if len(t.keys) > 0 {
+		size = 2 * len(t.keys)
+	}
+	keys, vals := t.keys, t.vals
+	t.keys = make([]uint64, size)
+	t.vals = make([]float64, size)
+	t.n = 0
+	for i, k := range keys {
+		if k != 0 {
+			t.put(k, vals[i])
+		}
+	}
+}
+
+func (t *lossTable) reset() {
+	t.keys, t.vals, t.n = nil, nil, 0
 }
 
 // RouterUnderlay routes host-to-host traffic over a router graph along
@@ -39,10 +111,13 @@ type RouterUnderlay struct {
 
 	// mu guards the two lazy caches below. Writes (cache misses) take the
 	// full lock and re-check, so each SPT is computed exactly once.
-	mu   sync.RWMutex
-	spts map[topology.RouterID]*sptEntry
-	// pathLoss caches end-to-end loss per (router,router) pair.
-	pathLoss map[[2]topology.RouterID]float64
+	mu sync.RWMutex
+	// sptSlot maps router → resident row index + 1 (0 = not cached);
+	// sptRows holds the resident trees densely.
+	sptSlot []int32
+	sptRows []sptRow
+	// pathLoss caches end-to-end loss per ordered (router,router) pair.
+	pathLoss lossTable
 
 	// Cache budgets: 0 means unlimited. Eviction only changes what is
 	// cached, never a value — evicted entries recompute deterministically.
@@ -62,7 +137,7 @@ type RouterUnderlay struct {
 	keyed     bool
 	keyedSeed int64
 	rttMu     sync.Mutex
-	rttDraws  map[uint64]uint64
+	rttDraws  rng.CounterTable
 }
 
 // WithJitter makes RTT *measurements* (not deliveries or base values)
@@ -85,9 +160,6 @@ func (u *RouterUnderlay) WithKeyedJitter(seed int64, sigma float64) *RouterUnder
 	u.keyedSeed = seed
 	u.jitterSigma = sigma
 	u.jitterRnd = nil
-	if u.rttDraws == nil {
-		u.rttDraws = make(map[uint64]uint64)
-	}
 	return u
 }
 
@@ -105,7 +177,7 @@ func (u *RouterUnderlay) WithCacheBudget(spts, pathLoss int) *RouterUnderlay {
 func (u *RouterUnderlay) CacheStats() (spts, pathLoss int) {
 	u.mu.RLock()
 	defer u.mu.RUnlock()
-	return len(u.spts), len(u.pathLoss)
+	return len(u.sptRows), u.pathLoss.n
 }
 
 var _ Underlay = (*RouterUnderlay)(nil)
@@ -114,10 +186,9 @@ var _ KeyedJitter = (*RouterUnderlay)(nil)
 // NewRouter attaches hosts to the given routers of graph g.
 func NewRouter(g *topology.Graph, attach []topology.RouterID) *RouterUnderlay {
 	return &RouterUnderlay{
-		g:        g,
-		attach:   attach,
-		spts:     make(map[topology.RouterID]*sptEntry),
-		pathLoss: make(map[[2]topology.RouterID]float64),
+		g:       g,
+		attach:  attach,
+		sptSlot: make([]int32, g.NumRouters()),
 	}
 }
 
@@ -132,34 +203,44 @@ func (u *RouterUnderlay) AttachmentRouter(h int) topology.RouterID { return u.at
 
 func (u *RouterUnderlay) spt(r topology.RouterID) *topology.SPT {
 	u.mu.RLock()
-	e, ok := u.spts[r]
-	u.mu.RUnlock()
-	if ok {
-		e.last.Store(u.sptClock.Add(1))
-		return e.t
+	if s := u.sptSlot[r]; s > 0 {
+		row := &u.sptRows[s-1]
+		atomic.StoreUint64(&row.last, u.sptClock.Add(1))
+		t := row.t
+		u.mu.RUnlock()
+		return t
 	}
+	u.mu.RUnlock()
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	if e, ok := u.spts[r]; ok {
-		e.last.Store(u.sptClock.Add(1))
-		return e.t // another goroutine computed it while we waited
+	if s := u.sptSlot[r]; s > 0 {
+		row := &u.sptRows[s-1]
+		atomic.StoreUint64(&row.last, u.sptClock.Add(1))
+		return row.t // another goroutine computed it while we waited
 	}
 	if u.sptBudget > 0 {
-		for len(u.spts) >= u.sptBudget {
-			var victim topology.RouterID
+		for len(u.sptRows) >= u.sptBudget {
+			victim := 0
 			oldest := uint64(math.MaxUint64)
-			for id, e := range u.spts {
-				if last := e.last.Load(); last < oldest {
-					oldest, victim = last, id
+			for i := range u.sptRows {
+				if last := atomic.LoadUint64(&u.sptRows[i].last); last < oldest {
+					oldest, victim = last, i
 				}
 			}
-			delete(u.spts, victim)
+			// Swap-remove: the tail row moves into the victim's slot.
+			tail := len(u.sptRows) - 1
+			u.sptSlot[u.sptRows[victim].router] = 0
+			if victim != tail {
+				u.sptRows[victim] = u.sptRows[tail]
+				u.sptSlot[u.sptRows[victim].router] = int32(victim + 1)
+			}
+			u.sptRows[tail].t = nil
+			u.sptRows = u.sptRows[:tail]
 		}
 	}
-	e = &sptEntry{t: u.g.ShortestPaths(r)}
-	e.last.Store(u.sptClock.Add(1))
-	u.spts[r] = e
-	return e.t
+	u.sptRows = append(u.sptRows, sptRow{router: r, t: u.g.ShortestPaths(r), last: u.sptClock.Add(1)})
+	u.sptSlot[r] = int32(len(u.sptRows))
+	return u.sptRows[len(u.sptRows)-1].t
 }
 
 // Precompute eagerly fills the SPT cache for every attachment router (up
@@ -199,9 +280,7 @@ func (u *RouterUnderlay) RTT(a, b int) float64 {
 	}
 	if u.keyed {
 		u.rttMu.Lock()
-		k := pairKey(a, b)
-		n := u.rttDraws[k]
-		u.rttDraws[k] = n + 1
+		n := u.rttDraws.Next(pairKey(a, b))
 		u.rttMu.Unlock()
 		return base * rng.KeyedLogNormal(u.keyedSeed, uint64(uint32(a)), uint64(uint32(b)), keyedStreamRTT, n, 0, u.jitterSigma)
 	}
@@ -262,31 +341,29 @@ func (u *RouterUnderlay) LossRate(a, b int) float64 {
 	if ra == rb {
 		return 0
 	}
-	key := [2]topology.RouterID{ra, rb}
-	if ra > rb {
-		key = [2]topology.RouterID{rb, ra}
+	lo, hi := ra, rb
+	if lo > hi {
+		lo, hi = hi, lo
 	}
+	key := uint64(uint32(lo))<<32 | uint64(uint32(hi))
 	u.mu.RLock()
-	p, ok := u.pathLoss[key]
+	p, ok := u.pathLoss.get(key)
 	u.mu.RUnlock()
 	if ok {
 		return p
 	}
 	survive := 1.0
-	for _, lid := range u.spt(key[0]).PathLinks(key[1]) {
+	for _, lid := range u.spt(lo).PathLinks(hi) {
 		survive *= 1 - u.g.Link(lid).LossRate
 	}
 	p = 1 - survive
 	u.mu.Lock()
-	if u.pathLossBudget > 0 && len(u.pathLoss) >= u.pathLossBudget {
-		// Evict an arbitrary resident entry: which one is cached never
-		// affects a value, only whether the next query recomputes it.
-		for k := range u.pathLoss {
-			delete(u.pathLoss, k)
-			break
-		}
+	if u.pathLossBudget > 0 && u.pathLoss.n >= u.pathLossBudget {
+		// Wipe the table: which entries are resident never affects a
+		// value, only whether the next query recomputes it.
+		u.pathLoss.reset()
 	}
-	u.pathLoss[key] = p
+	u.pathLoss.put(key, p)
 	u.mu.Unlock()
 	return p
 }
